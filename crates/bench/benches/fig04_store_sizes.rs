@@ -1,0 +1,40 @@
+//! Figure 4: size distribution of remote stores exiting the GPU's L1
+//! cache, per application — the "sub-cacheline stores dominate" evidence
+//! motivating FinePack.
+
+use bench::{paper_spec, paper_system, pct};
+use sim_engine::Table;
+use system::PreparedWorkload;
+use workloads::suite;
+
+fn main() {
+    let cfg = paper_system();
+    let spec = paper_spec();
+    let mut table = Table::new(
+        "Fig 4: remote store sizes exiting L1 (4 GPUs)",
+        &["app", "<=8B", "<=16B", "<=32B", "<=64B", "128B", "mean (B)"],
+    );
+    let mut small_fracs = Vec::new();
+    for app in suite() {
+        let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
+        let stats = prep.merged_stats();
+        let at = |b: u64| stats.fraction_at_most(b).unwrap_or(0.0);
+        small_fracs.push(at(32));
+        table.row(&[
+            app.name().to_string(),
+            pct(at(8)),
+            pct(at(16) - at(8)),
+            pct(at(32) - at(16)),
+            pct(at(64) - at(32)),
+            pct(1.0 - at(64)),
+            format!("{:.1}", stats.mean_remote_size().unwrap_or(0.0)),
+        ]);
+    }
+    table.print();
+    let avg_small = small_fracs.iter().sum::<f64>() / small_fracs.len() as f64;
+    println!();
+    println!(
+        "headline: on average {} of remote stores are <=32B (paper: >63%)",
+        pct(avg_small)
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 9: 4-GPU strong-scaling speedups over a single GPU for the
+//! four communication paradigms (bulk DMA, peer-to-peer stores, FinePack,
+//! and the infinite-bandwidth oracle).
+
+use bench::{paper_spec, paper_system, x2};
+use sim_engine::{BarChart, Table};
+use system::{geomean_speedup, speedup_row, Paradigm};
+use workloads::suite;
+
+fn main() {
+    let cfg = paper_system();
+    let spec = paper_spec();
+    let mut table = Table::new(
+        "Fig 9: 4-GPU speedup over 1 GPU, per paradigm",
+        &["app", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
+    );
+    let mut rows = Vec::new();
+    for app in suite() {
+        let row = speedup_row(app.as_ref(), &cfg, &spec, &Paradigm::FIG9);
+        table.row(&[
+            row.app.clone(),
+            x2(row.speedup(Paradigm::BulkDma).expect("dma")),
+            x2(row.speedup(Paradigm::P2pStores).expect("p2p")),
+            x2(row.speedup(Paradigm::FinePack).expect("fp")),
+            x2(row.speedup(Paradigm::InfiniteBw).expect("inf")),
+        ]);
+        rows.push(row);
+    }
+    let geo = |p| geomean_speedup(&rows, p).expect("non-empty");
+    table.row(&[
+        "geomean".to_string(),
+        x2(geo(Paradigm::BulkDma)),
+        x2(geo(Paradigm::P2pStores)),
+        x2(geo(Paradigm::FinePack)),
+        x2(geo(Paradigm::InfiniteBw)),
+    ]);
+    table.print();
+    println!();
+
+    let mut chart = BarChart::new(
+        "Fig 9 (rendered): 4-GPU speedup over 1 GPU",
+        &["bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
+    );
+    for row in &rows {
+        chart.group(
+            row.app.clone(),
+            &[
+                row.speedup(Paradigm::BulkDma).expect("dma"),
+                row.speedup(Paradigm::P2pStores).expect("p2p"),
+                row.speedup(Paradigm::FinePack).expect("fp"),
+                row.speedup(Paradigm::InfiniteBw).expect("inf"),
+            ],
+        );
+    }
+    chart.print();
+
+    let fp = geo(Paradigm::FinePack);
+    let inf = geo(Paradigm::InfiniteBw);
+    println!();
+    println!(
+        "headline: FinePack {} vs infinite-BW {} -> captures {:.0}% of the opportunity \
+         (paper: 2.4x of 3.4x = 71%)",
+        x2(fp),
+        x2(inf),
+        100.0 * fp / inf
+    );
+    println!(
+        "headline: FinePack is {} over bulk DMA (paper 1.4x) and {} over raw P2P (paper 3x)",
+        x2(fp / geo(Paradigm::BulkDma)),
+        x2(fp / geo(Paradigm::P2pStores)),
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 10: breakdown of total bytes moved over the interconnect —
+//! useful bytes, protocol overhead, and wasted bytes — normalized to the
+//! bulk-DMA paradigm's total, per application.
+
+use bench::{paper_spec, paper_system, pct, x2};
+use sim_engine::{geomean, Table};
+use system::{Paradigm, PreparedWorkload};
+use workloads::suite;
+
+fn main() {
+    let cfg = paper_system();
+    let spec = paper_spec();
+    let mut table = Table::new(
+        "Fig 10: wire bytes normalized to bulk DMA (useful / protocol / wasted)",
+        &["app", "paradigm", "useful", "protocol", "wasted", "total"],
+    );
+    let mut p2p_over_fp = Vec::new();
+    let mut dma_over_fp = Vec::new();
+    for app in suite() {
+        let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
+        let dma = prep.run(&cfg, Paradigm::BulkDma);
+        let norm = dma.traffic.total() as f64;
+        let mut fp_total = 0.0;
+        for paradigm in [Paradigm::BulkDma, Paradigm::P2pStores, Paradigm::FinePack] {
+            let report = prep.run(&cfg, paradigm);
+            let t = report.traffic;
+            if paradigm == Paradigm::FinePack {
+                fp_total = t.total() as f64;
+            }
+            if paradigm == Paradigm::P2pStores {
+                p2p_over_fp.push(t.total() as f64);
+            }
+            table.row(&[
+                app.name().to_string(),
+                paradigm.to_string(),
+                pct(t.useful as f64 / norm),
+                pct(t.protocol as f64 / norm),
+                pct(t.wasted as f64 / norm),
+                pct(t.total() as f64 / norm),
+            ]);
+        }
+        let last = p2p_over_fp.last_mut().expect("pushed");
+        *last /= fp_total;
+        dma_over_fp.push(norm / fp_total);
+    }
+    table.print();
+    println!();
+    println!(
+        "headline: FinePack moves {} less data than raw P2P (paper 2.7x) and {} less than \
+         bulk DMA (paper 1.3x), geomean across apps",
+        x2(geomean(&p2p_over_fp).expect("non-empty")),
+        x2(geomean(&dma_over_fp).expect("non-empty")),
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 11: average number of GPU stores aggregated into a single
+//! FinePack transaction before egress, per application. CT is the
+//! paper's outlier: its stores have minimal spatial locality, so few
+//! share an address window.
+
+use bench::{paper_spec, paper_system};
+use sim_engine::Table;
+use system::{Paradigm, PreparedWorkload};
+use workloads::suite;
+
+fn main() {
+    let cfg = paper_system();
+    let spec = paper_spec();
+    let mut table = Table::new(
+        "Fig 11: stores aggregated per FinePack packet",
+        &["app", "mean", "p50", "p90", "packets", "stores offered"],
+    );
+    let mut means = Vec::new();
+    for app in suite() {
+        let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
+        let report = prep.run(&cfg, Paradigm::FinePack);
+        let mean = report.mean_stores_per_packet().unwrap_or(0.0);
+        means.push(mean);
+        let hist = &report.egress.stores_per_packet;
+        table.row(&[
+            app.name().to_string(),
+            format!("{mean:.1}"),
+            hist.quantile(0.5).unwrap_or(0).to_string(),
+            hist.quantile(0.9).unwrap_or(0).to_string(),
+            report.egress.packets.to_string(),
+            report.egress.stores_in.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "headline: {:.0} stores per packet on average across apps (paper: 42); \
+         CT packs only {:.1} (paper: the outlier)",
+        means.iter().sum::<f64>() / means.len() as f64,
+        means[4], // suite order: ct is fifth
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 13: performance sensitivity to interconnect bandwidth (PCIe
+//! 4.0 / 5.0 / 6.0, with PCIe 6.0 comparable to the fastest NVLink).
+//! Bulk DMA and raw P2P improve with every bandwidth step but never catch
+//! FinePack until bandwidth is unlimited.
+
+use bench::{paper_spec, paper_system, x2};
+use sim_engine::Table;
+use system::{bandwidth_sweep, Paradigm};
+use workloads::suite;
+
+fn main() {
+    let cfg = paper_system();
+    let spec = paper_spec();
+    let apps = suite();
+    let paradigms = [
+        Paradigm::BulkDma,
+        Paradigm::P2pStores,
+        Paradigm::FinePack,
+        Paradigm::InfiniteBw,
+    ];
+    let sweep = bandwidth_sweep(&apps, &cfg, &spec, &paradigms);
+    let mut table = Table::new(
+        "Fig 13: geomean speedup vs interconnect bandwidth",
+        &["interconnect", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
+    );
+    for (gen, means) in &sweep {
+        let get = |p: Paradigm| {
+            means
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, v)| *v)
+                .expect("paradigm present")
+        };
+        table.row(&[
+            format!("{gen} ({})", gen.bandwidth()),
+            x2(get(Paradigm::BulkDma)),
+            x2(get(Paradigm::P2pStores)),
+            x2(get(Paradigm::FinePack)),
+            x2(get(Paradigm::InfiniteBw)),
+        ]);
+    }
+    table.print();
+
+    println!();
+    for (gen, means) in &sweep {
+        let fp = means.iter().find(|(p, _)| *p == Paradigm::FinePack).expect("fp").1;
+        let others: Vec<f64> = means
+            .iter()
+            .filter(|(p, _)| matches!(p, Paradigm::BulkDma | Paradigm::P2pStores))
+            .map(|(_, v)| *v)
+            .collect();
+        let behind = others.iter().all(|v| *v < fp);
+        println!(
+            "{gen}: FinePack {} — DMA/P2P behind at this step: {behind} \
+             (paper: they never catch up until bandwidth is unlimited)",
+            x2(fp)
+        );
+    }
+}

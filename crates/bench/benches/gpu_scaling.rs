@@ -1,0 +1,47 @@
+//! Extension study: strong-scaling curves from 2 to 16 GPUs on PCIe 4.0.
+//! The paper evaluates 4 GPUs (Fig 9) and projects 16 on PCIe 6.0
+//! (§VI-B); the full curve shows where each paradigm stops scaling.
+
+use bench::{paper_spec, x2};
+use sim_engine::Table;
+use system::{geomean_speedup, speedup_row, Paradigm, SystemConfig};
+use workloads::suite;
+
+fn main() {
+    let mut table = Table::new(
+        "Strong scaling vs GPU count (PCIe 4.0, geomean speedup over 1 GPU)",
+        &["GPUs", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
+    );
+    let mut fp_curve = Vec::new();
+    for gpus in [2u8, 4, 8, 16] {
+        let cfg = SystemConfig::paper(gpus);
+        let mut spec = paper_spec();
+        spec.num_gpus = gpus;
+        spec.iterations = 1;
+        let rows: Vec<_> = suite()
+            .iter()
+            .map(|a| speedup_row(a.as_ref(), &cfg, &spec, &Paradigm::FIG9))
+            .collect();
+        let geo = |p| geomean_speedup(&rows, p).expect("rows");
+        fp_curve.push((gpus, geo(Paradigm::FinePack)));
+        table.row(&[
+            gpus.to_string(),
+            x2(geo(Paradigm::BulkDma)),
+            x2(geo(Paradigm::P2pStores)),
+            x2(geo(Paradigm::FinePack)),
+            x2(geo(Paradigm::InfiniteBw)),
+        ]);
+    }
+    table.print();
+
+    println!();
+    let efficiency: Vec<String> = fp_curve
+        .iter()
+        .map(|(n, s)| format!("{n} GPUs: {:.0}%", 100.0 * s / f64::from(*n)))
+        .collect();
+    println!(
+        "FinePack parallel efficiency: {} — communication-bound decay without \
+         more interconnect bandwidth, which is Fig 13's argument.",
+        efficiency.join(", ")
+    );
+}

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of FinePack's hot hardware-model paths:
+//! remote-write-queue insertion, packetization, wire encode/decode, and
+//! L1 warp-store coalescing. These bound the simulator's throughput and
+//! double as regression guards for the data structures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use finepack::{
+    packetize, EgressPath, FinePackConfig, FinePackEgress, FinePackPacket, FlushReason,
+    RemoteWriteQueue,
+};
+use gpu_model::{coalesce_warp_store, AccessPattern, GpuConfig, GpuId, RemoteStore};
+use protocol::FramingModel;
+use sim_engine::SimTime;
+
+fn stores(n: u64, stride: u64, len: usize) -> Vec<RemoteStore> {
+    (0..n)
+        .map(|i| RemoteStore {
+            src: GpuId::new(0),
+            dst: GpuId::new(1),
+            addr: 0x10_0000 + i * stride,
+            data: vec![(i & 0xFF) as u8; len],
+        })
+        .collect()
+}
+
+fn bench_rwq_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rwq_insert");
+    for (name, stride, len) in [("scattered_8B", 192u64, 8usize), ("dense_128B", 128, 128)] {
+        let batch = stores(1024, stride, len);
+        g.throughput(Throughput::Elements(batch.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || (RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4)), batch.clone()),
+                |(mut rwq, batch)| {
+                    for s in batch {
+                        let _ = rwq.insert(s).expect("valid store");
+                    }
+                    rwq.flush_all(FlushReason::Release)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_packetize(c: &mut Criterion) {
+    let cfg = FinePackConfig::paper(4);
+    let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
+    for s in stores(60, 192, 8) {
+        rwq.insert(s).expect("valid store");
+    }
+    let batch = rwq.flush_all(FlushReason::Release).remove(0);
+    c.bench_function("packetize_60_stores", |b| {
+        b.iter(|| packetize(std::hint::black_box(&batch), &cfg, GpuId::new(0)))
+    });
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let cfg = FinePackConfig::paper(4);
+    let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
+    for s in stores(60, 192, 8) {
+        rwq.insert(s).expect("valid store");
+    }
+    let batch = rwq.flush_all(FlushReason::Release).remove(0);
+    let pkt = packetize(&batch, &cfg, GpuId::new(0)).remove(0);
+    let wire = pkt.encode();
+    c.bench_function("packet_encode", |b| b.iter(|| std::hint::black_box(&pkt).encode()));
+    c.bench_function("packet_decode", |b| {
+        b.iter(|| {
+            FinePackPacket::decode(
+                std::hint::black_box(&wire),
+                cfg.subheader,
+                GpuId::new(0),
+                GpuId::new(1),
+            )
+            .expect("valid wire")
+        })
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let cfg = GpuConfig::gv100();
+    let contiguous = AccessPattern::Contiguous { base: 0x1000 };
+    let scattered = AccessPattern::Scattered {
+        addrs: (0..32).map(|i| 0x10_0000 + i * 4096).collect(),
+    };
+    c.bench_function("coalesce_contiguous_warp", |b| {
+        b.iter(|| coalesce_warp_store(&cfg, std::hint::black_box(&contiguous), 4, u32::MAX, 7))
+    });
+    c.bench_function("coalesce_scattered_warp", |b| {
+        b.iter(|| coalesce_warp_store(&cfg, std::hint::black_box(&scattered), 8, u32::MAX, 7))
+    });
+}
+
+fn bench_egress_pipeline(c: &mut Criterion) {
+    let batch = stores(4096, 192, 8);
+    let mut g = c.benchmark_group("egress_pipeline");
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    g.bench_function("finepack_end_to_end", |b| {
+        b.iter_batched(
+            || {
+                (
+                    FinePackEgress::new(
+                        GpuId::new(0),
+                        FinePackConfig::paper(4),
+                        FramingModel::pcie_gen4(),
+                    ),
+                    batch.clone(),
+                )
+            },
+            |(mut fp, batch)| {
+                let mut packets = Vec::new();
+                for s in batch {
+                    packets.extend(fp.push(s, SimTime::ZERO).expect("valid store"));
+                }
+                packets.extend(fp.release());
+                packets
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rwq_insert,
+    bench_packetize,
+    bench_encode_decode,
+    bench_coalescer,
+    bench_egress_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §VI-B "Scaling beyond 4 GPUs": a 16-GPU node on projected PCIe 6.0.
+//! The paper reports FinePack outperforming raw P2P stores by 3x and bulk
+//! DMA by 1.9x at this scale, with 120KB of remote-write-queue SRAM per
+//! GPU (vs a 40MB L2).
+
+use bench::{paper_spec, x2};
+use finepack::FinePackConfig;
+use protocol::PcieGen;
+use sim_engine::Table;
+use system::{geomean_speedup, speedup_row, Paradigm, SystemConfig};
+use workloads::suite;
+
+fn main() {
+    let cfg = SystemConfig::paper(16).with_pcie_gen(PcieGen::Gen6);
+    let mut spec = paper_spec();
+    spec.num_gpus = 16;
+    spec.iterations = 1;
+
+    let fp_cfg = FinePackConfig::paper(16);
+    println!(
+        "remote write queue SRAM per GPU at 16 GPUs: {}KB (paper: 120KB)",
+        fp_cfg.data_sram_bytes() >> 10
+    );
+    println!();
+
+    let mut table = Table::new(
+        "16 GPUs on PCIe 6.0: speedup over 1 GPU",
+        &["app", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
+    );
+    let mut rows = Vec::new();
+    for app in suite() {
+        let row = speedup_row(app.as_ref(), &cfg, &spec, &Paradigm::FIG9);
+        table.row(&[
+            row.app.clone(),
+            x2(row.speedup(Paradigm::BulkDma).expect("dma")),
+            x2(row.speedup(Paradigm::P2pStores).expect("p2p")),
+            x2(row.speedup(Paradigm::FinePack).expect("fp")),
+            x2(row.speedup(Paradigm::InfiniteBw).expect("inf")),
+        ]);
+        rows.push(row);
+    }
+    let geo = |p| geomean_speedup(&rows, p).expect("non-empty");
+    table.row(&[
+        "geomean".to_string(),
+        x2(geo(Paradigm::BulkDma)),
+        x2(geo(Paradigm::P2pStores)),
+        x2(geo(Paradigm::FinePack)),
+        x2(geo(Paradigm::InfiniteBw)),
+    ]);
+    table.print();
+
+    let fp = geo(Paradigm::FinePack);
+    println!();
+    println!(
+        "headline: FinePack {} over raw P2P (paper 3x) and {} over bulk DMA (paper 1.9x) \
+         at 16 GPUs / PCIe 6.0",
+        x2(fp / geo(Paradigm::P2pStores)),
+        x2(fp / geo(Paradigm::BulkDma)),
+    );
+}

@@ -1,0 +1,71 @@
+//! Extension study of §VI-B "Scaling beyond 4 GPUs": a real 16-GPU node
+//! is built as a two-level switch tree, not one flat switch. Inter-leaf
+//! uplinks then carry all cross-leaf traffic, so all-to-all applications
+//! lose bandwidth exactly where FinePack's wire-efficiency matters most.
+
+use bench::{paper_spec, x2};
+use protocol::PcieGen;
+use sim_engine::Table;
+use system::{geomean_speedup, speedup_row, Paradigm, SystemConfig, Topology};
+use workloads::{suite, RunSpec};
+
+fn geomeans(cfg: &SystemConfig, spec: &RunSpec) -> (f64, f64, f64) {
+    let rows: Vec<_> = suite()
+        .iter()
+        .map(|a| {
+            speedup_row(
+                a.as_ref(),
+                cfg,
+                spec,
+                &[Paradigm::BulkDma, Paradigm::P2pStores, Paradigm::FinePack],
+            )
+        })
+        .collect();
+    (
+        geomean_speedup(&rows, Paradigm::BulkDma).expect("rows"),
+        geomean_speedup(&rows, Paradigm::P2pStores).expect("rows"),
+        geomean_speedup(&rows, Paradigm::FinePack).expect("rows"),
+    )
+}
+
+fn main() {
+    let mut spec = paper_spec();
+    spec.num_gpus = 16;
+    spec.iterations = 1;
+
+    let mut table = Table::new(
+        "16 GPUs, PCIe 6.0: switch topology sensitivity (geomean speedup)",
+        &["topology", "bulk-dma", "p2p-stores", "finepack", "fp/p2p"],
+    );
+    let mut fp_results = Vec::new();
+    for topology in [
+        Topology::SingleSwitch,
+        Topology::TwoLevel { gpus_per_leaf: 8 },
+        Topology::TwoLevel { gpus_per_leaf: 4 },
+    ] {
+        let cfg = SystemConfig::paper(16)
+            .with_pcie_gen(PcieGen::Gen6)
+            .with_topology(topology);
+        let (dma, p2p, fp) = geomeans(&cfg, &spec);
+        fp_results.push((topology, fp, p2p));
+        table.row(&[
+            topology.to_string(),
+            x2(dma),
+            x2(p2p),
+            x2(fp),
+            format!("{:.2}", fp / p2p),
+        ]);
+    }
+    table.print();
+
+    println!();
+    let (_, fp_flat, p2p_flat) = fp_results[0];
+    let (_, fp_tree, p2p_tree) = fp_results[2];
+    println!(
+        "reading: moving from an idealized flat switch to a 4-GPU-per-leaf tree \
+         costs raw P2P {:.0}% of its speedup but FinePack only {:.0}% — \
+         wire-efficiency matters more when uplinks are the bottleneck.",
+        100.0 * (1.0 - p2p_tree / p2p_flat),
+        100.0 * (1.0 - fp_tree / fp_flat),
+    );
+}

@@ -1,0 +1,45 @@
+//! Calibration dashboard: the Fig 9 / 10 / 11 headline numbers on one
+//! screen, used while tuning workload knobs against the paper's targets.
+//!
+//! Run with: `cargo run --release -p bench --bin calibrate`
+
+use sim_engine::Table;
+use system::{geomean_speedup, speedup_row, Paradigm, PreparedWorkload, SystemConfig};
+use workloads::{suite, RunSpec};
+
+fn main() {
+    let cfg = SystemConfig::paper(4);
+    let spec = RunSpec::paper(4);
+    let mut table = Table::new(
+        "calibration: speedups and wire ratios at 4 GPUs / PCIe 4.0",
+        &["app", "dma", "p2p", "fp", "inf", "stores/pkt", "p2p/fp wire", "dma/fp wire"],
+    );
+    let mut rows = Vec::new();
+    for app in suite() {
+        let row = speedup_row(app.as_ref(), &cfg, &spec, &Paradigm::FIG9);
+        let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
+        let fp = prep.run(&cfg, Paradigm::FinePack);
+        let p2p = prep.run(&cfg, Paradigm::P2pStores);
+        let dma = prep.run(&cfg, Paradigm::BulkDma);
+        let s = |p| format!("{:.2}", row.speedup(p).expect("measured"));
+        table.row(&[
+            row.app.clone(),
+            s(Paradigm::BulkDma),
+            s(Paradigm::P2pStores),
+            s(Paradigm::FinePack),
+            s(Paradigm::InfiniteBw),
+            format!("{:.1}", fp.mean_stores_per_packet().unwrap_or(0.0)),
+            format!("{:.2}", p2p.traffic.total() as f64 / fp.traffic.total() as f64),
+            format!("{:.2}", dma.traffic.total() as f64 / fp.traffic.total() as f64),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    println!();
+    for p in Paradigm::FIG9 {
+        println!(
+            "geomean {p}: {:.2}x",
+            geomean_speedup(&rows, p).expect("non-empty")
+        );
+    }
+}

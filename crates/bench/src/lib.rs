@@ -1,0 +1,39 @@
+//! Shared setup for the benchmark harness: the paper's evaluated system
+//! and run spec, used by every `benches/` target.
+
+#![warn(missing_docs)]
+
+use system::SystemConfig;
+use workloads::RunSpec;
+
+/// The paper's system: 4 GV100s on switched PCIe 4.0 (Table III).
+pub fn paper_system() -> SystemConfig {
+    SystemConfig::paper(4)
+}
+
+/// The evaluation run spec matching [`paper_system`].
+pub fn paper_spec() -> RunSpec {
+    RunSpec::paper(4)
+}
+
+/// Formats a fraction as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a speedup.
+pub fn x2(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_is_consistent() {
+        assert_eq!(paper_system().num_gpus, paper_spec().num_gpus);
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(x2(1.5), "1.50x");
+    }
+}

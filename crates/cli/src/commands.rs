@@ -1,0 +1,450 @@
+//! Subcommand implementations.
+
+use std::fmt::Write as _;
+
+use finepack::{AreaModel, FinePackConfig, SubheaderFormat};
+use gpu_model::{profile_run, read_trace, write_trace, AddressMap, Gpu, GpuId};
+use protocol::{fig2_sizes, FramingModel, PcieGen};
+use sim_engine::Table;
+use system::{
+    single_gpu_time, speedup_row, subheader_sweep, Paradigm, PreparedWorkload, SystemConfig,
+};
+use workloads::{suite, RunSpec, Workload};
+
+use crate::args::{ArgError, Args};
+
+/// The `help` text.
+pub(crate) fn help() -> String {
+    "\
+finepack-sim — FinePack (HPCA 2023) reproduction driver
+
+USAGE: finepack-sim <command> [--option value]...
+
+COMMANDS:
+  run              simulate one app across paradigms
+                   --app <name> [--gpus N] [--pcie 4|5|6]
+                   [--iterations K] [--scale-down S] [--windows W]
+  suite            Fig 9 table for the whole application suite
+                   [--gpus N] [--pcie 4|5|6] [--scale-down S]
+  goodput          goodput-vs-size curve (Fig 2)
+                   [--framing pcie|cxl|nvlink]
+  sweep-subheader  Table II / Fig 12 sub-header sweep
+                   [--app <name>] [--gpus N] [--scale-down S]
+  area             FinePack SRAM footprint (§VI-B) [--gpus N]
+  record           synthesize traces to disk
+                   --app <name> --out <dir> [--gpus N] [--iterations K]
+                   [--scale-down S]
+  replay           replay a recorded trace on one GPU
+                   --trace <file> [--gpus N]
+  inspect          summarize a recorded trace --trace <file>
+  analyze          profile a recorded trace's remote-store stream
+                   --trace <file> [--gpus N] [--window-bytes B]
+  help             this text
+
+APPS: jacobi pagerank sssp als ct eqwp diffusion hit
+PARADIGMS: bulk-dma p2p-stores finepack write-combining gps infinite-bw
+"
+    .to_string()
+}
+
+fn find_app(name: &str) -> Result<Box<dyn Workload>, ArgError> {
+    suite()
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or(ArgError::Invalid {
+            key: "app".into(),
+            value: format!("unknown app `{name}`"),
+            expected: "one of the suite names (see `help`)",
+        })
+}
+
+fn spec_from(args: &Args) -> Result<RunSpec, ArgError> {
+    let mut spec = RunSpec::paper(args.get_parsed("gpus", 4u8, "integer 1-64")?);
+    spec.iterations = args.get_parsed("iterations", spec.iterations, "positive integer")?;
+    spec.scale_down = args.get_parsed("scale-down", spec.scale_down, "positive integer")?;
+    spec.seed = args.get_parsed("seed", spec.seed, "integer")?;
+    spec.validate();
+    Ok(spec)
+}
+
+fn system_from(args: &Args, spec: &RunSpec) -> Result<SystemConfig, ArgError> {
+    let gen = match args.get_parsed("pcie", 4u8, "4, 5, or 6")? {
+        4 => PcieGen::Gen4,
+        5 => PcieGen::Gen5,
+        6 => PcieGen::Gen6,
+        _ => {
+            return Err(ArgError::Invalid {
+                key: "pcie".into(),
+                value: args.get_or("pcie", "?").to_string(),
+                expected: "4, 5, or 6",
+            })
+        }
+    };
+    let windows = args.get_parsed("windows", 1u32, "1-64")?;
+    let fp = FinePackConfig::paper(u32::from(spec.num_gpus)).with_windows(windows);
+    Ok(SystemConfig::paper(spec.num_gpus)
+        .with_pcie_gen(gen)
+        .with_finepack(fp))
+}
+
+/// `goodput [--framing pcie|cxl|nvlink]`
+pub(crate) fn goodput(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["framing"])?;
+    let (name, fm) = match args.get_or("framing", "pcie") {
+        "pcie" => ("PCIe 4.0", FramingModel::pcie_gen4()),
+        "cxl" => ("CXL.io", FramingModel::cxl()),
+        "nvlink" => ("NVLink-flit", FramingModel::nvlink_flit()),
+        other => {
+            return Err(ArgError::Invalid {
+                key: "framing".into(),
+                value: other.to_string(),
+                expected: "pcie, cxl, or nvlink",
+            })
+        }
+    };
+    let mut t = Table::new(
+        format!("{name} goodput vs transfer size"),
+        &["size (B)", "wire (B)", "goodput"],
+    );
+    for size in fig2_sizes() {
+        let wire = fm.bulk_wire_bytes(u64::from(size));
+        t.row(&[
+            size.to_string(),
+            wire.to_string(),
+            format!("{:.1}%", 100.0 * f64::from(size) / wire as f64),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// `run --app <name> ...`
+pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[
+        "app",
+        "gpus",
+        "pcie",
+        "iterations",
+        "scale-down",
+        "seed",
+        "windows",
+    ])?;
+    let app = find_app(args.get_or("app", "pagerank"))?;
+    let spec = spec_from(args)?;
+    let cfg = system_from(args, &spec)?;
+    let t1 = single_gpu_time(app.as_ref(), &cfg, &spec);
+    let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
+    let mut t = Table::new(
+        format!(
+            "{} on {} GPUs, {} ({} pattern)",
+            app.name(),
+            spec.num_gpus,
+            cfg.pcie_gen,
+            app.pattern()
+        ),
+        &["paradigm", "speedup", "wire bytes", "stores/packet"],
+    );
+    for p in [
+        Paradigm::BulkDma,
+        Paradigm::P2pStores,
+        Paradigm::WriteCombining,
+        Paradigm::Gps,
+        Paradigm::FinePack,
+        Paradigm::InfiniteBw,
+    ] {
+        let report = prep.run(&cfg, p);
+        t.row(&[
+            p.to_string(),
+            format!("{:.2}x", t1.as_secs_f64() / report.total_time.as_secs_f64()),
+            report.traffic.total().to_string(),
+            report
+                .mean_stores_per_packet()
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// `suite ...`
+pub(crate) fn suite_table(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["gpus", "pcie", "iterations", "scale-down", "seed"])?;
+    let spec = spec_from(args)?;
+    let cfg = system_from(args, &spec)?;
+    let mut t = Table::new(
+        format!("suite speedups on {} GPUs, {}", spec.num_gpus, cfg.pcie_gen),
+        &["app", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
+    );
+    for app in suite() {
+        let row = speedup_row(app.as_ref(), &cfg, &spec, &Paradigm::FIG9);
+        let cell = |p| format!("{:.2}x", row.speedup(p).expect("measured"));
+        t.row(&[
+            row.app.clone(),
+            cell(Paradigm::BulkDma),
+            cell(Paradigm::P2pStores),
+            cell(Paradigm::FinePack),
+            cell(Paradigm::InfiniteBw),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// `sweep-subheader ...`
+pub(crate) fn sweep_subheader(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["app", "gpus", "scale-down", "iterations", "seed"])?;
+    let spec = spec_from(args)?;
+    let cfg = SystemConfig::paper(spec.num_gpus);
+    let apps: Vec<Box<dyn Workload>> = match args.get("app") {
+        Some(name) => vec![find_app(name)?],
+        None => suite(),
+    };
+    let sweep = subheader_sweep(&apps, &cfg, &spec);
+    let mut t = Table::new(
+        "FinePack sub-header sweep (geomean speedup)",
+        &["subheader", "window", "speedup"],
+    );
+    for (bytes, speedup) in sweep {
+        let f = SubheaderFormat::new(bytes).expect("valid");
+        t.row(&[
+            format!("{bytes}B"),
+            format!("{}B", f.addressable_range()),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// `area [--gpus N]`
+pub(crate) fn area(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["gpus"])?;
+    let gpus: u32 = args.get_parsed("gpus", 4u32, "integer >= 2")?;
+    let cfg = FinePackConfig::paper(gpus);
+    let model = AreaModel::new(cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "FinePack SRAM footprint at {gpus} GPUs:");
+    let _ = writeln!(
+        out,
+        "  remote write queue: {} entries, {}KB data ({} partitions)",
+        cfg.total_entries(),
+        cfg.data_sram_bytes() >> 10,
+        cfg.num_partitions
+    );
+    let _ = writeln!(
+        out,
+        "  total incl. tags/masks/ingress buffer: {}KB",
+        model.total_bytes() >> 10
+    );
+    let _ = writeln!(
+        out,
+        "  fraction of GV100 cache: {:.3}%  |  of GA100 cache: {:.3}%",
+        100.0 * model.fraction_of_cache(AreaModel::GV100_CACHE_BYTES),
+        100.0 * model.fraction_of_cache(AreaModel::GA100_CACHE_BYTES)
+    );
+    Ok(out)
+}
+
+/// `record --app <name> --out <dir> ...`
+pub(crate) fn record(args: &Args) -> Result<String, String> {
+    args.expect_only(&["app", "out", "gpus", "iterations", "scale-down", "seed"])
+        .map_err(|e| e.to_string())?;
+    let app = find_app(args.get_or("app", "pagerank")).map_err(|e| e.to_string())?;
+    let out_dir = args.get("out").ok_or("record needs --out <dir>")?;
+    let spec = spec_from(args).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    let mut report = String::new();
+    for iter in 0..spec.iterations {
+        for g in 0..spec.num_gpus {
+            let trace = app.trace(&spec, iter, GpuId::new(g));
+            let bytes = write_trace(&trace);
+            let path = format!("{out_dir}/{}.g{g}.i{iter}.fpkt", app.name());
+            std::fs::write(&path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+            let _ = writeln!(
+                report,
+                "{path}: {} ops, {} stores, {} bytes",
+                trace.len(),
+                trace.store_count(),
+                bytes.len()
+            );
+        }
+    }
+    Ok(report)
+}
+
+fn load_trace(args: &Args) -> Result<gpu_model::KernelTrace, String> {
+    let path = args.get("trace").ok_or("needs --trace <file>")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    read_trace(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `replay --trace <file> [--gpus N]`
+pub(crate) fn replay(args: &Args) -> Result<String, String> {
+    args.expect_only(&["trace", "gpus"]).map_err(|e| e.to_string())?;
+    let trace = load_trace(args)?;
+    let gpus: u8 = args
+        .get_parsed("gpus", 4u8, "integer")
+        .map_err(|e| e.to_string())?;
+    let map = AddressMap::new(gpus, 16 << 30);
+    let gpu = Gpu::new(gpu_model::GpuConfig::gv100(), GpuId::new(0), map);
+    let run = gpu.execute_kernel(&trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "replayed `{}` on GPU0 of {gpus}:", run.name);
+    let _ = writeln!(out, "  kernel time: {}", run.kernel_time);
+    let _ = writeln!(
+        out,
+        "  remote stores: {} ({} bytes, mean {:.1}B)",
+        run.stats.remote_stores,
+        run.stats.remote_bytes,
+        run.stats.mean_remote_size().unwrap_or(0.0)
+    );
+    let _ = writeln!(
+        out,
+        "  local stores: {}  loads: {}  atomics: {}  fences: {}",
+        run.stats.local_stores,
+        run.stats.remote_loads,
+        run.stats.remote_atomics,
+        run.fences.len()
+    );
+    Ok(out)
+}
+
+/// `analyze --trace <file> [--gpus N] [--window-bytes B]`
+pub(crate) fn analyze(args: &Args) -> Result<String, String> {
+    args.expect_only(&["trace", "gpus", "window-bytes"])
+        .map_err(|e| e.to_string())?;
+    let trace = load_trace(args)?;
+    let gpus: u8 = args
+        .get_parsed("gpus", 4u8, "integer")
+        .map_err(|e| e.to_string())?;
+    let window: u64 = args
+        .get_parsed("window-bytes", 1u64 << 30, "power-of-two bytes")
+        .map_err(|e| e.to_string())?;
+    if !window.is_power_of_two() {
+        return Err("--window-bytes must be a power of two".into());
+    }
+    let map = AddressMap::new(gpus, 16 << 30);
+    let gpu = Gpu::new(gpu_model::GpuConfig::gv100(), GpuId::new(0), map);
+    let run = gpu.execute_kernel(&trace);
+    let profile = profile_run(&run, window);
+    let mut out = String::new();
+    let _ = writeln!(out, "profile of `{}` ({}B FinePack windows):", trace.name, window);
+    let _ = writeln!(
+        out,
+        "  remote payload: {} bytes total, {} unique (rewrite factor {:.2})",
+        profile.total_bytes,
+        profile.unique_bytes,
+        profile.rewrite_factor()
+    );
+    let _ = writeln!(
+        out,
+        "  store sizes: mean {:.1}B, p50 {}B, p90 {}B, {:.1}% <= 32B",
+        profile.sizes.mean().unwrap_or(0.0),
+        profile.sizes.quantile(0.5).unwrap_or(0),
+        profile.sizes.quantile(0.9).unwrap_or(0),
+        100.0 * profile.fine_grained_fraction()
+    );
+    let _ = writeln!(
+        out,
+        "  spatial locality: {:.1} consecutive stores per window run          (upper bound on FinePack packing from locality alone)",
+        profile.window_run_length
+    );
+    let mut dsts: Vec<(usize, u64)> = profile.per_destination.iter().map(|(d, c)| (*d, *c)).collect();
+    dsts.sort_unstable();
+    for (d, count) in dsts {
+        let _ = writeln!(out, "  -> GPU{d}: {count} stores");
+    }
+    Ok(out)
+}
+
+/// `inspect --trace <file>`
+pub(crate) fn inspect(args: &Args) -> Result<String, String> {
+    args.expect_only(&["trace"]).map_err(|e| e.to_string())?;
+    let trace = load_trace(args)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "trace `{}`:", trace.name);
+    let _ = writeln!(out, "  ops: {}", trace.len());
+    let _ = writeln!(out, "  compute cycles: {}", trace.total_compute_cycles());
+    let _ = writeln!(out, "  warp stores: {}", trace.store_count());
+    let _ = writeln!(out, "  remote loads: {}", trace.load_count());
+    let _ = writeln!(out, "  remote atomics: {}", trace.atomic_count());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_replay_inspect_roundtrip() {
+        let dir = std::env::temp_dir().join("finepack-sim-test");
+        let dir_s = dir.to_str().expect("utf-8 temp dir");
+        let rec = record(
+            &Args::parse([
+                "record",
+                "--app",
+                "jacobi",
+                "--out",
+                dir_s,
+                "--gpus",
+                "2",
+                "--iterations",
+                "1",
+                "--scale-down",
+                "16",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(rec.contains("jacobi.g0.i0.fpkt"));
+        let path = format!("{dir_s}/jacobi.g0.i0.fpkt");
+        let rep = replay(&Args::parse(["replay", "--trace", &path, "--gpus", "2"]).unwrap())
+            .unwrap();
+        assert!(rep.contains("remote stores"));
+        let ins = inspect(&Args::parse(["inspect", "--trace", &path]).unwrap()).unwrap();
+        assert!(ins.contains("warp stores"));
+        let ana = analyze(&Args::parse(["analyze", "--trace", &path, "--gpus", "2"]).unwrap())
+            .unwrap();
+        assert!(ana.contains("rewrite factor"));
+        assert!(ana.contains("-> GPU1"));
+        let bad = analyze(
+            &Args::parse(["analyze", "--trace", &path, "--window-bytes", "1000"]).unwrap(),
+        );
+        assert!(bad.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_missing_file_errors() {
+        let e = replay(&Args::parse(["replay", "--trace", "/nonexistent.fpkt"]).unwrap())
+            .unwrap_err();
+        assert!(e.contains("nonexistent"));
+    }
+
+    #[test]
+    fn suite_runs_tiny() {
+        let out = suite_table(
+            &Args::parse(["suite", "--gpus", "2", "--scale-down", "16", "--iterations", "1"])
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("jacobi") && out.contains("hit"));
+    }
+
+    #[test]
+    fn sweep_runs_tiny_single_app() {
+        let out = sweep_subheader(
+            &Args::parse([
+                "sweep-subheader",
+                "--app",
+                "pagerank",
+                "--gpus",
+                "2",
+                "--scale-down",
+                "16",
+                "--iterations",
+                "1",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("5B"));
+    }
+}

@@ -1,0 +1,119 @@
+//! # finepack-sim
+//!
+//! The command-line driver for the FinePack reproduction: run any
+//! workload under any communication paradigm, sweep design parameters,
+//! record and replay traces, and inspect wire formats — without writing
+//! Rust.
+//!
+//! ```text
+//! finepack-sim run --app pagerank --gpus 4 --pcie 4
+//! finepack-sim suite
+//! finepack-sim goodput --framing nvlink
+//! finepack-sim sweep-subheader --app sssp
+//! finepack-sim record --app jacobi --out /tmp/traces
+//! finepack-sim replay --trace /tmp/traces/jacobi.g0.i0.fpkt
+//! finepack-sim area --gpus 16
+//! ```
+//!
+//! The library surface exists so the dispatcher is unit-testable; the
+//! binary (`src/main.rs`) is a thin wrapper around [`run`].
+
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+
+/// Executes a command line (without the program name) and returns the
+/// report text to print.
+///
+/// # Errors
+///
+/// Returns a human-readable error string for unknown commands, bad
+/// options, or I/O failures.
+///
+/// # Examples
+///
+/// ```
+/// let out = cli::run(["area", "--gpus", "4"]).expect("area runs");
+/// assert!(out.contains("remote write queue"));
+/// ```
+pub fn run<I, S>(argv: I) -> Result<String, String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = Args::parse(argv).map_err(|e| e.to_string())?;
+    match args.subcommand() {
+        None | Some("help") => Ok(commands::help()),
+        Some("goodput") => commands::goodput(&args).map_err(|e| e.to_string()),
+        Some("run") => commands::run_app(&args).map_err(|e| e.to_string()),
+        Some("suite") => commands::suite_table(&args).map_err(|e| e.to_string()),
+        Some("sweep-subheader") => commands::sweep_subheader(&args).map_err(|e| e.to_string()),
+        Some("area") => commands::area(&args).map_err(|e| e.to_string()),
+        Some("record") => commands::record(&args),
+        Some("replay") => commands::replay(&args),
+        Some("inspect") => commands::inspect(&args),
+        Some("analyze") => commands::analyze(&args),
+        Some(other) => Err(format!("unknown command `{other}` (try `help`)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_lists_commands() {
+        let h = run(["help"]).unwrap();
+        for cmd in ["run", "suite", "goodput", "record", "replay", "area", "analyze"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+        assert_eq!(run(Vec::<String>::new()).unwrap(), h);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn goodput_runs() {
+        let out = run(["goodput"]).unwrap();
+        assert!(out.contains("128"));
+        let nv = run(["goodput", "--framing", "nvlink"]).unwrap();
+        assert!(nv.contains("NVLink") || nv.contains("nvlink"));
+        assert!(run(["goodput", "--framing", "token-ring"]).is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_app() {
+        let e = run(["run", "--app", "doom"]).unwrap_err();
+        assert!(e.contains("unknown app"));
+    }
+
+    #[test]
+    fn run_executes_tiny_workload() {
+        let out = run([
+            "run",
+            "--app",
+            "jacobi",
+            "--gpus",
+            "2",
+            "--scale-down",
+            "16",
+            "--iterations",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("finepack"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn area_reports_sram() {
+        let out = run(["area", "--gpus", "16"]).unwrap();
+        assert!(out.contains("120KB"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `finepack-sim`: thin binary wrapper over the [`cli`] library.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(argv) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

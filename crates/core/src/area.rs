@@ -1,0 +1,127 @@
+//! SRAM area accounting for the FinePack structures (§VI-B "FinePack
+//! Overheads"): the remote write queue is a rounding error next to a
+//! modern GPU's caches — less than 0.05% of GA100's cache area.
+
+use crate::config::FinePackConfig;
+
+/// Per-entry address-tag bits: a 48-bit physical address at 128B line
+/// granularity.
+const TAG_BITS_PER_ENTRY: u64 = 48 - 7;
+
+/// Estimates the SRAM footprint of FinePack's on-GPU structures.
+///
+/// The model counts raw storage bits — data, byte-enable masks, address
+/// tags, and per-partition registers — for both the egress remote write
+/// queue and the ingress de-packetizer buffer. Comparing bit counts is
+/// how the paper frames the overhead ("less than 0.05% of the area of
+/// existing caches"), since SRAM area is dominated by bit cells.
+///
+/// # Examples
+///
+/// ```
+/// use finepack::{AreaModel, FinePackConfig};
+///
+/// let area = AreaModel::new(FinePackConfig::paper(4));
+/// // §VI-B: negligible relative to GA100's caches (the RWQ alone is
+/// // <0.05%; with the ingress buffer it stays well under 0.1%).
+/// assert!(area.fraction_of_cache(AreaModel::GA100_CACHE_BYTES) < 0.001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaModel {
+    config: FinePackConfig,
+}
+
+impl AreaModel {
+    /// Total cache capacity of an NVIDIA GA100-class GPU: 40 MB L2 plus
+    /// 108 SMs × 192 KB combined L1.
+    pub const GA100_CACHE_BYTES: u64 = (40 << 20) + 108 * (192 << 10);
+
+    /// Total cache capacity of the GV100 used in the evaluation: 6 MB L2
+    /// plus 80 SMs × 128 KB combined L1 ("the total cache size (L1 + L2)
+    /// is 16MB", §IV-B).
+    pub const GV100_CACHE_BYTES: u64 = (6 << 20) + 80 * (128 << 10);
+
+    /// Creates an area model for `config`.
+    pub fn new(config: FinePackConfig) -> Self {
+        AreaModel { config }
+    }
+
+    /// Remote-write-queue storage bits: per entry, the 128B data array,
+    /// a byte-enable bit per byte, and an address tag; per partition,
+    /// the base-address and available-payload-length registers.
+    pub fn rwq_bits(&self) -> u64 {
+        let c = &self.config;
+        let per_entry =
+            u64::from(c.entry_bytes) * 8 + u64::from(c.entry_bytes) + TAG_BITS_PER_ENTRY;
+        let per_partition = 64 + 16; // base address + payload-length registers
+        u64::from(c.total_entries()) * per_entry + u64::from(c.num_partitions) * per_partition
+    }
+
+    /// Ingress de-packetizer buffer bits (64 × 128B, §IV-B).
+    pub fn depacketizer_bits(&self) -> u64 {
+        64 * u64::from(self.config.entry_bytes) * 8
+    }
+
+    /// Total FinePack storage bits per GPU.
+    pub fn total_bits(&self) -> u64 {
+        self.rwq_bits() + self.depacketizer_bits()
+    }
+
+    /// Total FinePack storage expressed in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// FinePack storage as a fraction of `cache_bytes` of on-GPU cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_bytes` is zero.
+    pub fn fraction_of_cache(&self, cache_bytes: u64) -> f64 {
+        assert!(cache_bytes > 0, "cache capacity must be positive");
+        self.total_bits() as f64 / (cache_bytes as f64 * 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ga100_claim_holds() {
+        // §VI-B: "The area requirement for FinePack remote write queue is
+        // less than 0.05% of the area of existing caches in NVIDIA's
+        // recent GA100 GPU."
+        let area = AreaModel::new(FinePackConfig::paper(4));
+        let rwq_only = area.rwq_bits() as f64 / (AreaModel::GA100_CACHE_BYTES as f64 * 8.0);
+        assert!(rwq_only < 0.0005, "rwq fraction {rwq_only}");
+    }
+
+    #[test]
+    fn gv100_claim_holds() {
+        // §IV-B: 48KB-class storage is ~0.3% of GV100's 16MB of cache.
+        let area = AreaModel::new(FinePackConfig::paper(4));
+        let frac = area.fraction_of_cache(AreaModel::GV100_CACHE_BYTES);
+        assert!(frac < 0.004, "fraction {frac}");
+        // GV100 total cache is ~16MB as the paper states.
+        assert_eq!(AreaModel::GV100_CACHE_BYTES >> 20, 16);
+    }
+
+    #[test]
+    fn sixteen_gpu_queue_is_still_small() {
+        // §VI-B: 120KB of partitions on a 16-GPU system vs a 40MB L2.
+        let area = AreaModel::new(FinePackConfig::paper(16));
+        assert_eq!(FinePackConfig::paper(16).data_sram_bytes() >> 10, 120);
+        assert!(area.fraction_of_cache(40 << 20) < 0.005);
+    }
+
+    #[test]
+    fn bits_decompose() {
+        let area = AreaModel::new(FinePackConfig::paper(4));
+        assert_eq!(
+            area.total_bits(),
+            area.rwq_bits() + area.depacketizer_bits()
+        );
+        assert!(area.total_bytes() * 8 >= area.total_bits());
+    }
+}

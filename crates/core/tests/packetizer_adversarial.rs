@@ -1,0 +1,104 @@
+//! Adversarial packetizer inputs: arbitrary byte-mask patterns (far more
+//! fragmented than the L1 coalescer produces) must still packetize into
+//! format-legal packets that decode back to exactly the masked bytes.
+
+use finepack::{
+    packetize, FinePackConfig, FinePackPacket, FlushReason, FlushedBatch, FlushedEntry,
+    SubheaderFormat,
+};
+use gpu_model::GpuId;
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = (u64, u128)> {
+    // Line index and a fully arbitrary 128-bit byte mask.
+    (0u64..512, any::<u128>())
+}
+
+fn build_batch(entries: Vec<(u64, u128)>, window_base: u64) -> FlushedBatch {
+    let mut unique: std::collections::BTreeMap<u64, u128> = std::collections::BTreeMap::new();
+    for (line, mask) in entries {
+        *unique.entry(window_base + line * 128).or_insert(0) |= mask;
+    }
+    FlushedBatch {
+        dst: GpuId::new(1),
+        reason: FlushReason::Release,
+        window_base,
+        entries: unique
+            .into_iter()
+            .filter(|(_, mask)| *mask != 0)
+            .map(|(line_addr, mask)| FlushedEntry {
+                line_addr,
+                mask,
+                data: (0..128u64)
+                    .map(|i| ((line_addr + i) & 0xFF) as u8)
+                    .collect(),
+            })
+            .collect(),
+        stores_merged: 1,
+        overwritten_bytes: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_masks_roundtrip(
+        raw in prop::collection::vec(entry_strategy(), 1..32),
+        sub in 2u32..=6,
+    ) {
+        let cfg = FinePackConfig::paper(4)
+            .with_subheader(SubheaderFormat::new(sub).expect("2..=6"));
+        let window_base = 0x4000_0000u64;
+        let batch = build_batch(raw, window_base);
+        // Expected masked bytes.
+        let mut expected: Vec<(u64, u8)> = Vec::new();
+        for e in &batch.entries {
+            for i in 0..128u32 {
+                if e.mask >> i & 1 == 1 {
+                    expected.push((e.line_addr + u64::from(i), e.data[i as usize]));
+                }
+            }
+        }
+        let packets = packetize(&batch, &cfg, GpuId::new(0));
+        let mut got: Vec<(u64, u8)> = Vec::new();
+        for p in &packets {
+            prop_assert!(p.payload_bytes() <= cfg.max_payload);
+            let wire = p.encode();
+            let back = FinePackPacket::decode(&wire, cfg.subheader, p.src, p.dst)
+                .expect("own wire decodes");
+            prop_assert_eq!(&back, p);
+            for s in back.to_stores() {
+                for (i, b) in s.data.iter().enumerate() {
+                    got.push((s.addr + i as u64, *b));
+                }
+            }
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Worst-case fragmentation: alternating bytes (64 runs of 1 byte per
+    /// line) still fits the format, with one sub-header per run.
+    #[test]
+    fn alternating_mask_packs_one_subheader_per_run(lines in 1u64..8) {
+        let cfg = FinePackConfig::paper(4);
+        let mask = {
+            let mut m = 0u128;
+            for i in (0..128).step_by(2) {
+                m |= 1 << i;
+            }
+            m
+        };
+        let batch = build_batch((0..lines).map(|l| (l, mask)).collect(), 0x4000_0000);
+        let packets = packetize(&batch, &cfg, GpuId::new(0));
+        let subpackets: usize = packets.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(subpackets as u64, lines * 64);
+        for p in &packets {
+            for s in &p.subpackets {
+                prop_assert_eq!(s.data.len(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Physical addressing across a multi-GPU node.
+//!
+//! Single-node multi-GPU systems map every GPU's memory into one shared
+//! physical address space (§II-A). Each GPU owns a fixed-size contiguous
+//! window; the owner of an address determines whether a store is local or
+//! must egress onto the interconnect.
+
+use std::fmt;
+
+/// Identifies one GPU in the node.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_model::GpuId;
+///
+/// let g = GpuId::new(2);
+/// assert_eq!(g.index(), 2);
+/// assert_eq!(g.to_string(), "GPU2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId(u8);
+
+impl GpuId {
+    /// Creates an id from a zero-based index.
+    pub const fn new(index: u8) -> Self {
+        GpuId(index)
+    }
+
+    /// The zero-based index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPU{}", self.0)
+    }
+}
+
+/// The node-wide physical address map: `num_gpus` windows of
+/// `bytes_per_gpu` each, GPU *i* owning window *i*.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_model::{AddressMap, GpuId};
+///
+/// let map = AddressMap::new(4, 16 << 30);
+/// let a = map.local_base(GpuId::new(1)) + 0x100;
+/// assert_eq!(map.owner(a), GpuId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    num_gpus: u8,
+    bytes_per_gpu: u64,
+}
+
+impl AddressMap {
+    /// Creates a map for `num_gpus` GPUs with `bytes_per_gpu` memory each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero or `bytes_per_gpu` is zero.
+    pub fn new(num_gpus: u8, bytes_per_gpu: u64) -> Self {
+        assert!(num_gpus > 0, "need at least one GPU");
+        assert!(bytes_per_gpu > 0, "GPU memory must be non-empty");
+        AddressMap {
+            num_gpus,
+            bytes_per_gpu,
+        }
+    }
+
+    /// Number of GPUs in the node.
+    pub fn num_gpus(&self) -> u8 {
+        self.num_gpus
+    }
+
+    /// Bytes of physical memory per GPU.
+    pub fn bytes_per_gpu(&self) -> u64 {
+        self.bytes_per_gpu
+    }
+
+    /// The base physical address of `gpu`'s local window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is outside the node.
+    pub fn local_base(&self, gpu: GpuId) -> u64 {
+        assert!(
+            (gpu.index() as u8) < self.num_gpus,
+            "{gpu} outside node of {} GPUs",
+            self.num_gpus
+        );
+        gpu.index() as u64 * self.bytes_per_gpu
+    }
+
+    /// The GPU owning physical address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond the last GPU's window.
+    pub fn owner(&self, addr: u64) -> GpuId {
+        let idx = addr / self.bytes_per_gpu;
+        assert!(
+            idx < u64::from(self.num_gpus),
+            "address {addr:#x} outside the node"
+        );
+        GpuId::new(idx as u8)
+    }
+
+    /// Whether `addr` is local to `gpu`.
+    pub fn is_local(&self, addr: u64, gpu: GpuId) -> bool {
+        self.owner(addr) == gpu
+    }
+
+    /// Offset of `addr` within its owner's window.
+    pub fn offset_in_window(&self, addr: u64) -> u64 {
+        addr % self.bytes_per_gpu
+    }
+
+    /// Iterates all GPU ids in the node.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> {
+        (0..self.num_gpus).map(GpuId::new)
+    }
+
+    /// All peers of `gpu` (every other GPU in the node).
+    pub fn peers(&self, gpu: GpuId) -> impl Iterator<Item = GpuId> + '_ {
+        let me = gpu;
+        self.gpus().filter(move |g| *g != me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_boundaries() {
+        let map = AddressMap::new(4, 1024);
+        assert_eq!(map.owner(0), GpuId::new(0));
+        assert_eq!(map.owner(1023), GpuId::new(0));
+        assert_eq!(map.owner(1024), GpuId::new(1));
+        assert_eq!(map.owner(4095), GpuId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the node")]
+    fn out_of_range_address_panics() {
+        let map = AddressMap::new(2, 1024);
+        let _ = map.owner(2048);
+    }
+
+    #[test]
+    fn local_base_and_offset() {
+        let map = AddressMap::new(4, 4096);
+        assert_eq!(map.local_base(GpuId::new(3)), 3 * 4096);
+        assert_eq!(map.offset_in_window(3 * 4096 + 17), 17);
+        assert!(map.is_local(3 * 4096, GpuId::new(3)));
+        assert!(!map.is_local(3 * 4096, GpuId::new(0)));
+    }
+
+    #[test]
+    fn peers_excludes_self() {
+        let map = AddressMap::new(4, 1);
+        let peers: Vec<GpuId> = map.peers(GpuId::new(1)).collect();
+        assert_eq!(peers, vec![GpuId::new(0), GpuId::new(2), GpuId::new(3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gpus_panics() {
+        let _ = AddressMap::new(0, 1024);
+    }
+}

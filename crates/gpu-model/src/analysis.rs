@@ -1,0 +1,198 @@
+//! Trace analysis: the profile of a workload's remote-store stream that
+//! determines how well FinePack will do — store sizes (Fig 4), temporal
+//! redundancy (Fig 10's wasted bytes), and spatial locality relative to
+//! an address window (Fig 11's stores per packet).
+
+use std::collections::{HashMap, HashSet};
+
+use sim_engine::Histogram;
+
+use crate::gpu::KernelRun;
+
+/// The communication profile extracted from one kernel replay.
+#[derive(Debug, Clone)]
+pub struct StoreProfile {
+    /// Store-size distribution as it leaves L1.
+    pub sizes: Histogram,
+    /// Total remote payload bytes (counting rewrites).
+    pub total_bytes: u64,
+    /// Unique bytes (last-writer-wins footprint).
+    pub unique_bytes: u64,
+    /// Stores per destination GPU index.
+    pub per_destination: HashMap<usize, u64>,
+    /// Mean consecutive same-window run length, for the given window
+    /// size: the upper bound on FinePack's stores-per-packet from
+    /// spatial locality alone.
+    pub window_run_length: f64,
+    /// The window size (bytes) used for `window_run_length`.
+    pub window_bytes: u64,
+}
+
+impl StoreProfile {
+    /// Temporal redundancy: total bytes divided by unique bytes (1.0
+    /// means every byte written once).
+    pub fn rewrite_factor(&self) -> f64 {
+        if self.unique_bytes == 0 {
+            1.0
+        } else {
+            self.total_bytes as f64 / self.unique_bytes as f64
+        }
+    }
+
+    /// Fraction of remote stores at or below 32 bytes (the paper's
+    /// headline "fine-grained" threshold).
+    pub fn fine_grained_fraction(&self) -> f64 {
+        self.sizes.fraction_at_most(32).unwrap_or(0.0)
+    }
+}
+
+/// Profiles the remote-store stream of `run` against FinePack windows of
+/// `window_bytes` (1 GB for the paper's 5-byte sub-headers).
+///
+/// # Panics
+///
+/// Panics if `window_bytes` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_model::{profile_run, AccessPattern, AddressMap, Gpu, GpuConfig, GpuId,
+///                 KernelTrace, TraceOp};
+///
+/// let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 1 << 30));
+/// let mut t = KernelTrace::new("p");
+/// t.push(TraceOp::WarpStore {
+///     pattern: AccessPattern::Contiguous { base: 1 << 30 },
+///     bytes_per_lane: 4,
+///     active_mask: u32::MAX,
+///     value_seed: 0,
+/// });
+/// let profile = profile_run(&gpu.execute_kernel(&t), 1 << 30);
+/// assert_eq!(profile.total_bytes, 128);
+/// assert_eq!(profile.unique_bytes, 128);
+/// ```
+pub fn profile_run(run: &KernelRun, window_bytes: u64) -> StoreProfile {
+    assert!(window_bytes.is_power_of_two(), "window must be a power of two");
+    let mut sizes = Histogram::new("store_size");
+    let mut per_destination: HashMap<usize, u64> = HashMap::new();
+    let mut unique: HashSet<u64> = HashSet::new();
+    let mut total_bytes = 0u64;
+
+    // Window runs per destination stream (FinePack partitions per dst).
+    let mut run_count = 0u64;
+    let mut store_count = 0u64;
+    let mut open_windows: HashMap<usize, u64> = HashMap::new();
+
+    for t in &run.egress {
+        let s = &t.store;
+        sizes.record(u64::from(s.len()));
+        *per_destination.entry(s.dst.index()).or_insert(0) += 1;
+        total_bytes += u64::from(s.len());
+        for b in 0..u64::from(s.len()) {
+            unique.insert(s.addr + b);
+        }
+        store_count += 1;
+        let window = s.addr / window_bytes;
+        match open_windows.get(&s.dst.index()) {
+            Some(w) if *w == window => {}
+            _ => {
+                open_windows.insert(s.dst.index(), window);
+                run_count += 1;
+            }
+        }
+    }
+
+    StoreProfile {
+        sizes,
+        total_bytes,
+        unique_bytes: unique.len() as u64,
+        per_destination,
+        window_run_length: if run_count == 0 {
+            0.0
+        } else {
+            store_count as f64 / run_count as f64
+        },
+        window_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessPattern, AddressMap, Gpu, GpuConfig, GpuId, KernelTrace, TraceOp};
+
+    fn run_with(ops: Vec<TraceOp>) -> KernelRun {
+        let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(4, 16 << 30));
+        let mut t = KernelTrace::new("t");
+        t.ops = ops;
+        gpu.execute_kernel(&t)
+    }
+
+    fn scattered(base: u64, count: u64, stride: u64) -> Vec<TraceOp> {
+        (0..count)
+            .map(|i| TraceOp::WarpStore {
+                pattern: AccessPattern::Scattered {
+                    addrs: vec![base + i * stride; 32],
+                },
+                bytes_per_lane: 8,
+                active_mask: 1, // one lane
+                value_seed: i,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rewrite_factor_counts_overwrites() {
+        // Same 8B address written 4 times.
+        let run = run_with(scattered(16 << 30, 4, 0));
+        let p = profile_run(&run, 1 << 30);
+        assert_eq!(p.total_bytes, 32);
+        assert_eq!(p.unique_bytes, 8);
+        assert!((p.rewrite_factor() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_runs_detect_locality() {
+        // All stores within one 1GB window: one run.
+        let local = run_with(scattered(16 << 30, 16, 256));
+        let p = profile_run(&local, 1 << 30);
+        assert!((p.window_run_length - 16.0).abs() < 1e-9);
+
+        // Alternating between two windows: run length collapses to 1.
+        let mut ops = Vec::new();
+        for i in 0..16u64 {
+            let base = (16u64 << 30) + (i % 2) * (2 << 30);
+            ops.extend(scattered(base, 1, 0));
+        }
+        let thrash = run_with(ops);
+        let p = profile_run(&thrash, 1 << 30);
+        assert!((p.window_run_length - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fine_grained_fraction_matches_sizes() {
+        let run = run_with(scattered(16 << 30, 8, 4096));
+        let p = profile_run(&run, 1 << 30);
+        assert_eq!(p.fine_grained_fraction(), 1.0); // 8B stores
+        assert_eq!(p.sizes.quantile(0.5), Some(8));
+    }
+
+    #[test]
+    fn per_destination_counts() {
+        let mut ops = scattered(16 << 30, 4, 256); // GPU1
+        ops.extend(scattered(32 << 30, 2, 256)); // GPU2
+        let run = run_with(ops);
+        let p = profile_run(&run, 1 << 30);
+        assert_eq!(p.per_destination[&1], 4);
+        assert_eq!(p.per_destination[&2], 2);
+    }
+
+    #[test]
+    fn empty_run_is_neutral() {
+        let run = run_with(vec![TraceOp::Compute { cycles: 10 }]);
+        let p = profile_run(&run, 1 << 30);
+        assert_eq!(p.total_bytes, 0);
+        assert_eq!(p.rewrite_factor(), 1.0);
+        assert_eq!(p.window_run_length, 0.0);
+    }
+}

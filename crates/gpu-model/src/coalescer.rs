@@ -1,0 +1,266 @@
+//! Intra-warp L1 store coalescing.
+//!
+//! A warp store writes up to 32 lanes × 1–8 bytes. The L1 cache merges
+//! lanes that touch the same 128B cache block into as few transactions as
+//! possible; remote stores then leave the GPU at exactly this granularity,
+//! because peer-GPU writes are not cached or combined in L2 (§III).
+//! This module reproduces that behaviour and is the source of the
+//! store-size distributions in Figure 4.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{AddressMap, GpuId};
+use crate::config::GpuConfig;
+use crate::trace::{store_byte, AccessPattern, RemoteStore};
+
+/// One post-coalescing store transaction (local or remote).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreTxn {
+    /// First byte address (node-global physical).
+    pub addr: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+impl StoreTxn {
+    /// Payload length in bytes.
+    pub fn len(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// True if empty (never produced by [`coalesce_warp_store`]).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Coalesces one warp store instruction into L1-egress transactions.
+///
+/// Lanes are grouped by cache block; within a block, contiguous runs of
+/// written bytes become one transaction each (lanes writing the same byte
+/// resolve to the highest-numbered lane, matching warp store semantics).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_model::{coalesce_warp_store, AccessPattern, GpuConfig};
+///
+/// let cfg = GpuConfig::gv100();
+/// // 32 lanes × 4B contiguous: one 128B transaction.
+/// let txns = coalesce_warp_store(
+///     &cfg,
+///     &AccessPattern::Contiguous { base: 0x1000 },
+///     4,
+///     u32::MAX,
+///     0,
+/// );
+/// assert_eq!(txns.len(), 1);
+/// assert_eq!(txns[0].len(), 128);
+/// ```
+pub fn coalesce_warp_store(
+    cfg: &GpuConfig,
+    pattern: &AccessPattern,
+    bytes_per_lane: u32,
+    active_mask: u32,
+    value_seed: u64,
+) -> Vec<StoreTxn> {
+    let block = u64::from(cfg.cache_block_bytes);
+    // block base -> (byte offset -> writing lane), BTreeMap for
+    // deterministic ascending-address output.
+    let mut blocks: BTreeMap<u64, BTreeMap<u64, u32>> = BTreeMap::new();
+    for lane in 0..cfg.warp_size {
+        if active_mask & (1 << lane) == 0 {
+            continue;
+        }
+        let addr = pattern.lane_addr(lane, bytes_per_lane);
+        for b in 0..u64::from(bytes_per_lane) {
+            let byte_addr = addr + b;
+            let base = byte_addr / block * block;
+            // Later (higher) lanes win on overlap, as in warp store
+            // semantics where lane order resolves conflicts.
+            blocks.entry(base).or_default().insert(byte_addr, lane);
+        }
+    }
+    let mut txns = Vec::new();
+    for bytes in blocks.values() {
+        let mut run_start: Option<u64> = None;
+        let mut prev: u64 = 0;
+        let mut data: Vec<u8> = Vec::new();
+        for &byte_addr in bytes.keys() {
+            match run_start {
+                Some(_) if byte_addr == prev + 1 => {
+                    data.push(store_byte(byte_addr, value_seed));
+                    prev = byte_addr;
+                }
+                Some(start) => {
+                    txns.push(StoreTxn {
+                        addr: start,
+                        data: std::mem::take(&mut data),
+                    });
+                    run_start = Some(byte_addr);
+                    prev = byte_addr;
+                    data.push(store_byte(byte_addr, value_seed));
+                }
+                None => {
+                    run_start = Some(byte_addr);
+                    prev = byte_addr;
+                    data.push(store_byte(byte_addr, value_seed));
+                }
+            }
+        }
+        if let Some(start) = run_start {
+            txns.push(StoreTxn { addr: start, data });
+        }
+    }
+    txns
+}
+
+/// Classifies a coalesced transaction as local or remote and converts
+/// remote ones into [`RemoteStore`]s.
+pub fn route_txn(
+    map: &AddressMap,
+    src: GpuId,
+    txn: StoreTxn,
+) -> Result<RemoteStore, StoreTxn> {
+    let dst = map.owner(txn.addr);
+    if dst == src {
+        Err(txn)
+    } else {
+        Ok(RemoteStore {
+            src,
+            dst,
+            addr: txn.addr,
+            data: txn.data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::gv100()
+    }
+
+    #[test]
+    fn contiguous_warp_coalesces_to_one_line() {
+        let txns = coalesce_warp_store(
+            &cfg(),
+            &AccessPattern::Contiguous { base: 0x2000 },
+            4,
+            u32::MAX,
+            7,
+        );
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].addr, 0x2000);
+        assert_eq!(txns[0].len(), 128);
+    }
+
+    #[test]
+    fn contiguous_but_misaligned_splits_at_line_boundary() {
+        // Base 0x2040: 128B of writes spanning two cache blocks.
+        let txns = coalesce_warp_store(
+            &cfg(),
+            &AccessPattern::Contiguous { base: 0x2040 },
+            4,
+            u32::MAX,
+            0,
+        );
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].len(), 64);
+        assert_eq!(txns[1].len(), 64);
+        assert_eq!(txns[1].addr, 0x2080);
+    }
+
+    #[test]
+    fn fully_scattered_yields_per_lane_txns() {
+        // Each lane writes 8B to a distinct cache block.
+        let addrs: Vec<u64> = (0..32).map(|i| 0x10_0000 + i * 4096).collect();
+        let txns = coalesce_warp_store(
+            &cfg(),
+            &AccessPattern::Scattered { addrs },
+            8,
+            u32::MAX,
+            0,
+        );
+        assert_eq!(txns.len(), 32);
+        assert!(txns.iter().all(|t| t.len() == 8));
+    }
+
+    #[test]
+    fn strided_by_32_produces_sector_sized_runs() {
+        // 4B per lane, 32B stride: 4 lanes' worth of disjoint 4B runs per block.
+        let txns = coalesce_warp_store(
+            &cfg(),
+            &AccessPattern::Strided {
+                base: 0,
+                stride: 32,
+            },
+            4,
+            u32::MAX,
+            0,
+        );
+        assert_eq!(txns.len(), 32);
+        assert!(txns.iter().all(|t| t.len() == 4));
+    }
+
+    #[test]
+    fn inactive_lanes_are_skipped() {
+        let txns = coalesce_warp_store(
+            &cfg(),
+            &AccessPattern::Contiguous { base: 0 },
+            4,
+            0x0000_000F, // only lanes 0-3
+            0,
+        );
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].len(), 16);
+    }
+
+    #[test]
+    fn no_active_lanes_is_empty() {
+        let txns = coalesce_warp_store(&cfg(), &AccessPattern::Contiguous { base: 0 }, 4, 0, 0);
+        assert!(txns.is_empty());
+    }
+
+    #[test]
+    fn overlapping_lanes_merge() {
+        // All lanes write the same 4 bytes.
+        let addrs = vec![0x40; 32];
+        let txns = coalesce_warp_store(&cfg(), &AccessPattern::Scattered { addrs }, 4, u32::MAX, 3);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].len(), 4);
+    }
+
+    #[test]
+    fn payload_matches_store_byte() {
+        let txns = coalesce_warp_store(
+            &cfg(),
+            &AccessPattern::Contiguous { base: 0x80 },
+            4,
+            0x1,
+            99,
+        );
+        assert_eq!(txns.len(), 1);
+        for (i, b) in txns[0].data.iter().enumerate() {
+            assert_eq!(*b, store_byte(0x80 + i as u64, 99));
+        }
+    }
+
+    #[test]
+    fn routing_splits_local_and_remote() {
+        let map = AddressMap::new(2, 1 << 20);
+        let local = StoreTxn {
+            addr: 0x100,
+            data: vec![0; 4],
+        };
+        let remote = StoreTxn {
+            addr: (1 << 20) + 0x100,
+            data: vec![0; 4],
+        };
+        assert!(route_txn(&map, GpuId::new(0), local).is_err());
+        let r = route_txn(&map, GpuId::new(0), remote).unwrap();
+        assert_eq!(r.dst, GpuId::new(1));
+    }
+}

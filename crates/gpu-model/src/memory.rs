@@ -1,0 +1,138 @@
+//! A sparse functional memory image.
+//!
+//! Used to verify FinePack's transparency claim: replaying the same store
+//! trace through raw P2P stores, write-combining, or FinePack must produce
+//! the identical final memory image on the destination GPU.
+
+use std::collections::HashMap;
+
+/// Page size of the sparse image (an implementation detail, not the GPU's
+/// virtual-memory page size).
+const PAGE_BYTES: usize = 4096;
+
+/// A sparse byte-addressable memory image.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_model::MemoryImage;
+///
+/// let mut m = MemoryImage::new();
+/// m.write(0x1000, &[1, 2, 3]);
+/// assert_eq!(m.read(0x1000, 3), vec![1, 2, 3]);
+/// assert_eq!(m.read(0x2000, 1), vec![0]); // untouched reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryImage {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    bytes_written: u64,
+}
+
+impl MemoryImage {
+    /// Creates an empty (all-zero) image.
+    pub fn new() -> Self {
+        MemoryImage::default()
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut cur = addr;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let page = cur / PAGE_BYTES as u64;
+            let off = (cur % PAGE_BYTES as u64) as usize;
+            let n = remaining.len().min(PAGE_BYTES - off);
+            let page_buf = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            page_buf[off..off + n].copy_from_slice(&remaining[..n]);
+            cur += n as u64;
+            remaining = &remaining[n..];
+        }
+        self.bytes_written += data.len() as u64;
+    }
+
+    /// Reads `len` bytes starting at `addr`; untouched bytes read as zero.
+    pub fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = addr;
+        while out.len() < len {
+            let page = cur / PAGE_BYTES as u64;
+            let off = (cur % PAGE_BYTES as u64) as usize;
+            let n = (len - out.len()).min(PAGE_BYTES - off);
+            match self.pages.get(&page) {
+                Some(buf) => out.extend_from_slice(&buf[off..off + n]),
+                None => out.extend(std::iter::repeat_n(0, n)),
+            }
+            cur += n as u64;
+        }
+        out
+    }
+
+    /// Total bytes written over the image's lifetime (counts overwrites).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of touched pages.
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if the two images hold identical contents (zero-filled pages
+    /// compare equal to absent pages).
+    pub fn same_contents(&self, other: &MemoryImage) -> bool {
+        let zero = [0u8; PAGE_BYTES];
+        let check = |a: &MemoryImage, b: &MemoryImage| {
+            a.pages.iter().all(|(page, buf)| match b.pages.get(page) {
+                Some(other_buf) => buf[..] == other_buf[..],
+                None => buf[..] == zero[..],
+            })
+        };
+        check(self, other) && check(other, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = MemoryImage::new();
+        m.write(10, &[1, 2, 3, 4]);
+        assert_eq!(m.read(10, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.read(9, 6), vec![0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut m = MemoryImage::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(4096 - 100, &data);
+        assert_eq!(m.read(4096 - 100, 256), data);
+        assert_eq!(m.touched_pages(), 2);
+    }
+
+    #[test]
+    fn overwrites_take_last_value() {
+        let mut m = MemoryImage::new();
+        m.write(0, &[1, 1, 1, 1]);
+        m.write(1, &[9, 9]);
+        assert_eq!(m.read(0, 4), vec![1, 9, 9, 1]);
+        assert_eq!(m.bytes_written(), 6);
+    }
+
+    #[test]
+    fn same_contents_ignores_zero_pages() {
+        let mut a = MemoryImage::new();
+        let mut b = MemoryImage::new();
+        a.write(0, &[0, 0, 0]); // touched but zero
+        assert!(a.same_contents(&b));
+        b.write(5000, &[1]);
+        assert!(!a.same_contents(&b));
+        a.write(5000, &[1]);
+        assert!(a.same_contents(&b));
+    }
+}

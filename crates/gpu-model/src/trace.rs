@@ -1,0 +1,275 @@
+//! The kernel trace format replayed by the GPU model.
+//!
+//! The paper collects traces with NVBit and replays them in NVAS; we have
+//! no CUDA binaries, so workload generators synthesize traces directly in
+//! this format. A trace is a per-GPU sequence of warp-granularity
+//! operations: compute chunks (in SM cycles) and warp store instructions
+//! whose 32 per-lane addresses follow an [`AccessPattern`].
+
+use crate::addr::GpuId;
+
+/// How the 32 lanes of a warp store address memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Lane `i` writes `base + i * bytes_per_lane` — fully coalescable.
+    Contiguous {
+        /// Address written by lane 0.
+        base: u64,
+    },
+    /// Lane `i` writes `base + i * stride` — partially coalescable when
+    /// `stride` exceeds the element size.
+    Strided {
+        /// Address written by lane 0.
+        base: u64,
+        /// Per-lane address increment in bytes.
+        stride: u64,
+    },
+    /// Each active lane writes an arbitrary address — the irregular case
+    /// (graph algorithms, sparse linear algebra).
+    Scattered {
+        /// Per-lane addresses; entries beyond the active mask are ignored.
+        addrs: Vec<u64>,
+    },
+}
+
+impl AccessPattern {
+    /// The address written by `lane`, given the per-lane element size.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`AccessPattern::Scattered`] pattern if `lane` exceeds
+    /// the address vector.
+    pub fn lane_addr(&self, lane: u32, bytes_per_lane: u32) -> u64 {
+        match self {
+            AccessPattern::Contiguous { base } => base + u64::from(lane) * u64::from(bytes_per_lane),
+            AccessPattern::Strided { base, stride } => base + u64::from(lane) * stride,
+            AccessPattern::Scattered { addrs } => addrs[lane as usize],
+        }
+    }
+}
+
+/// One warp-granularity operation in a kernel trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// The warp computes for `cycles` SM cycles (covers ALU work and local
+    /// memory traffic, which never reaches the interconnect).
+    Compute {
+        /// SM cycles consumed.
+        cycles: u32,
+    },
+    /// A warp store instruction. Addresses are node-global physical
+    /// addresses; those owned by a peer GPU egress onto the interconnect.
+    WarpStore {
+        /// Per-lane addressing.
+        pattern: AccessPattern,
+        /// Bytes written per active lane (1–8 on real GPUs).
+        bytes_per_lane: u32,
+        /// Active-lane mask (bit `i` = lane `i` executes).
+        active_mask: u32,
+        /// Seed for deterministic data generation (see `store_byte`).
+        value_seed: u64,
+    },
+    /// A system-scoped release fence: all prior remote stores must be made
+    /// visible (flushes the remote write queue, §IV-B).
+    Fence,
+    /// A scalar remote load. On-demand loads stall the issuing warp and
+    /// must observe any same-address store still buffered in the remote
+    /// write queue (§IV-B same-address load-store ordering).
+    RemoteLoad {
+        /// Node-global physical address.
+        addr: u64,
+        /// Bytes read.
+        bytes: u32,
+    },
+    /// A scalar remote atomic (read-modify-write). Atomics are never
+    /// coalesced; they flush any same-address queued store and travel as
+    /// their own transaction (§IV-C).
+    RemoteAtomic {
+        /// Node-global physical address.
+        addr: u64,
+        /// Operand bytes (4 or 8 on real GPUs).
+        bytes: u32,
+        /// Seed for deterministic operand generation.
+        value_seed: u64,
+    },
+}
+
+/// A kernel launch: the op stream plus metadata.
+///
+/// Ops are distributed round-robin across the GPU's SMs by the replay
+/// engine, which models the compute/communication interleaving that
+/// FinePack's overlap benefit depends on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelTrace {
+    /// Human-readable kernel name (for reports).
+    pub name: String,
+    /// The warp-granularity op stream.
+    pub ops: Vec<TraceOp>,
+}
+
+impl KernelTrace {
+    /// Creates an empty trace with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelTrace {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an op.
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the trace has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total compute cycles across all ops (before SM parallelization).
+    pub fn total_compute_cycles(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Compute { cycles } => u64::from(*cycles),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of warp store instructions.
+    pub fn store_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::WarpStore { .. }))
+            .count()
+    }
+
+    /// Number of remote atomic operations.
+    pub fn atomic_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::RemoteAtomic { .. }))
+            .count()
+    }
+
+    /// Number of remote load operations.
+    pub fn load_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::RemoteLoad { .. }))
+            .count()
+    }
+}
+
+/// Deterministic data byte for address `addr` under `seed`.
+///
+/// Store payloads are synthesized rather than traced; deriving each byte
+/// from (address, seed) lets functional tests verify last-writer-wins
+/// semantics without carrying payload buffers through the generators.
+/// Different seeds model different values written to the same address over
+/// time (the temporal-redundancy FinePack elides).
+pub fn store_byte(addr: u64, seed: u64) -> u8 {
+    let mut x = addr ^ seed.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    (x & 0xFF) as u8
+}
+
+/// A store transaction as it exits the L1 cache toward a peer GPU.
+///
+/// This is the unit the remote write queue ingests: post-coalescing,
+/// sub-cache-line, carrying its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteStore {
+    /// Issuing GPU.
+    pub src: GpuId,
+    /// Destination (owning) GPU.
+    pub dst: GpuId,
+    /// Node-global physical address of the first byte.
+    pub addr: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+impl RemoteStore {
+    /// Payload length in bytes.
+    pub fn len(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// True if the payload is empty (never produced by the coalescer).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The exclusive end address.
+    pub fn end(&self) -> u64 {
+        self.addr + u64::from(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_addresses() {
+        let c = AccessPattern::Contiguous { base: 100 };
+        assert_eq!(c.lane_addr(0, 4), 100);
+        assert_eq!(c.lane_addr(3, 4), 112);
+        let s = AccessPattern::Strided {
+            base: 0,
+            stride: 128,
+        };
+        assert_eq!(s.lane_addr(2, 4), 256);
+        let sc = AccessPattern::Scattered {
+            addrs: vec![5, 17, 99],
+        };
+        assert_eq!(sc.lane_addr(1, 8), 17);
+    }
+
+    #[test]
+    fn trace_counters() {
+        let mut t = KernelTrace::new("k");
+        t.push(TraceOp::Compute { cycles: 10 });
+        t.push(TraceOp::WarpStore {
+            pattern: AccessPattern::Contiguous { base: 0 },
+            bytes_per_lane: 4,
+            active_mask: u32::MAX,
+            value_seed: 0,
+        });
+        t.push(TraceOp::Compute { cycles: 5 });
+        t.push(TraceOp::Fence);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_compute_cycles(), 15);
+        assert_eq!(t.store_count(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn store_byte_is_deterministic_and_seed_sensitive() {
+        assert_eq!(store_byte(0x1000, 1), store_byte(0x1000, 1));
+        let differs = (0..64u64).filter(|a| store_byte(*a, 1) != store_byte(*a, 2));
+        assert!(differs.count() > 32);
+    }
+
+    #[test]
+    fn remote_store_geometry() {
+        let s = RemoteStore {
+            src: GpuId::new(0),
+            dst: GpuId::new(1),
+            addr: 0x100,
+            data: vec![1, 2, 3, 4],
+        };
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.end(), 0x104);
+        assert!(!s.is_empty());
+    }
+}

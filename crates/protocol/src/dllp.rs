@@ -1,0 +1,186 @@
+//! PCIe Data Link Layer Packets (DLLPs): the 8-byte control messages
+//! that carry ACK/NAK sequence updates and flow-control credit updates.
+//! FinePack leaves this layer untouched (§IV-A) — one ACK and one
+//! UpdateFC cover a whole aggregated transaction just as they would a
+//! single large memory write, which is where part of its link-efficiency
+//! win comes from.
+
+use crate::{ProtocolError, Result};
+
+/// Total DLLP size on the wire: 2B framing + 4B body + 2B CRC-16.
+pub const DLLP_WIRE_BYTES: u32 = 8;
+
+/// The DLLP kinds this model implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dllp {
+    /// Acknowledges all TLPs up to and including `seq`.
+    Ack {
+        /// 12-bit TLP sequence number.
+        seq: u16,
+    },
+    /// Requests retransmission from `seq` onward.
+    Nak {
+        /// 12-bit TLP sequence number.
+        seq: u16,
+    },
+    /// Posted-credit update: header and data credits freed by the
+    /// receiver (the companion of [`crate::CreditAccount`]).
+    UpdateFcPosted {
+        /// 8-bit header-credit count.
+        header_credits: u8,
+        /// 12-bit data-credit count (16B units).
+        data_credits: u16,
+    },
+}
+
+/// CRC-16 (CCITT polynomial 0x1021), as PCIe uses for DLLPs.
+fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for b in bytes {
+        crc ^= u16::from(*b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+impl Dllp {
+    /// Encodes to the 8 wire bytes (framing, 4-byte body, CRC-16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its wire width (12-bit sequence numbers
+    /// and data credits).
+    pub fn encode(&self) -> [u8; DLLP_WIRE_BYTES as usize] {
+        let body: [u8; 4] = match self {
+            Dllp::Ack { seq } => {
+                assert!(*seq < 1 << 12, "sequence number is 12 bits");
+                [0x00, 0, (seq >> 8) as u8, (seq & 0xFF) as u8]
+            }
+            Dllp::Nak { seq } => {
+                assert!(*seq < 1 << 12, "sequence number is 12 bits");
+                [0x10, 0, (seq >> 8) as u8, (seq & 0xFF) as u8]
+            }
+            Dllp::UpdateFcPosted {
+                header_credits,
+                data_credits,
+            } => {
+                assert!(*data_credits < 1 << 12, "data credits are 12 bits");
+                [
+                    0x40,
+                    *header_credits,
+                    (data_credits >> 8) as u8,
+                    (data_credits & 0xFF) as u8,
+                ]
+            }
+        };
+        let crc = crc16(&body);
+        let mut out = [0u8; 8];
+        out[0] = 0x5A; // SDP framing token
+        out[1] = 0xA5;
+        out[2..6].copy_from_slice(&body);
+        out[6..8].copy_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Decodes 8 wire bytes, verifying framing and CRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Truncated`] for short buffers and
+    /// [`ProtocolError::InvalidField`] for bad framing, CRC mismatch, or
+    /// unknown DLLP types.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < DLLP_WIRE_BYTES as usize {
+            return Err(ProtocolError::Truncated {
+                needed: DLLP_WIRE_BYTES as usize,
+                got: bytes.len(),
+            });
+        }
+        if bytes[0] != 0x5A || bytes[1] != 0xA5 {
+            return Err(ProtocolError::InvalidField("DLLP framing"));
+        }
+        let body = &bytes[2..6];
+        let crc = u16::from_be_bytes([bytes[6], bytes[7]]);
+        if crc != crc16(body) {
+            return Err(ProtocolError::InvalidField("DLLP CRC"));
+        }
+        let seq = (u16::from(body[2]) << 8 | u16::from(body[3])) & 0xFFF;
+        match body[0] {
+            0x00 => Ok(Dllp::Ack { seq }),
+            0x10 => Ok(Dllp::Nak { seq }),
+            0x40 => Ok(Dllp::UpdateFcPosted {
+                header_credits: body[1],
+                data_credits: seq,
+            }),
+            _ => Err(ProtocolError::InvalidField("DLLP type")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for d in [
+            Dllp::Ack { seq: 0 },
+            Dllp::Ack { seq: 0xFFF },
+            Dllp::Nak { seq: 77 },
+            Dllp::UpdateFcPosted {
+                header_credits: 64,
+                data_credits: 512,
+            },
+        ] {
+            let wire = d.encode();
+            assert_eq!(Dllp::decode(&wire).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        let mut wire = Dllp::Ack { seq: 5 }.encode();
+        wire[4] ^= 0x01;
+        assert_eq!(
+            Dllp::decode(&wire),
+            Err(ProtocolError::InvalidField("DLLP CRC"))
+        );
+    }
+
+    #[test]
+    fn framing_checked() {
+        let mut wire = Dllp::Ack { seq: 5 }.encode();
+        wire[0] = 0;
+        assert!(Dllp::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let wire = Dllp::Ack { seq: 5 }.encode();
+        assert!(matches!(
+            Dllp::decode(&wire[..5]),
+            Err(ProtocolError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn ack_amortization_favors_aggregation() {
+        // One ACK covers one TLP either way: 42 raw stores cost 42 DLLPs
+        // of ACK traffic on the return path, one FinePack packet costs 1.
+        let per_ack = u64::from(DLLP_WIRE_BYTES);
+        assert_eq!(42 * per_ack, 336);
+        assert_eq!(per_ack, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "12 bits")]
+    fn oversized_seq_panics() {
+        let _ = Dllp::Ack { seq: 1 << 12 }.encode();
+    }
+}

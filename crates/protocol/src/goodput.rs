@@ -1,0 +1,119 @@
+//! Goodput curves over transfer size — the model behind Figure 2.
+//!
+//! The paper measures peer-to-peer store goodput on real PCIe and NVLink
+//! systems up to 128B and projects beyond. We have no hardware, so the
+//! whole curve comes from the framing models, which are calibrated to the
+//! public protocol specifications (see `DESIGN.md` §4).
+
+use crate::nvlink::NvlinkModel;
+use crate::pcie::FramingModel;
+
+/// One point of a goodput curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodputPoint {
+    /// Transfer (payload) size in bytes.
+    pub size: u32,
+    /// Useful fraction of wire bytes for PCIe.
+    pub pcie: f64,
+    /// Useful fraction of wire bytes for NVLink (flit-aligned case).
+    pub nvlink: f64,
+}
+
+/// The transfer sizes plotted in Fig 2 (powers of two, 4B → 8KB).
+pub fn fig2_sizes() -> Vec<u32> {
+    (2..=13).map(|p| 1u32 << p).collect()
+}
+
+/// Computes the Fig 2 goodput series for both interconnects.
+///
+/// Sizes beyond each protocol's max payload are chunked into maximum-size
+/// packets, matching how a DMA engine would move them ("projected"
+/// region of the paper's figure).
+///
+/// # Examples
+///
+/// ```
+/// use protocol::goodput_curve;
+///
+/// let curve = goodput_curve(&[32, 128, 4096]);
+/// assert!(curve[0].pcie < curve[1].pcie);
+/// assert!(curve[2].pcie > 0.99);
+/// ```
+pub fn goodput_curve(sizes: &[u32]) -> Vec<GoodputPoint> {
+    let pcie = FramingModel::pcie_gen4();
+    let nvlink = NvlinkModel::default();
+    sizes
+        .iter()
+        .map(|&size| {
+            let pcie_wire = pcie.bulk_wire_bytes(u64::from(size));
+            let nv_wire = nvlink.bulk_wire_bytes(u64::from(size));
+            GoodputPoint {
+                size,
+                pcie: f64::from(size) / pcie_wire as f64,
+                nvlink: f64::from(size) / nv_wire as f64,
+            }
+        })
+        .collect()
+}
+
+/// Fraction of peak bandwidth usable by stores of `size` bytes on PCIe —
+/// i.e., "% of maximum theoretical throughput" from Fig 2's y-axis.
+pub fn pcie_efficiency(size: u32) -> f64 {
+    let fm = FramingModel::pcie_gen4();
+    f64::from(size) / fm.bulk_wire_bytes(u64::from(size)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotonic_for_pcie_within_payload_limit() {
+        let sizes = fig2_sizes();
+        let curve = goodput_curve(&sizes);
+        for pair in curve.windows(2) {
+            if pair[1].size <= 4096 {
+                assert!(
+                    pair[1].pcie >= pair[0].pcie,
+                    "pcie goodput not monotonic at {}",
+                    pair[1].size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_headline_ratio_holds() {
+        // §I: "32B transfers are roughly half as efficient as transfers of
+        // 128B or larger" — relative to the bulk asymptote.
+        let e32 = pcie_efficiency(32);
+        let e4k = pcie_efficiency(4096);
+        let ratio = e32 / e4k;
+        assert!((0.45..0.68).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn fig2_sizes_span_4b_to_8kb() {
+        let sizes = fig2_sizes();
+        assert_eq!(*sizes.first().unwrap(), 4);
+        assert_eq!(*sizes.last().unwrap(), 8192);
+    }
+
+    #[test]
+    fn beyond_max_payload_saturates() {
+        let a = pcie_efficiency(4096);
+        let b = pcie_efficiency(8192);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvlink_and_pcie_comparable_at_small_sizes() {
+        // §IV-C: "the small packet efficiency of PCIe and NVLink is
+        // similar for sub-cache line stores".
+        let curve = goodput_curve(&[8, 16, 32]);
+        for p in curve {
+            let ratio = p.pcie / p.nvlink;
+            assert!((0.4..2.5).contains(&ratio), "size {}: {ratio}", p.size);
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! PCIe transaction-layer and link-layer modeling.
+//!
+//! This module provides the pieces of PCIe that matter for FinePack:
+//!
+//! - [`TlpHeader`]: the 4-DW memory-write TLP header of Table I, with
+//!   byte-accurate encode/decode.
+//! - [`FramingModel`]: the per-TLP physical/data-link overhead (STP token,
+//!   LCRC, optional ECRC, amortized DLLP tax) that drives the goodput
+//!   curves of Fig 2.
+//! - [`PcieGen`]: per-generation x16 bandwidths (32 GB/s for 4.0 up to
+//!   128 GB/s for 6.0, matching Section V).
+
+use std::fmt;
+
+use sim_engine::Bandwidth;
+
+use crate::{ProtocolError, Result};
+
+/// PCIe maximum TLP payload size used throughout the paper (bytes).
+pub const MAX_PAYLOAD_BYTES: u32 = 4096;
+
+/// Size of a 4-DW (64-bit-address) TLP header in bytes.
+pub const TLP_HEADER_BYTES: u32 = 16;
+
+/// A PCIe generation, fixing the x16 per-direction bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use protocol::PcieGen;
+///
+/// assert_eq!(PcieGen::Gen4.bandwidth().as_gbps(), 32.0);
+/// assert_eq!(PcieGen::Gen6.bandwidth().as_gbps(), 128.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PcieGen {
+    /// PCIe 4.0 x16: 32 GB/s per direction.
+    Gen4,
+    /// PCIe 5.0 x16: 64 GB/s per direction.
+    Gen5,
+    /// PCIe 6.0 x16: 128 GB/s per direction.
+    Gen6,
+}
+
+impl PcieGen {
+    /// All generations the paper sweeps in Fig 13, ascending.
+    pub const ALL: [PcieGen; 3] = [PcieGen::Gen4, PcieGen::Gen5, PcieGen::Gen6];
+
+    /// Per-direction x16 link bandwidth.
+    pub fn bandwidth(self) -> Bandwidth {
+        match self {
+            PcieGen::Gen4 => Bandwidth::from_gbps(32.0),
+            PcieGen::Gen5 => Bandwidth::from_gbps(64.0),
+            PcieGen::Gen6 => Bandwidth::from_gbps(128.0),
+        }
+    }
+}
+
+impl fmt::Display for PcieGen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcieGen::Gen4 => write!(f, "PCIe4.0"),
+            PcieGen::Gen5 => write!(f, "PCIe5.0"),
+            PcieGen::Gen6 => write!(f, "PCIe6.0"),
+        }
+    }
+}
+
+/// Per-TLP link overhead model.
+///
+/// For PCIe Gen3+ framing, each TLP carries a 4-byte STP token (which
+/// includes the sequence number) and a 4-byte LCRC, plus an optional
+/// 4-byte ECRC digest, plus an amortized share of DLLP (ACK / flow
+/// control) traffic. Together with the 16-byte 4-DW header this yields the
+/// ~24-byte-per-packet overhead visible in Fig 2 and Fig 3.
+///
+/// # Examples
+///
+/// ```
+/// use protocol::FramingModel;
+///
+/// let fm = FramingModel::pcie_gen4();
+/// // A 32B store costs 32 payload + 16 header + 8 framing = 56B on the wire.
+/// assert_eq!(fm.wire_bytes(32), 56);
+/// assert_eq!(fm.per_tlp_overhead(), 24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FramingModel {
+    /// STP framing token bytes (includes the TLP sequence number on Gen3+).
+    pub stp_bytes: u32,
+    /// Link CRC bytes.
+    pub lcrc_bytes: u32,
+    /// End-to-end CRC digest bytes (0 when ECRC is disabled).
+    pub ecrc_bytes: u32,
+    /// Amortized DLLP (ACK/FC) bytes charged per TLP.
+    pub dllp_tax_bytes: u32,
+    /// Transaction-layer header bytes (16 for a 4-DW 64-bit-address TLP).
+    pub header_bytes: u32,
+    /// Maximum TLP payload in bytes.
+    pub max_payload: u32,
+    /// Payload padding granularity on the wire: 4 (DW) for PCIe/CXL,
+    /// 16 (flit) for NVLink-style links.
+    pub pad_granularity: u32,
+}
+
+impl FramingModel {
+    /// The framing model used throughout the evaluation: Gen3+ encoding,
+    /// 4-DW headers, ECRC off, DLLPs folded into link efficiency.
+    pub fn pcie_gen4() -> Self {
+        FramingModel {
+            stp_bytes: 4,
+            lcrc_bytes: 4,
+            ecrc_bytes: 0,
+            dllp_tax_bytes: 0,
+            header_bytes: TLP_HEADER_BYTES,
+            max_payload: MAX_PAYLOAD_BYTES,
+            pad_granularity: 4,
+        }
+    }
+
+    /// CXL.io framing (§IV-C: "CXL ... reuses and extends PCIe, and thus
+    /// FinePack is directly applicable"): PCIe transaction layer carried
+    /// in 68-byte flits, modeled as a small per-TLP flit-header tax on
+    /// top of standard PCIe framing.
+    pub fn cxl() -> Self {
+        FramingModel {
+            dllp_tax_bytes: 4,
+            ..FramingModel::pcie_gen4()
+        }
+    }
+
+    /// An NVLink-style framing for FinePack's outer transaction (§IV-C:
+    /// NVLink "would likely require slightly different encodings"): one
+    /// 16-byte header flit, payload padded to whole flits, no separate
+    /// link-layer tokens (CRC is carried inside flits).
+    pub fn nvlink_flit() -> Self {
+        FramingModel {
+            stp_bytes: 0,
+            lcrc_bytes: 0,
+            ecrc_bytes: 0,
+            dllp_tax_bytes: 0,
+            header_bytes: 16,
+            max_payload: MAX_PAYLOAD_BYTES,
+            pad_granularity: 16,
+        }
+    }
+
+    /// Total non-payload bytes charged per TLP.
+    pub fn per_tlp_overhead(&self) -> u32 {
+        self.stp_bytes + self.lcrc_bytes + self.ecrc_bytes + self.dllp_tax_bytes + self.header_bytes
+    }
+
+    /// Link-layer-only overhead (everything except the TLP header): what a
+    /// packet pays even if its transaction-layer header were free.
+    pub fn link_layer_overhead(&self) -> u32 {
+        self.stp_bytes + self.lcrc_bytes + self.ecrc_bytes + self.dllp_tax_bytes
+    }
+
+    /// Total wire bytes for a single TLP carrying `payload` bytes.
+    ///
+    /// Payloads are padded to the link's wire granularity — DWs (4B) on
+    /// PCIe/CXL, flits (16B) on NVLink — with byte enables masking the
+    /// padding.
+    pub fn wire_bytes(&self, payload: u32) -> u64 {
+        let padded = payload.div_ceil(self.pad_granularity) * self.pad_granularity;
+        u64::from(self.per_tlp_overhead()) + u64::from(padded)
+    }
+
+    /// Total wire bytes to move `total_payload` bytes using maximum-sized
+    /// TLPs (the DMA/memcpy path).
+    pub fn bulk_wire_bytes(&self, total_payload: u64) -> u64 {
+        if total_payload == 0 {
+            return 0;
+        }
+        let full = total_payload / u64::from(self.max_payload);
+        let rem = (total_payload % u64::from(self.max_payload)) as u32;
+        let mut bytes = full * self.wire_bytes(self.max_payload);
+        if rem > 0 {
+            bytes += self.wire_bytes(rem);
+        }
+        bytes
+    }
+
+    /// Goodput (payload / wire bytes) of a TLP with `payload` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is zero.
+    pub fn goodput(&self, payload: u32) -> f64 {
+        assert!(payload > 0, "goodput of an empty packet is undefined");
+        f64::from(payload) / self.wire_bytes(payload) as f64
+    }
+}
+
+/// TLP type field values (5 bits), including the repurposed FinePack
+/// encoding described in Section IV-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlpType {
+    /// Ordinary posted memory write (MWr).
+    MemWrite,
+    /// Memory read request (MRd).
+    MemRead,
+    /// FinePack aggregated-store transaction (repurposed reserved encoding).
+    FinePack,
+}
+
+impl TlpType {
+    /// The 5-bit wire encoding of this type.
+    pub fn encoding(self) -> u8 {
+        match self {
+            TlpType::MemWrite => 0b0_0000,
+            TlpType::MemRead => 0b0_0001,
+            // A reserved encoding repurposed for FinePack, per §IV-A.
+            TlpType::FinePack => 0b1_0110,
+        }
+    }
+
+    /// Decodes a 5-bit type field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownTlpType`] for encodings this model
+    /// does not implement.
+    pub fn from_encoding(bits: u8) -> Result<Self> {
+        match bits {
+            0b0_0000 => Ok(TlpType::MemWrite),
+            0b0_0001 => Ok(TlpType::MemRead),
+            0b1_0110 => Ok(TlpType::FinePack),
+            other => Err(ProtocolError::UnknownTlpType(other)),
+        }
+    }
+}
+
+/// The 4-DW PCIe TLP header of Table I.
+///
+/// All fields of the paper's Table I are represented. `length_bytes` is
+/// stored in bytes; on the wire it is carried as the standard 10-bit DW
+/// count (with FinePack reading it as the total sub-packet payload
+/// length, DW-granular like normal PCIe).
+///
+/// # Examples
+///
+/// ```
+/// use protocol::{TlpHeader, TlpType};
+///
+/// let hdr = TlpHeader::mem_write(0x42, 0xdead_bee0, 128);
+/// let bytes = hdr.encode();
+/// let back = TlpHeader::decode(&bytes)?;
+/// assert_eq!(back, hdr);
+/// assert_eq!(back.tlp_type, TlpType::MemWrite);
+/// # Ok::<(), protocol::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlpHeader {
+    /// Transaction type (Fmt is implied: 4-DW with data).
+    pub tlp_type: TlpType,
+    /// Traffic class (3 bits).
+    pub traffic_class: u8,
+    /// TLP digest present (TD bit).
+    pub has_digest: bool,
+    /// Error/poisoned (EP bit).
+    pub poisoned: bool,
+    /// Attributes (2 bits).
+    pub attributes: u8,
+    /// Payload length in bytes (DW-granular on the wire, max 4096).
+    pub length_bytes: u32,
+    /// Requester ID (16 bits).
+    pub requester_id: u16,
+    /// Tag (8 bits).
+    pub tag: u8,
+    /// Last DW byte enables (4 bits).
+    pub last_be: u8,
+    /// First DW byte enables (4 bits). Zero for FinePack (§IV-A Table I).
+    pub first_be: u8,
+    /// 64-bit address; the low 2 bits must be zero (62-bit field).
+    pub address: u64,
+}
+
+impl TlpHeader {
+    /// Builds an ordinary posted memory-write header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_bytes` is 0 or exceeds [`MAX_PAYLOAD_BYTES`], or
+    /// if `address` is not DW-aligned.
+    pub fn mem_write(requester_id: u16, address: u64, length_bytes: u32) -> Self {
+        assert!(
+            length_bytes > 0 && length_bytes <= MAX_PAYLOAD_BYTES,
+            "invalid TLP length {length_bytes}"
+        );
+        assert_eq!(address & 0x3, 0, "TLP address must be DW-aligned");
+        TlpHeader {
+            tlp_type: TlpType::MemWrite,
+            traffic_class: 0,
+            has_digest: false,
+            poisoned: false,
+            attributes: 0,
+            length_bytes,
+            requester_id,
+            tag: 0,
+            last_be: 0xF,
+            first_be: 0xF,
+            address,
+        }
+    }
+
+    /// Builds the outer header of a FinePack transaction: the address is
+    /// the payload base address, first-BE is zero (unused), and the length
+    /// covers the packed sub-transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics as for [`TlpHeader::mem_write`].
+    pub fn finepack(requester_id: u16, base_address: u64, payload_bytes: u32) -> Self {
+        assert!(
+            payload_bytes > 0 && payload_bytes <= MAX_PAYLOAD_BYTES,
+            "invalid FinePack payload {payload_bytes}"
+        );
+        assert_eq!(base_address & 0x3, 0, "base address must be DW-aligned");
+        TlpHeader {
+            tlp_type: TlpType::FinePack,
+            traffic_class: 0,
+            has_digest: false,
+            poisoned: false,
+            attributes: 0,
+            length_bytes: payload_bytes,
+            requester_id,
+            tag: 0,
+            last_be: 0xF,
+            first_be: 0, // not needed by FinePack (Table I)
+            address: base_address,
+        }
+    }
+
+    /// Length rounded up to whole DWs, as carried in the 10-bit field.
+    pub fn length_dw(&self) -> u32 {
+        self.length_bytes.div_ceil(4)
+    }
+
+    /// Encodes into the 16 header bytes (big-endian DWs, as in the spec).
+    pub fn encode(&self) -> [u8; TLP_HEADER_BYTES as usize] {
+        let fmt: u32 = 0b11; // 4-DW header with data
+        let len_dw = self.length_dw() & 0x3FF;
+        // A length of exactly 1024 DW is encoded as 0 per the PCIe spec.
+        let len_field = if self.length_dw() == 1024 { 0 } else { len_dw };
+        let dw0: u32 = (fmt << 29)
+            | ((u32::from(self.tlp_type.encoding()) & 0x1F) << 24)
+            | ((u32::from(self.traffic_class) & 0x7) << 20)
+            | ((u32::from(self.has_digest) & 0x1) << 15)
+            | ((u32::from(self.poisoned) & 0x1) << 14)
+            | ((u32::from(self.attributes) & 0x3) << 12)
+            | len_field;
+        let dw1: u32 = (u32::from(self.requester_id) << 16)
+            | (u32::from(self.tag) << 8)
+            | ((u32::from(self.last_be) & 0xF) << 4)
+            | (u32::from(self.first_be) & 0xF);
+        let dw2: u32 = (self.address >> 32) as u32;
+        let dw3: u32 = (self.address & 0xFFFF_FFFC) as u32;
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&dw0.to_be_bytes());
+        out[4..8].copy_from_slice(&dw1.to_be_bytes());
+        out[8..12].copy_from_slice(&dw2.to_be_bytes());
+        out[12..16].copy_from_slice(&dw3.to_be_bytes());
+        out
+    }
+
+    /// Decodes a 16-byte header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Truncated`] if fewer than 16 bytes are
+    /// given, or [`ProtocolError::UnknownTlpType`] for unimplemented type
+    /// encodings.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 16 {
+            return Err(ProtocolError::Truncated {
+                needed: 16,
+                got: bytes.len(),
+            });
+        }
+        let dw = |i: usize| -> u32 {
+            u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]])
+        };
+        let dw0 = dw(0);
+        let dw1 = dw(4);
+        let dw2 = dw(8);
+        let dw3 = dw(12);
+        let tlp_type = TlpType::from_encoding(((dw0 >> 24) & 0x1F) as u8)?;
+        let len_dw = dw0 & 0x3FF;
+        let len_dw = if len_dw == 0 { 1024 } else { len_dw };
+        Ok(TlpHeader {
+            tlp_type,
+            traffic_class: ((dw0 >> 20) & 0x7) as u8,
+            has_digest: (dw0 >> 15) & 1 == 1,
+            poisoned: (dw0 >> 14) & 1 == 1,
+            attributes: ((dw0 >> 12) & 0x3) as u8,
+            length_bytes: len_dw * 4,
+            requester_id: (dw1 >> 16) as u16,
+            tag: ((dw1 >> 8) & 0xFF) as u8,
+            last_be: ((dw1 >> 4) & 0xF) as u8,
+            first_be: (dw1 & 0xF) as u8,
+            address: (u64::from(dw2) << 32) | u64::from(dw3 & 0xFFFF_FFFC),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_bandwidths_match_paper() {
+        assert_eq!(PcieGen::Gen4.bandwidth().as_gbps(), 32.0);
+        assert_eq!(PcieGen::Gen5.bandwidth().as_gbps(), 64.0);
+        assert_eq!(PcieGen::Gen6.bandwidth().as_gbps(), 128.0);
+    }
+
+    #[test]
+    fn overhead_is_24_bytes() {
+        let fm = FramingModel::pcie_gen4();
+        assert_eq!(fm.per_tlp_overhead(), 24);
+        assert_eq!(fm.link_layer_overhead(), 8);
+    }
+
+    #[test]
+    fn small_store_goodput_matches_fig2_shape() {
+        let fm = FramingModel::pcie_gen4();
+        // 32B transfers are roughly half as efficient as 128B (Fig 2 / §I).
+        let g32 = fm.goodput(32);
+        let g128 = fm.goodput(128);
+        assert!(g32 < 0.62 && g32 > 0.5, "g32={g32}");
+        assert!(g128 > 0.8, "g128={g128}");
+        // 4B stores are dramatically worse.
+        assert!(fm.goodput(4) < 0.2);
+        // Bulk approaches 1.
+        assert!(fm.goodput(4096) > 0.99);
+    }
+
+    #[test]
+    fn alternate_framings_are_consistent() {
+        // CXL pays a small extra tax over PCIe; NVLink trades link-layer
+        // tokens for flit padding.
+        let pcie = FramingModel::pcie_gen4();
+        let cxl = FramingModel::cxl();
+        let nv = FramingModel::nvlink_flit();
+        assert_eq!(cxl.per_tlp_overhead(), pcie.per_tlp_overhead() + 4);
+        assert_eq!(nv.per_tlp_overhead(), 16);
+        assert_eq!(nv.wire_bytes(17), 16 + 32); // padded to 2 flits
+        // §IV-C: small-packet efficiency of PCIe and NVLink is similar.
+        for size in [8u32, 16, 32] {
+            let ratio = pcie.goodput(size) / nv.goodput(size);
+            assert!((0.5..2.0).contains(&ratio), "size {size}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn sub_dw_payloads_are_padded() {
+        let fm = FramingModel::pcie_gen4();
+        assert_eq!(fm.wire_bytes(1), fm.wire_bytes(4));
+        assert_eq!(fm.wire_bytes(5), fm.wire_bytes(8));
+    }
+
+    #[test]
+    fn bulk_wire_bytes_chunks_at_max_payload() {
+        let fm = FramingModel::pcie_gen4();
+        let one = fm.wire_bytes(4096);
+        assert_eq!(fm.bulk_wire_bytes(8192), 2 * one);
+        assert_eq!(fm.bulk_wire_bytes(0), 0);
+        assert_eq!(fm.bulk_wire_bytes(4097), one + fm.wire_bytes(1));
+    }
+
+    #[test]
+    fn header_roundtrip_memwrite() {
+        let hdr = TlpHeader::mem_write(0x1234, 0x0000_7f00_dead_bee0, 256);
+        let back = TlpHeader::decode(&hdr.encode()).unwrap();
+        assert_eq!(back, hdr);
+    }
+
+    #[test]
+    fn header_roundtrip_finepack() {
+        let mut hdr = TlpHeader::finepack(7, 0x4000_0000, 4096);
+        hdr.tag = 0xAB;
+        hdr.traffic_class = 3;
+        let back = TlpHeader::decode(&hdr.encode()).unwrap();
+        assert_eq!(back, hdr);
+        assert_eq!(back.length_dw(), 1024);
+        assert_eq!(back.first_be, 0);
+    }
+
+    #[test]
+    fn decode_truncated_errors() {
+        let err = TlpHeader::decode(&[0u8; 8]).unwrap_err();
+        assert!(matches!(err, ProtocolError::Truncated { .. }));
+    }
+
+    #[test]
+    fn decode_unknown_type_errors() {
+        let hdr = TlpHeader::mem_write(0, 0, 4);
+        let mut bytes = hdr.encode();
+        bytes[0] = (bytes[0] & 0xE0) | 0x1F; // type = all-ones (unassigned)
+        assert!(matches!(
+            TlpHeader::decode(&bytes),
+            Err(ProtocolError::UnknownTlpType(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "DW-aligned")]
+    fn unaligned_address_panics() {
+        let _ = TlpHeader::mem_write(0, 0x3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TLP length")]
+    fn oversized_payload_panics() {
+        let _ = TlpHeader::mem_write(0, 0, MAX_PAYLOAD_BYTES + 4);
+    }
+}

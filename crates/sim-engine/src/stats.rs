@@ -1,0 +1,325 @@
+//! Lightweight statistics: counters, running means, and histograms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use sim_engine::Counter;
+///
+/// let mut stores = Counter::new("remote_stores");
+/// stores.add(3);
+/// stores.incr();
+/// assert_eq!(stores.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// Running mean / min / max over a stream of samples, without storing them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` if no samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` if no samples were recorded.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if no samples were recorded.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// An exact histogram over integer-valued samples (e.g. transfer sizes).
+///
+/// Buckets are the sample values themselves; this is intended for
+/// low-cardinality domains such as store sizes (1–128 bytes) or
+/// stores-per-packet counts.
+///
+/// # Examples
+///
+/// ```
+/// use sim_engine::Histogram;
+///
+/// let mut sizes = Histogram::new("store_size");
+/// for s in [4, 4, 32, 128] {
+///     sizes.record(s);
+/// }
+/// assert_eq!(sizes.count(4), 2);
+/// assert_eq!(sizes.total(), 4);
+/// assert!((sizes.mean().unwrap() - 42.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    name: String,
+    buckets: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            buckets: BTreeMap::new(),
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample of value `v`.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of value `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(v).or_insert(0) += n;
+        self.total += n;
+        self.sum += v as u128 * n as u128;
+    }
+
+    /// Number of samples recorded with exactly value `v`.
+    pub fn count(&self, v: u64) -> u64 {
+        self.buckets.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Fraction of samples with value `<= v`, or `None` if empty.
+    pub fn fraction_at_most(&self, v: u64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let below: u64 = self
+            .buckets
+            .range(..=v)
+            .map(|(_, count)| *count)
+            .sum();
+        Some(below as f64 / self.total as f64)
+    }
+
+    /// The smallest value `v` such that at least `q` (0..=1) of samples
+    /// are `<= v`, or `None` if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (v, c) in self.iter() {
+            seen += c;
+            if seen >= target {
+                return Some(v);
+            }
+        }
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Iterates `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Histogram name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.record_n(v, c);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (n={})", self.name, self.total)?;
+        for (v, c) in self.iter() {
+            write!(f, " {v}:{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.to_string(), "x=10");
+    }
+
+    #[test]
+    fn running_tracks_extremes() {
+        let mut r = Running::new();
+        assert_eq!(r.mean(), None);
+        for s in [1.0, 2.0, 3.0] {
+            r.record(s);
+        }
+        assert_eq!(r.mean(), Some(2.0));
+        assert_eq!(r.min(), Some(1.0));
+        assert_eq!(r.max(), Some(3.0));
+        assert_eq!(r.count(), 3);
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let mut h = Histogram::new("h");
+        h.record_n(8, 3);
+        h.record(16);
+        assert_eq!(h.count(8), 3);
+        assert_eq!(h.count(16), 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.mean(), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_cdf() {
+        let mut h = Histogram::new("h");
+        for v in [4, 8, 16, 32, 64, 128] {
+            h.record(v);
+        }
+        assert_eq!(h.fraction_at_most(32), Some(4.0 / 6.0));
+        assert_eq!(h.fraction_at_most(1), Some(0.0));
+        assert_eq!(h.fraction_at_most(128), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new("h");
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.9), Some(90));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(Histogram::new("e").quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new("a");
+        a.record(1);
+        let mut b = Histogram::new("b");
+        b.record_n(1, 2);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(1), 3);
+        assert_eq!(a.count(5), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn empty_histogram_is_none() {
+        let h = Histogram::new("h");
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.fraction_at_most(10), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the simulation engine's foundations.
+
+use proptest::prelude::*;
+use sim_engine::{geomean, Bandwidth, DetRng, EventQueue, Histogram, SimTime};
+
+proptest! {
+    /// Events pop in non-decreasing time order regardless of insertion
+    /// order, and ties preserve insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(*t), (i, *t));
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev.payload);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for pair in popped.windows(2) {
+            let (i0, t0) = pair[0];
+            let (i1, t1) = pair[1];
+            prop_assert!(t0 <= t1, "time order violated");
+            if t0 == t1 {
+                prop_assert!(i0 < i1, "tie broke insertion order");
+            }
+        }
+    }
+
+    /// Transfer time is additive: sending a+b bytes costs at least as
+    /// much as the max part, at most the sum plus rounding.
+    #[test]
+    fn bandwidth_transfer_additivity(a in 1u64..1_000_000, b in 1u64..1_000_000, gbps in 1u32..256) {
+        let bw = Bandwidth::from_gbps(f64::from(gbps));
+        let ta = bw.transfer_time(a);
+        let tb = bw.transfer_time(b);
+        let tab = bw.transfer_time(a + b);
+        prop_assert!(tab >= ta.max(tb));
+        // Each transfer_time call rounds up to whole picoseconds, so the
+        // combined transfer may exceed the sum by at most one tick.
+        prop_assert!(tab <= ta + tb + SimTime::from_ps(1));
+    }
+
+    /// Histogram merge is commutative in all observable statistics.
+    #[test]
+    fn histogram_merge_commutes(
+        xs in prop::collection::vec(0u64..256, 0..100),
+        ys in prop::collection::vec(0u64..256, 0..100),
+    ) {
+        let build = |vals: &[u64]| {
+            let mut h = Histogram::new("h");
+            for v in vals {
+                h.record(*v);
+            }
+            h
+        };
+        let mut ab = build(&xs);
+        ab.merge(&build(&ys));
+        let mut ba = build(&ys);
+        ba.merge(&build(&xs));
+        prop_assert_eq!(ab.total(), ba.total());
+        prop_assert_eq!(ab.mean(), ba.mean());
+        for v in 0..256 {
+            prop_assert_eq!(ab.count(v), ba.count(v));
+        }
+    }
+
+    /// The geometric mean lies between min and max of its inputs.
+    #[test]
+    fn geomean_is_bounded(vals in prop::collection::vec(0.01f64..100.0, 1..32)) {
+        let g = geomean(&vals).expect("positive inputs");
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001, "g={g} not in [{min},{max}]");
+    }
+
+    /// DetRng draws stay in bounds and identical streams replay exactly.
+    #[test]
+    fn det_rng_bounds_and_replay(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = DetRng::new(seed, "stream");
+        let mut b = DetRng::new(seed, "stream");
+        for _ in 0..64 {
+            let x = a.next_u64_below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.next_u64_below(bound));
+        }
+    }
+
+    /// Zipf draws always land inside the domain.
+    #[test]
+    fn zipf_in_domain(seed in any::<u64>(), n in 1u64..100_000, s in 0.1f64..2.5) {
+        let mut rng = DetRng::new(seed, "zipf");
+        for _ in 0..32 {
+            prop_assert!(rng.zipf(n, s) < n);
+        }
+    }
+}

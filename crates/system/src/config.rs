@@ -1,0 +1,146 @@
+//! System-level configuration: interconnect generation, per-iteration
+//! overheads, and the FinePack hardware parameters in force.
+
+use finepack::FinePackConfig;
+use gpu_model::GpuConfig;
+use protocol::{FramingModel, PcieGen};
+use sim_engine::SimTime;
+
+use crate::topology::Topology;
+
+/// Complete configuration of a simulated multi-GPU node.
+///
+/// # Examples
+///
+/// ```
+/// use system::SystemConfig;
+/// use protocol::PcieGen;
+///
+/// let cfg = SystemConfig::paper(4);
+/// assert_eq!(cfg.pcie_gen, PcieGen::Gen4);
+/// assert_eq!(cfg.num_gpus, 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Number of GPUs in the node.
+    pub num_gpus: u8,
+    /// Interconnect generation (fixes per-direction link bandwidth).
+    pub pcie_gen: PcieGen,
+    /// Switch arrangement (single switch in the paper's evaluation).
+    pub topology: Topology,
+    /// Link framing model.
+    pub framing: FramingModel,
+    /// GPU hardware configuration.
+    pub gpu: GpuConfig,
+    /// FinePack structure configuration.
+    pub finepack: FinePackConfig,
+    /// Per-iteration synchronization cost: barrier + kernel relaunch.
+    pub barrier_overhead: SimTime,
+    /// Extra software cost per DMA transfer window (runtime/driver
+    /// layers, §II-B).
+    pub dma_sw_overhead: SimTime,
+    /// Switch traversal latency per hop.
+    pub hop_latency: SimTime,
+    /// Write-combining / GPS line-buffer entries per destination.
+    pub combining_entries: usize,
+    /// Optional FinePack inactivity-timeout flush (§IV-B); `None`
+    /// matches the paper's evaluated configuration.
+    pub finepack_flush_timeout: Option<SimTime>,
+    /// Experiment seed (drives GPS subscription draws).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's evaluated system: `num_gpus` GV100s on switched
+    /// PCIe 4.0 with Table III FinePack structures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus < 2`.
+    pub fn paper(num_gpus: u8) -> Self {
+        SystemConfig {
+            num_gpus,
+            pcie_gen: PcieGen::Gen4,
+            topology: Topology::SingleSwitch,
+            framing: FramingModel::pcie_gen4(),
+            gpu: GpuConfig::gv100(),
+            finepack: FinePackConfig::paper(u32::from(num_gpus)),
+            barrier_overhead: SimTime::from_ns(1_500),
+            dma_sw_overhead: SimTime::from_ns(1_500),
+            hop_latency: SimTime::from_ns(500),
+            combining_entries: 64,
+            finepack_flush_timeout: None,
+            seed: 0xF14E_9ACC,
+        }
+    }
+
+    /// Enables FinePack's inactivity-timeout flush (§IV-B option).
+    pub fn with_finepack_timeout(mut self, timeout: SimTime) -> Self {
+        self.finepack_flush_timeout = Some(timeout);
+        self
+    }
+
+    /// Same system on a different switch topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Same system at a different interconnect generation (Fig 13).
+    pub fn with_pcie_gen(mut self, gen: PcieGen) -> Self {
+        self.pcie_gen = gen;
+        self
+    }
+
+    /// Replaces the FinePack configuration (Fig 12 sub-header sweep).
+    pub fn with_finepack(mut self, fp: FinePackConfig) -> Self {
+        self.finepack = fp;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sub-configuration is invalid.
+    pub fn validate(&self) {
+        assert!(self.num_gpus >= 2, "a node needs at least 2 GPUs");
+        self.gpu.validate();
+        self.finepack.validate();
+        assert!(self.combining_entries > 0);
+        if let Topology::TwoLevel { gpus_per_leaf } = self.topology {
+            assert!(
+                gpus_per_leaf > 0 && self.num_gpus.is_multiple_of(gpus_per_leaf),
+                "leaf size must divide GPU count"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        SystemConfig::paper(4).validate();
+        SystemConfig::paper(16).validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SystemConfig::paper(4)
+            .with_pcie_gen(PcieGen::Gen6)
+            .with_finepack(FinePackConfig::paper(4));
+        assert_eq!(cfg.pcie_gen, PcieGen::Gen6);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_gpu_node_invalid() {
+        let mut cfg = SystemConfig::paper(4);
+        cfg.num_gpus = 1;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,305 @@
+//! High-level experiment drivers: everything the paper's figures need,
+//! expressed as reusable functions over (workload, system, paradigm).
+
+use finepack::{FinePackConfig, SubheaderFormat};
+use gpu_model::{AddressMap, Gpu, GpuId, KernelRun, KernelStats};
+use protocol::PcieGen;
+use sim_engine::{geomean, SimTime};
+use workloads::{CommPattern, RunSpec, Workload};
+
+use crate::config::SystemConfig;
+use crate::paradigm::Paradigm;
+use crate::report::RunReport;
+use crate::runner::{DmaPlan, Runner};
+
+/// Bytes of physical memory per GPU in the node address map (Table III).
+const GPU_MEMORY: u64 = 16 << 30;
+
+/// A workload with its kernel traces replayed once, reusable across all
+/// paradigms (the egress stream is paradigm-independent).
+#[derive(Debug)]
+pub struct PreparedWorkload {
+    name: String,
+    read_fraction: f64,
+    gps_unsubscribed: f64,
+    /// `[iteration][gpu]`.
+    runs: Vec<Vec<KernelRun>>,
+    dma_plan: DmaPlan,
+}
+
+impl PreparedWorkload {
+    /// Replays `app`'s traces on the configured GPUs for every iteration
+    /// of `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.num_gpus != cfg.num_gpus`.
+    pub fn new(app: &dyn Workload, cfg: &SystemConfig, spec: &RunSpec) -> Self {
+        assert_eq!(spec.num_gpus, cfg.num_gpus, "spec/system GPU count mismatch");
+        let map = AddressMap::new(cfg.num_gpus, GPU_MEMORY);
+        let gpus: Vec<Gpu> = (0..cfg.num_gpus)
+            .map(|g| Gpu::new(cfg.gpu, GpuId::new(g), map))
+            .collect();
+        let runs = (0..spec.iterations)
+            .map(|iter| {
+                gpus.iter()
+                    .map(|gpu| gpu.execute_kernel(&app.trace(spec, iter, gpu.id())))
+                    .collect()
+            })
+            .collect();
+        PreparedWorkload {
+            name: app.name().to_string(),
+            read_fraction: app.read_fraction(),
+            gps_unsubscribed: app.gps_unsubscribed_fraction(),
+            runs,
+            dma_plan: dma_plan(app, spec),
+        }
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-iteration, per-GPU kernel replays.
+    pub fn runs(&self) -> &[Vec<KernelRun>] {
+        &self.runs
+    }
+
+    /// Merged replay statistics across GPUs and iterations (Fig 4 data).
+    pub fn merged_stats(&self) -> KernelStats {
+        let mut merged: Option<KernelStats> = None;
+        for iter in &self.runs {
+            for run in iter {
+                match &mut merged {
+                    None => merged = Some(run.stats.clone()),
+                    Some(m) => {
+                        m.remote_size_hist.merge(&run.stats.remote_size_hist);
+                        m.remote_bytes += run.stats.remote_bytes;
+                        m.remote_stores += run.stats.remote_stores;
+                        m.local_bytes += run.stats.local_bytes;
+                        m.local_stores += run.stats.local_stores;
+                        m.compute_cycles += run.stats.compute_cycles;
+                    }
+                }
+            }
+        }
+        merged.expect("at least one kernel run")
+    }
+
+    /// Simulates this workload under `paradigm` on `cfg`.
+    pub fn run(&self, cfg: &SystemConfig, paradigm: Paradigm) -> RunReport {
+        let mut runner = Runner::new(*cfg, paradigm, self.gps_unsubscribed, false);
+        for iter_runs in &self.runs {
+            runner.run_iteration(iter_runs, &self.dma_plan);
+        }
+        runner.finish(&self.name, self.read_fraction)
+    }
+}
+
+/// The memcpy paradigm's transfer legs for one iteration: each GPU ships
+/// its replica updates to every communication target.
+pub fn dma_plan(app: &dyn Workload, spec: &RunSpec) -> DmaPlan {
+    let mut plan = Vec::new();
+    if spec.num_gpus < 2 {
+        return plan;
+    }
+    for g in 0..spec.num_gpus {
+        let src = GpuId::new(g);
+        let dsts: Vec<GpuId> = match app.pattern() {
+            CommPattern::Neighbors => [i32::from(g) - 1, i32::from(g) + 1]
+                .into_iter()
+                .filter(|j| *j >= 0 && *j < i32::from(spec.num_gpus))
+                .map(|j| GpuId::new(j as u8))
+                .collect(),
+            CommPattern::ManyToMany | CommPattern::AllToAll => (0..spec.num_gpus)
+                .map(GpuId::new)
+                .filter(|d| *d != src)
+                .collect(),
+        };
+        // For halo patterns the knob names an interior GPU's outbound
+        // total (two boundaries); each leg carries one boundary's worth.
+        let per_dst = match app.pattern() {
+            CommPattern::Neighbors => app.dma_bytes_per_gpu(spec) / 2,
+            _ => app.dma_bytes_per_gpu(spec) / dsts.len().max(1) as u64,
+        };
+        for dst in dsts {
+            plan.push((src, dst, per_dst));
+        }
+    }
+    plan
+}
+
+/// Simulated wall time of the single-GPU baseline: the whole problem on
+/// one GPU, no inter-GPU communication.
+pub fn single_gpu_time(app: &dyn Workload, cfg: &SystemConfig, spec: &RunSpec) -> SimTime {
+    let mut one = *spec;
+    one.num_gpus = 1;
+    let map = AddressMap::new(1, GPU_MEMORY);
+    let gpu = Gpu::new(cfg.gpu, GpuId::new(0), map);
+    let mut total = SimTime::ZERO;
+    for iter in 0..one.iterations {
+        let run = gpu.execute_kernel(&app.trace(&one, iter, GpuId::new(0)));
+        debug_assert!(run.egress.is_empty(), "single-GPU run must be local-only");
+        total += run.kernel_time + cfg.barrier_overhead;
+    }
+    total
+}
+
+/// One application's Fig 9 row: speedups over the single-GPU baseline.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Application name.
+    pub app: String,
+    /// `(paradigm, speedup)` pairs in [`Paradigm::FIG9`] order.
+    pub speedups: Vec<(Paradigm, f64)>,
+}
+
+impl SpeedupRow {
+    /// The speedup for `paradigm`, if measured.
+    pub fn speedup(&self, paradigm: Paradigm) -> Option<f64> {
+        self.speedups
+            .iter()
+            .find(|(p, _)| *p == paradigm)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Computes one application's speedups for the given paradigms.
+pub fn speedup_row(
+    app: &dyn Workload,
+    cfg: &SystemConfig,
+    spec: &RunSpec,
+    paradigms: &[Paradigm],
+) -> SpeedupRow {
+    let t1 = single_gpu_time(app, cfg, spec);
+    let prepared = PreparedWorkload::new(app, cfg, spec);
+    let speedups = paradigms
+        .iter()
+        .map(|p| {
+            let tn = prepared.run(cfg, *p).total_time;
+            (*p, t1.as_secs_f64() / tn.as_secs_f64())
+        })
+        .collect();
+    SpeedupRow {
+        app: app.name().to_string(),
+        speedups,
+    }
+}
+
+/// Geometric-mean speedup across rows for `paradigm`.
+pub fn geomean_speedup(rows: &[SpeedupRow], paradigm: Paradigm) -> Option<f64> {
+    let vals: Vec<f64> = rows.iter().filter_map(|r| r.speedup(paradigm)).collect();
+    geomean(&vals)
+}
+
+/// Fig 12: geomean FinePack speedup for each sub-header size (2–6 bytes).
+pub fn subheader_sweep(
+    apps: &[Box<dyn Workload>],
+    base_cfg: &SystemConfig,
+    spec: &RunSpec,
+) -> Vec<(u32, f64)> {
+    (2..=6u32)
+        .map(|bytes| {
+            let sub = SubheaderFormat::new(bytes).expect("2..=6 valid");
+            let fp = FinePackConfig::paper(u32::from(base_cfg.num_gpus)).with_subheader(sub);
+            let cfg = base_cfg.with_finepack(fp);
+            let rows: Vec<SpeedupRow> = apps
+                .iter()
+                .map(|a| speedup_row(a.as_ref(), &cfg, spec, &[Paradigm::FinePack]))
+                .collect();
+            (
+                bytes,
+                geomean_speedup(&rows, Paradigm::FinePack).expect("non-empty"),
+            )
+        })
+        .collect()
+}
+
+/// Fig 13: geomean speedups per interconnect generation for the given
+/// paradigms.
+pub fn bandwidth_sweep(
+    apps: &[Box<dyn Workload>],
+    base_cfg: &SystemConfig,
+    spec: &RunSpec,
+    paradigms: &[Paradigm],
+) -> Vec<(PcieGen, Vec<(Paradigm, f64)>)> {
+    PcieGen::ALL
+        .into_iter()
+        .map(|gen| {
+            let cfg = base_cfg.with_pcie_gen(gen);
+            let rows: Vec<SpeedupRow> = apps
+                .iter()
+                .map(|a| speedup_row(a.as_ref(), &cfg, spec, paradigms))
+                .collect();
+            let means = paradigms
+                .iter()
+                .map(|p| (*p, geomean_speedup(&rows, *p).expect("non-empty")))
+                .collect();
+            (gen, means)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Jacobi, Pagerank};
+
+    fn tiny_cfg() -> (SystemConfig, RunSpec) {
+        (SystemConfig::paper(2), RunSpec::tiny())
+    }
+
+    #[test]
+    fn prepared_workload_reuses_traces_across_paradigms() {
+        let (cfg, spec) = tiny_cfg();
+        let app = Pagerank::default();
+        let prep = PreparedWorkload::new(&app, &cfg, &spec);
+        let a = prep.run(&cfg, Paradigm::FinePack);
+        let b = prep.run(&cfg, Paradigm::P2pStores);
+        assert_eq!(a.unique_bytes, b.unique_bytes);
+        assert!(a.total_time < b.total_time);
+    }
+
+    #[test]
+    fn speedup_ordering_matches_paper_for_irregular_app() {
+        let (cfg, spec) = tiny_cfg();
+        let row = speedup_row(&Pagerank::default(), &cfg, &spec, &Paradigm::FIG9);
+        let inf = row.speedup(Paradigm::InfiniteBw).unwrap();
+        let fp = row.speedup(Paradigm::FinePack).unwrap();
+        let p2p = row.speedup(Paradigm::P2pStores).unwrap();
+        assert!(inf >= fp, "inf {inf} >= fp {fp}");
+        assert!(fp > p2p, "fp {fp} > p2p {p2p}");
+    }
+
+    #[test]
+    fn dma_plan_respects_pattern() {
+        let spec = RunSpec::paper(4);
+        let halo = dma_plan(&Jacobi::default(), &spec);
+        // Ring without wraparound: GPUs 0 and 3 have one leg, 1 and 2 two.
+        assert_eq!(halo.len(), 6);
+        let a2a = dma_plan(&Pagerank::default(), &spec); // neighbors too
+        assert_eq!(a2a.len(), 6);
+    }
+
+    #[test]
+    fn single_gpu_time_scales_with_iterations() {
+        let (cfg, mut spec) = tiny_cfg();
+        let app = Jacobi::default();
+        spec.iterations = 1;
+        let t1 = single_gpu_time(&app, &cfg, &spec);
+        spec.iterations = 2;
+        let t2 = single_gpu_time(&app, &cfg, &spec);
+        assert!(t2 > t1);
+        assert!(t2 <= t1 * 3);
+    }
+
+    #[test]
+    fn merged_stats_accumulate() {
+        let (cfg, spec) = tiny_cfg();
+        let prep = PreparedWorkload::new(&Jacobi::default(), &cfg, &spec);
+        let stats = prep.merged_stats();
+        assert!(stats.remote_stores > 0);
+        assert_eq!(stats.mean_remote_size(), Some(128.0));
+    }
+}

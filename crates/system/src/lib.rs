@@ -1,0 +1,49 @@
+//! # system
+//!
+//! Multi-GPU system assembly for the FinePack reproduction: the switched
+//! PCIe fabric, the communication paradigms under comparison, the
+//! event-driven iteration runner, and the experiment drivers behind every
+//! figure of the paper's evaluation.
+//!
+//! The flow mirrors §V: workload generators produce per-GPU kernel
+//! traces; [`gpu_model`] replays them into timed remote-store egress
+//! streams; a [`Runner`] pushes those streams through a [`Paradigm`]'s
+//! egress path (FinePack, raw P2P, write-combining, GPS) or through the
+//! DMA model, over a [`Fabric`] of per-GPU full-duplex links; iteration
+//! barriers enforce the bulk-synchronous release semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! use system::{speedup_row, Paradigm, SystemConfig};
+//! use workloads::{Pagerank, RunSpec};
+//!
+//! let cfg = SystemConfig::paper(2);
+//! let row = speedup_row(&Pagerank::default(), &cfg, &RunSpec::tiny(), &Paradigm::FIG9);
+//! // FinePack recovers most of the infinite-bandwidth opportunity.
+//! let fp = row.speedup(Paradigm::FinePack).unwrap();
+//! let p2p = row.speedup(Paradigm::P2pStores).unwrap();
+//! assert!(fp > p2p);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod experiment;
+mod link;
+mod paradigm;
+mod report;
+mod runner;
+mod topology;
+
+pub use config::SystemConfig;
+pub use experiment::{
+    bandwidth_sweep, dma_plan, geomean_speedup, single_gpu_time, speedup_row, subheader_sweep,
+    PreparedWorkload, SpeedupRow,
+};
+pub use link::{Fabric, Link};
+pub use paradigm::Paradigm;
+pub use report::{RunReport, TrafficBreakdown, UniqueTracker};
+pub use runner::{DmaPlan, Runner};
+pub use topology::{RoutedFabric, Topology};

@@ -1,0 +1,169 @@
+//! The switched interconnect fabric: one full-duplex link per GPU to the
+//! switch, modeled with per-direction serialization and a fixed hop
+//! latency. Ingress links are shared by all sources targeting the same
+//! GPU, which is where all-to-all patterns contend.
+
+use gpu_model::GpuId;
+use sim_engine::{Bandwidth, SimTime};
+
+/// One link direction: serializes transfers in arrival order.
+#[derive(Debug, Clone)]
+pub struct Link {
+    bandwidth: Bandwidth,
+    busy_until: SimTime,
+    bytes_carried: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(bandwidth: Bandwidth) -> Self {
+        Link {
+            bandwidth,
+            busy_until: SimTime::ZERO,
+            bytes_carried: 0,
+        }
+    }
+
+    /// Transmits `bytes` arriving at time `at`; returns the completion
+    /// time. Transfers queue behind earlier ones (store-and-forward).
+    pub fn transmit(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let start = at.max(self.busy_until);
+        let done = start + self.bandwidth.transfer_time(bytes);
+        self.busy_until = done;
+        self.bytes_carried += bytes;
+        done
+    }
+
+    /// When the link next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total bytes carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Resets the busy horizon (used at iteration barriers, when the
+    /// fabric is quiescent) without clearing byte counters.
+    pub fn reset_time(&mut self) {
+        self.busy_until = SimTime::ZERO;
+    }
+}
+
+/// The full fabric: per-GPU egress and ingress links plus the switch hop.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    egress: Vec<Link>,
+    ingress: Vec<Link>,
+    hop_latency: SimTime,
+}
+
+impl Fabric {
+    /// Creates a fabric for `num_gpus` GPUs with `bandwidth` per link
+    /// direction and `hop_latency` through the switch.
+    pub fn new(num_gpus: u8, bandwidth: Bandwidth, hop_latency: SimTime) -> Self {
+        Fabric {
+            egress: (0..num_gpus).map(|_| Link::new(bandwidth)).collect(),
+            ingress: (0..num_gpus).map(|_| Link::new(bandwidth)).collect(),
+            hop_latency,
+        }
+    }
+
+    /// Sends `bytes` from `src` to `dst` starting no earlier than `at`;
+    /// returns the time the last byte lands at the destination.
+    ///
+    /// The switch is cut-through: the ingress link starts receiving one
+    /// hop latency after the egress link starts sending, so an
+    /// uncontended transfer is serialized once, not twice. Contention on
+    /// the destination's ingress link still queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` (local traffic never enters the fabric).
+    pub fn send(&mut self, at: SimTime, src: GpuId, dst: GpuId, bytes: u64) -> SimTime {
+        assert_ne!(src, dst, "local traffic must not enter the fabric");
+        let start = at.max(self.egress[src.index()].busy_until());
+        self.egress[src.index()].transmit(at, bytes);
+        self.ingress[dst.index()].transmit(start + self.hop_latency, bytes)
+    }
+
+    /// Total bytes each GPU sent.
+    pub fn egress_bytes(&self, gpu: GpuId) -> u64 {
+        self.egress[gpu.index()].bytes_carried()
+    }
+
+    /// Total bytes each GPU received.
+    pub fn ingress_bytes(&self, gpu: GpuId) -> u64 {
+        self.ingress[gpu.index()].bytes_carried()
+    }
+
+    /// Quiesces all link timing at an iteration barrier.
+    pub fn reset_time(&mut self) {
+        for l in self.egress.iter_mut().chain(self.ingress.iter_mut()) {
+            l.reset_time();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw() -> Bandwidth {
+        Bandwidth::from_gbps(32.0)
+    }
+
+    #[test]
+    fn link_serializes_back_to_back() {
+        let mut l = Link::new(bw());
+        let t1 = l.transmit(SimTime::ZERO, 32_000); // 1us at 32GB/s
+        assert_eq!(t1, SimTime::from_us(1));
+        let t2 = l.transmit(SimTime::ZERO, 32_000); // queues behind
+        assert_eq!(t2, SimTime::from_us(2));
+        assert_eq!(l.bytes_carried(), 64_000);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_charged() {
+        let mut l = Link::new(bw());
+        l.transmit(SimTime::ZERO, 32_000);
+        let t = l.transmit(SimTime::from_us(10), 32_000);
+        assert_eq!(t, SimTime::from_us(11));
+    }
+
+    #[test]
+    fn fabric_couples_ingress() {
+        let mut f = Fabric::new(4, bw(), SimTime::ZERO);
+        // Two sources target GPU3 simultaneously; ingress serializes.
+        let a = f.send(SimTime::ZERO, GpuId::new(0), GpuId::new(3), 32_000);
+        let b = f.send(SimTime::ZERO, GpuId::new(1), GpuId::new(3), 32_000);
+        assert_eq!(a, SimTime::from_us(1));
+        assert_eq!(b, SimTime::from_us(2));
+        assert_eq!(f.ingress_bytes(GpuId::new(3)), 64_000);
+    }
+
+    #[test]
+    fn hop_latency_added_once() {
+        let mut f = Fabric::new(2, bw(), SimTime::from_ns(500));
+        let done = f.send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000);
+        assert_eq!(done, SimTime::from_us(1) + SimTime::from_ns(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "local traffic")]
+    fn self_send_panics() {
+        let mut f = Fabric::new(2, bw(), SimTime::ZERO);
+        f.send(SimTime::ZERO, GpuId::new(0), GpuId::new(0), 1);
+    }
+
+    #[test]
+    fn reset_clears_time_not_counters() {
+        let mut f = Fabric::new(2, bw(), SimTime::ZERO);
+        f.send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000);
+        f.reset_time();
+        let done = f.send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000);
+        assert_eq!(done, SimTime::from_us(1));
+        assert_eq!(f.egress_bytes(GpuId::new(0)), 64_000);
+    }
+}

@@ -1,0 +1,394 @@
+//! The event-driven iteration runner: replays per-GPU kernel egress
+//! streams through a paradigm's egress paths and the switched fabric,
+//! producing execution times and wire-traffic accounting.
+
+use finepack::{EgressMetrics, EgressPath, WirePacket};
+use gpu_model::{GpuId, KernelRun, MemoryImage};
+use sim_engine::{Bandwidth, EventQueue, SimTime};
+
+use crate::config::SystemConfig;
+use crate::topology::RoutedFabric;
+use crate::paradigm::Paradigm;
+use crate::report::{RunReport, TrafficBreakdown, UniqueTracker};
+
+/// One DMA transfer leg: (source, destination, payload bytes).
+pub type DmaPlan = Vec<(GpuId, GpuId, u64)>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Store { gpu: usize, idx: usize },
+    Atomic { gpu: usize, idx: usize },
+    Probe { gpu: usize, idx: usize },
+    Fence { gpu: usize },
+    KernelEnd { gpu: usize },
+}
+
+/// Simulates a (workload, paradigm) combination iteration by iteration.
+///
+/// # Examples
+///
+/// ```
+/// use system::{Paradigm, Runner, SystemConfig};
+/// use workloads::{Jacobi, RunSpec, Workload};
+/// use gpu_model::{AddressMap, Gpu, GpuId};
+///
+/// let cfg = SystemConfig::paper(2);
+/// let spec = RunSpec::tiny();
+/// let mut runner = Runner::new(cfg, Paradigm::FinePack, 0.0, false);
+/// let map = AddressMap::new(2, 16 << 30);
+/// let app = Jacobi::default();
+/// let runs: Vec<_> = (0..2)
+///     .map(|g| {
+///         let gpu = Gpu::new(cfg.gpu, GpuId::new(g), map);
+///         gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(g)))
+///     })
+///     .collect();
+/// runner.run_iteration(&runs, &[]);
+/// let report = runner.finish("jacobi", 1.0);
+/// assert!(report.total_time.as_ps() > 0);
+/// ```
+#[derive(Debug)]
+pub struct Runner {
+    cfg: SystemConfig,
+    paradigm: Paradigm,
+    paths: Vec<Option<Box<dyn EgressPath>>>,
+    fabric: RoutedFabric,
+    unique: UniqueTracker,
+    images: Option<Vec<MemoryImage>>,
+    hbm: Bandwidth,
+    dma_wire_bytes: u64,
+    dma_data_bytes: u64,
+    total_time: SimTime,
+    compute_time: SimTime,
+    drain_tail: SimTime,
+    barrier_time: SimTime,
+    iterations: u32,
+}
+
+impl Runner {
+    /// Creates a runner. `gps_unsubscribed` parameterizes the GPS
+    /// paradigm; `track_memory` enables functional memory images for
+    /// transparency verification (slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn new(
+        cfg: SystemConfig,
+        paradigm: Paradigm,
+        gps_unsubscribed: f64,
+        track_memory: bool,
+    ) -> Self {
+        cfg.validate();
+        let paths = (0..cfg.num_gpus)
+            .map(|g| paradigm.make_egress(&cfg, GpuId::new(g), gps_unsubscribed))
+            .collect();
+        let fabric = RoutedFabric::new(
+            cfg.topology,
+            cfg.num_gpus,
+            cfg.pcie_gen.bandwidth(),
+            cfg.hop_latency,
+        );
+        Runner {
+            cfg,
+            paradigm,
+            paths,
+            fabric,
+            unique: UniqueTracker::new(),
+            images: track_memory
+                .then(|| (0..cfg.num_gpus).map(|_| MemoryImage::new()).collect()),
+            hbm: cfg.gpu.hbm_bandwidth,
+            dma_wire_bytes: 0,
+            dma_data_bytes: 0,
+            total_time: SimTime::ZERO,
+            compute_time: SimTime::ZERO,
+            drain_tail: SimTime::ZERO,
+            barrier_time: SimTime::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// The destination memory images, when `track_memory` was requested.
+    pub fn images(&self) -> Option<&[MemoryImage]> {
+        self.images.as_deref()
+    }
+
+    fn deliver(&mut self, at: SimTime, src: GpuId, packets: Vec<WirePacket>) -> SimTime {
+        let mut last = SimTime::ZERO;
+        for p in packets {
+            let landed = self.fabric.send(at, src, p.dst, p.wire_bytes);
+            // The de-packetizer / L2 drains disaggregated stores at local
+            // memory bandwidth (§IV-B); this is never the bottleneck but
+            // is modeled for completeness.
+            let drained = landed + self.hbm.transfer_time(p.data_bytes);
+            last = last.max(drained);
+            if let Some(images) = &mut self.images {
+                for s in &p.stores {
+                    images[p.dst.index()].write(s.addr, &s.data);
+                }
+            }
+        }
+        last
+    }
+
+    /// Simulates one bulk-synchronous iteration. `runs` holds each GPU's
+    /// kernel replay; `dma_plan` the DMA legs (used only by
+    /// [`Paradigm::BulkDma`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs.len()` differs from the configured GPU count.
+    pub fn run_iteration(&mut self, runs: &[KernelRun], dma_plan: &[(GpuId, GpuId, u64)]) {
+        assert_eq!(runs.len(), usize::from(self.cfg.num_gpus));
+        // Unique-byte tracking is paradigm-independent: it reflects the
+        // program's store stream.
+        for run in runs {
+            for t in run.egress.iter().chain(run.atomics.iter()) {
+                self.unique.add(t.store.addr, t.store.len());
+            }
+        }
+
+        let kernel_end = runs
+            .iter()
+            .map(|r| r.kernel_time)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut last_delivery = SimTime::ZERO;
+
+        match self.paradigm {
+            Paradigm::InfiniteBw => {
+                // Transfer time analytically elided (§V).
+            }
+            Paradigm::BulkDma => {
+                for (src, dst, bytes) in dma_plan {
+                    let start = runs[src.index()].kernel_time + self.cfg.dma_sw_overhead;
+                    let wire = self.cfg.framing.bulk_wire_bytes(*bytes);
+                    let landed = self.fabric.send(start, *src, *dst, wire);
+                    last_delivery = last_delivery.max(landed);
+                    self.dma_wire_bytes += wire;
+                    self.dma_data_bytes += bytes;
+                }
+                if let Some(images) = &mut self.images {
+                    // A DMA of the replica region delivers every written
+                    // byte's final value.
+                    for run in runs {
+                        for t in run.egress.iter().chain(run.atomics.iter()) {
+                            images[t.store.dst.index()].write(t.store.addr, &t.store.data);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Store-transport paradigms: event-driven replay.
+                let mut queue: EventQueue<Ev> = EventQueue::new();
+                for (g, run) in runs.iter().enumerate() {
+                    for (idx, t) in run.egress.iter().enumerate() {
+                        queue.schedule(t.time, Ev::Store { gpu: g, idx });
+                    }
+                    for (idx, t) in run.atomics.iter().enumerate() {
+                        queue.schedule(t.time, Ev::Atomic { gpu: g, idx });
+                    }
+                    for (idx, p) in run.probes.iter().enumerate() {
+                        queue.schedule(p.time, Ev::Probe { gpu: g, idx });
+                    }
+                    for f in &run.fences {
+                        queue.schedule(*f, Ev::Fence { gpu: g });
+                    }
+                    queue.schedule(run.kernel_time, Ev::KernelEnd { gpu: g });
+                }
+                while let Some(ev) = queue.pop() {
+                    let now = ev.time;
+                    let (gpu, mut packets) = match ev.payload {
+                        Ev::Store { gpu, idx } => {
+                            let store = runs[gpu].egress[idx].store.clone();
+                            let path = self.paths[gpu].as_mut().expect("store paradigm");
+                            (gpu, path.push(store, now).expect("valid L1-coalesced store"))
+                        }
+                        Ev::Atomic { gpu, idx } => {
+                            let store = runs[gpu].atomics[idx].store.clone();
+                            let path = self.paths[gpu].as_mut().expect("store paradigm");
+                            (gpu, path.push_atomic(store, now).expect("valid atomic"))
+                        }
+                        Ev::Probe { gpu, idx } => {
+                            let p = runs[gpu].probes[idx];
+                            let path = self.paths[gpu].as_mut().expect("store paradigm");
+                            (gpu, path.load_probe(p.dst, p.addr, p.len, now))
+                        }
+                        Ev::Fence { gpu } | Ev::KernelEnd { gpu } => {
+                            let path = self.paths[gpu].as_mut().expect("store paradigm");
+                            (gpu, path.release())
+                        }
+                    };
+                    // Inactivity-timeout flushes piggyback on event
+                    // processing for the same GPU.
+                    let path = self.paths[gpu].as_mut().expect("store paradigm");
+                    packets.extend(path.advance(now));
+                    if !packets.is_empty() {
+                        let done = self.deliver(now, GpuId::new(gpu as u8), packets);
+                        last_delivery = last_delivery.max(done);
+                    }
+                }
+            }
+        }
+
+        let iter_time = kernel_end.max(last_delivery) + self.cfg.barrier_overhead;
+        self.total_time += iter_time;
+        self.compute_time += kernel_end;
+        self.drain_tail += last_delivery.saturating_sub(kernel_end);
+        self.barrier_time += self.cfg.barrier_overhead;
+        self.iterations += 1;
+        self.unique.barrier();
+        self.fabric.reset_time();
+    }
+
+    /// Finalizes the run into a [`RunReport`]. `read_fraction` is the
+    /// workload's fraction of uniquely-written bytes the destination
+    /// reads (drives the useful/wasted split of Fig 10).
+    pub fn finish(self, workload: &str, read_fraction: f64) -> RunReport {
+        let mut egress = EgressMetrics::default();
+        for p in self.paths.iter().flatten() {
+            egress.merge(p.metrics());
+        }
+        let unique = self.unique.unique_bytes();
+        let useful_target = (unique as f64 * read_fraction) as u64;
+        let traffic = match self.paradigm {
+            Paradigm::InfiniteBw => TrafficBreakdown::default(),
+            Paradigm::BulkDma => {
+                let useful = useful_target.min(self.dma_data_bytes);
+                TrafficBreakdown {
+                    useful,
+                    protocol: self.dma_wire_bytes - self.dma_data_bytes,
+                    wasted: self.dma_data_bytes - useful,
+                }
+            }
+            _ => {
+                let useful = useful_target.min(egress.data_bytes);
+                TrafficBreakdown {
+                    useful,
+                    protocol: egress.protocol_bytes(),
+                    wasted: egress.data_bytes - useful,
+                }
+            }
+        };
+        RunReport {
+            workload: workload.to_string(),
+            paradigm: self.paradigm,
+            num_gpus: self.cfg.num_gpus,
+            total_time: self.total_time,
+            compute_time: self.compute_time,
+            drain_tail: self.drain_tail,
+            barrier_time: self.barrier_time,
+            traffic,
+            egress,
+            unique_bytes: unique,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_model::{AddressMap, Gpu};
+    use workloads::{Jacobi, Pagerank, RunSpec, Workload};
+
+    fn runs_for(app: &dyn Workload, cfg: &SystemConfig, spec: &RunSpec) -> Vec<KernelRun> {
+        let map = AddressMap::new(cfg.num_gpus, 16 << 30);
+        (0..cfg.num_gpus)
+            .map(|g| {
+                let gpu = Gpu::new(cfg.gpu, GpuId::new(g), map);
+                gpu.execute_kernel(&app.trace(spec, 0, GpuId::new(g)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn infinite_bw_is_fastest() {
+        let cfg = SystemConfig::paper(2);
+        let spec = RunSpec::tiny();
+        let app = Pagerank::default();
+        let runs = runs_for(&app, &cfg, &spec);
+        let times: Vec<SimTime> = [Paradigm::InfiniteBw, Paradigm::FinePack, Paradigm::P2pStores]
+            .into_iter()
+            .map(|p| {
+                let mut r = Runner::new(cfg, p, 0.0, false);
+                r.run_iteration(&runs, &[]);
+                r.finish("pagerank", 0.8).total_time
+            })
+            .collect();
+        assert!(times[0] <= times[1], "inf {} vs fp {}", times[0], times[1]);
+        assert!(times[1] < times[2], "fp {} vs p2p {}", times[1], times[2]);
+    }
+
+    #[test]
+    fn dma_paradigm_accounts_wire_bytes() {
+        let cfg = SystemConfig::paper(2);
+        let spec = RunSpec::tiny();
+        let app = Jacobi::default();
+        let runs = runs_for(&app, &cfg, &spec);
+        let mut r = Runner::new(cfg, Paradigm::BulkDma, 0.0, false);
+        let plan = vec![
+            (GpuId::new(0), GpuId::new(1), 64 << 10),
+            (GpuId::new(1), GpuId::new(0), 64 << 10),
+        ];
+        r.run_iteration(&runs, &plan);
+        let report = r.finish("jacobi", 1.0);
+        assert!(report.traffic.total() > 128 << 10);
+        // Bulk TLPs: protocol share is tiny.
+        let prot_frac = report.traffic.protocol as f64 / report.traffic.total() as f64;
+        assert!(prot_frac < 0.02, "prot_frac={prot_frac}");
+    }
+
+    #[test]
+    fn transparency_all_store_paradigms_same_memory_image() {
+        let cfg = SystemConfig::paper(2);
+        let spec = RunSpec::tiny();
+        let app = Pagerank::default();
+        let runs = runs_for(&app, &cfg, &spec);
+        let image_for = |p: Paradigm| {
+            let mut r = Runner::new(cfg, p, 0.0, true);
+            r.run_iteration(&runs, &[]);
+            r.images().unwrap().to_vec()
+        };
+        let p2p = image_for(Paradigm::P2pStores);
+        let fp = image_for(Paradigm::FinePack);
+        let wc = image_for(Paradigm::WriteCombining);
+        for g in 0..2 {
+            assert!(
+                p2p[g].same_contents(&fp[g]),
+                "finepack image differs on GPU{g}"
+            );
+            assert!(
+                p2p[g].same_contents(&wc[g]),
+                "write-combining image differs on GPU{g}"
+            );
+        }
+    }
+
+    #[test]
+    fn finepack_uses_less_wire_than_p2p_and_more_stores_per_packet() {
+        let cfg = SystemConfig::paper(2);
+        let spec = RunSpec::tiny();
+        let app = Pagerank::default();
+        let runs = runs_for(&app, &cfg, &spec);
+        let report_for = |p: Paradigm| {
+            let mut r = Runner::new(cfg, p, 0.0, false);
+            r.run_iteration(&runs, &[]);
+            r.finish("pagerank", 0.8)
+        };
+        let fp = report_for(Paradigm::FinePack);
+        let p2p = report_for(Paradigm::P2pStores);
+        assert!(fp.traffic.total() * 2 < p2p.traffic.total());
+        assert!(fp.mean_stores_per_packet().unwrap() > 8.0);
+        assert_eq!(p2p.mean_stores_per_packet(), Some(1.0));
+        // Same unique bytes either way (paradigm-independent).
+        assert_eq!(fp.unique_bytes, p2p.unique_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn wrong_run_count_panics() {
+        let cfg = SystemConfig::paper(4);
+        let mut r = Runner::new(cfg, Paradigm::InfiniteBw, 0.0, false);
+        r.run_iteration(&[], &[]);
+    }
+}

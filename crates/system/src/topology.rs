@@ -1,0 +1,237 @@
+//! Switch topologies. The paper's 4-GPU system hangs off a single PCIe
+//! switch; larger nodes (its §VI-B 16-GPU projection) realistically use a
+//! two-level switch tree, where leaf-to-spine uplinks carry all
+//! inter-leaf traffic and become the contended resource for all-to-all
+//! patterns.
+
+use gpu_model::GpuId;
+use sim_engine::{Bandwidth, SimTime};
+
+use crate::link::Link;
+
+/// The switch arrangement connecting the GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every GPU on one switch: uniform single-hop connectivity (the
+    /// paper's evaluated 4-GPU system).
+    SingleSwitch,
+    /// Two-level tree: GPUs attach to leaf switches of `gpus_per_leaf`;
+    /// leaves connect to one spine by a single uplink per direction.
+    /// Intra-leaf traffic takes one hop; inter-leaf traffic additionally
+    /// crosses two (shared) uplinks.
+    TwoLevel {
+        /// GPUs per leaf switch (must divide the GPU count).
+        gpus_per_leaf: u8,
+    },
+}
+
+impl Topology {
+    /// Number of switch hops between two GPUs.
+    pub fn hops(&self, a: GpuId, b: GpuId) -> u32 {
+        match self {
+            Topology::SingleSwitch => 1,
+            Topology::TwoLevel { gpus_per_leaf } => {
+                if a.index() / usize::from(*gpus_per_leaf)
+                    == b.index() / usize::from(*gpus_per_leaf)
+                {
+                    1
+                } else {
+                    3 // leaf -> spine -> leaf
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Topology::SingleSwitch => write!(f, "single-switch"),
+            Topology::TwoLevel { gpus_per_leaf } => {
+                write!(f, "two-level ({gpus_per_leaf} GPUs/leaf)")
+            }
+        }
+    }
+}
+
+/// The routed fabric: per-GPU access links plus (for two-level
+/// topologies) shared per-leaf uplinks in both directions.
+#[derive(Debug, Clone)]
+pub struct RoutedFabric {
+    topology: Topology,
+    egress: Vec<Link>,
+    ingress: Vec<Link>,
+    /// Per-leaf uplink toward the spine.
+    up: Vec<Link>,
+    /// Per-leaf downlink from the spine.
+    down: Vec<Link>,
+    gpus_per_leaf: usize,
+    hop_latency: SimTime,
+}
+
+impl RoutedFabric {
+    /// Builds the fabric. All links (access and uplinks) run at
+    /// `bandwidth` per direction, as with real PCIe switch trees built
+    /// from the same generation of links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a two-level topology's leaf size does not divide
+    /// `num_gpus`.
+    pub fn new(
+        topology: Topology,
+        num_gpus: u8,
+        bandwidth: Bandwidth,
+        hop_latency: SimTime,
+    ) -> Self {
+        let gpus_per_leaf = match topology {
+            Topology::SingleSwitch => usize::from(num_gpus),
+            Topology::TwoLevel { gpus_per_leaf } => {
+                assert!(
+                    gpus_per_leaf > 0 && num_gpus.is_multiple_of(gpus_per_leaf),
+                    "leaf size {gpus_per_leaf} must divide GPU count {num_gpus}"
+                );
+                usize::from(gpus_per_leaf)
+            }
+        };
+        let leaves = usize::from(num_gpus).div_ceil(gpus_per_leaf);
+        RoutedFabric {
+            topology,
+            egress: (0..num_gpus).map(|_| Link::new(bandwidth)).collect(),
+            ingress: (0..num_gpus).map(|_| Link::new(bandwidth)).collect(),
+            up: (0..leaves).map(|_| Link::new(bandwidth)).collect(),
+            down: (0..leaves).map(|_| Link::new(bandwidth)).collect(),
+            gpus_per_leaf,
+            hop_latency,
+        }
+    }
+
+    fn leaf_of(&self, gpu: GpuId) -> usize {
+        gpu.index() / self.gpus_per_leaf
+    }
+
+    /// Sends `bytes` from `src` to `dst`; returns the delivery time.
+    /// Cut-through at every stage: each link adds its own serialization
+    /// under contention but an uncontended transfer is serialized once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn send(&mut self, at: SimTime, src: GpuId, dst: GpuId, bytes: u64) -> SimTime {
+        assert_ne!(src, dst, "local traffic must not enter the fabric");
+        let start = at.max(self.egress[src.index()].busy_until());
+        self.egress[src.index()].transmit(at, bytes);
+        let mut head = start + self.hop_latency;
+        let (src_leaf, dst_leaf) = (self.leaf_of(src), self.leaf_of(dst));
+        if matches!(self.topology, Topology::TwoLevel { .. }) && src_leaf != dst_leaf {
+            let up = &mut self.up[src_leaf];
+            let up_start = head.max(up.busy_until());
+            up.transmit(head, bytes);
+            head = up_start + self.hop_latency;
+            let down = &mut self.down[dst_leaf];
+            let down_start = head.max(down.busy_until());
+            down.transmit(head, bytes);
+            head = down_start + self.hop_latency;
+        }
+        self.ingress[dst.index()].transmit(head, bytes)
+    }
+
+    /// Quiesces link timing at an iteration barrier.
+    pub fn reset_time(&mut self) {
+        for l in self
+            .egress
+            .iter_mut()
+            .chain(self.ingress.iter_mut())
+            .chain(self.up.iter_mut())
+            .chain(self.down.iter_mut())
+        {
+            l.reset_time();
+        }
+    }
+
+    /// Total bytes carried by `leaf`'s uplink (diagnostics).
+    pub fn uplink_bytes(&self, leaf: usize) -> u64 {
+        self.up[leaf].bytes_carried()
+    }
+
+    /// The topology in force.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw() -> Bandwidth {
+        Bandwidth::from_gbps(32.0)
+    }
+
+    #[test]
+    fn hop_counts() {
+        let t = Topology::TwoLevel { gpus_per_leaf: 4 };
+        assert_eq!(t.hops(GpuId::new(0), GpuId::new(3)), 1);
+        assert_eq!(t.hops(GpuId::new(0), GpuId::new(4)), 3);
+        assert_eq!(Topology::SingleSwitch.hops(GpuId::new(0), GpuId::new(7)), 1);
+    }
+
+    #[test]
+    fn intra_leaf_matches_single_switch() {
+        let mut single = RoutedFabric::new(Topology::SingleSwitch, 8, bw(), SimTime::ZERO);
+        let mut two = RoutedFabric::new(
+            Topology::TwoLevel { gpus_per_leaf: 4 },
+            8,
+            bw(),
+            SimTime::ZERO,
+        );
+        let a = single.send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000);
+        let b = two.send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uplink_contention_slows_inter_leaf_all_to_all() {
+        // Four GPUs on leaf 0 all send to distinct GPUs on leaf 1: their
+        // access links are disjoint but the single uplink serializes.
+        let mut f = RoutedFabric::new(
+            Topology::TwoLevel { gpus_per_leaf: 4 },
+            8,
+            bw(),
+            SimTime::ZERO,
+        );
+        let mut last = SimTime::ZERO;
+        for i in 0..4u8 {
+            let done = f.send(SimTime::ZERO, GpuId::new(i), GpuId::new(4 + i), 32_000);
+            last = last.max(done);
+        }
+        // One transfer takes 1us; four through one uplink take ~4us.
+        assert!(last >= SimTime::from_us(4), "last={last}");
+        assert_eq!(f.uplink_bytes(0), 4 * 32_000);
+    }
+
+    #[test]
+    fn inter_leaf_pays_extra_hops() {
+        let hop = SimTime::from_ns(500);
+        let mut f = RoutedFabric::new(Topology::TwoLevel { gpus_per_leaf: 2 }, 4, bw(), hop);
+        let intra = f.send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000);
+        f.reset_time();
+        let inter = f.send(SimTime::ZERO, GpuId::new(0), GpuId::new(2), 32_000);
+        assert_eq!(inter - intra, SimTime::from_ns(1000)); // two extra hops
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_leaf_size_panics() {
+        let _ = RoutedFabric::new(Topology::TwoLevel { gpus_per_leaf: 3 }, 8, bw(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Topology::SingleSwitch.to_string(), "single-switch");
+        assert_eq!(
+            Topology::TwoLevel { gpus_per_leaf: 4 }.to_string(),
+            "two-level (4 GPUs/leaf)"
+        );
+    }
+}

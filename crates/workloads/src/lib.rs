@@ -1,0 +1,130 @@
+//! # workloads
+//!
+//! Synthetic trace generators for the eight multi-GPU applications in the
+//! FinePack evaluation suite (§V): Jacobi, PageRank, SSSP, ALS, CT, EQWP,
+//! Diffusion, and HIT.
+//!
+//! The paper traces real CUDA binaries with NVBit and replays them in
+//! NVAS; neither the binaries, the datasets (UF sparse matrices, the GE
+//! Veo CT pipeline), nor the tracer are available, so each generator
+//! synthesizes traces that reproduce the properties the paper states and
+//! that FinePack's results depend on:
+//!
+//! - the communication pattern (halo / many-to-many / all-to-all),
+//! - the store-size mix exiting L1 (Fig 4: 128B for regular apps, 4–32B
+//!   for irregular ones),
+//! - the temporal-rewrite behaviour (redundant transfers, Fig 10),
+//! - the spatial-locality profile (stores per FinePack packet, Fig 11),
+//! - the compute-to-communication ratio (strong scaling, Fig 9), and
+//! - the DMA-paradigm over-transfer factor (wasted bytes, Fig 10).
+//!
+//! See `DESIGN.md` §4 for the substitution rationale per dataset.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::{suite, RunSpec};
+//! use gpu_model::GpuId;
+//!
+//! let spec = RunSpec::tiny();
+//! for app in suite() {
+//!     let trace = app.trace(&spec, 0, GpuId::new(0));
+//!     assert!(!trace.is_empty(), "{} produced an empty trace", app.name());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod als;
+mod assembler;
+mod common;
+mod ct;
+mod diffusion;
+mod eqwp;
+mod graph;
+mod hit;
+mod jacobi;
+mod matrix;
+mod pagerank;
+mod spec;
+mod sssp;
+mod synthetic;
+
+pub use als::Als;
+pub use ct::Ct;
+pub use diffusion::Diffusion;
+pub use eqwp::Eqwp;
+pub use graph::{generate_rmat, vertex_owner, PagerankGraph, RmatParams};
+pub use hit::Hit;
+pub use jacobi::Jacobi;
+pub use matrix::{BandedSystem, JacobiMatrix};
+pub use pagerank::Pagerank;
+pub use spec::{app_region_base, CommPattern, RunSpec, ScalingMode, Workload, APP_REGION_OFFSET};
+pub use sssp::Sssp;
+pub use synthetic::{Locality, Synthetic, SyntheticBuilder};
+
+/// The full evaluation suite in the paper's figure order.
+pub fn suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Jacobi::default()),
+        Box::new(Pagerank::default()),
+        Box::new(Sssp::default()),
+        Box::new(Als::default()),
+        Box::new(Ct::default()),
+        Box::new(Eqwp::default()),
+        Box::new(Diffusion::default()),
+        Box::new(Hit::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_model::GpuId;
+
+    #[test]
+    fn suite_has_eight_apps() {
+        let s = suite();
+        assert_eq!(s.len(), 8);
+        let names: Vec<&str> = s.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec!["jacobi", "pagerank", "sssp", "als", "ct", "eqwp", "diffusion", "hit"]
+        );
+    }
+
+    #[test]
+    fn every_app_produces_traces_for_all_gpus() {
+        let spec = RunSpec::tiny();
+        for app in suite() {
+            for g in 0..spec.num_gpus {
+                let t = app.trace(&spec, 0, GpuId::new(g));
+                assert!(t.store_count() > 0, "{} gpu{} has no stores", app.name(), g);
+                assert!(t.total_compute_cycles() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dma_bytes_positive_for_all() {
+        let spec = RunSpec::paper(4);
+        for app in suite() {
+            assert!(app.dma_bytes_per_gpu(&spec) > 0, "{}", app.name());
+            let rf = app.read_fraction();
+            assert!((0.0..=1.0).contains(&rf));
+            let gps = app.gps_unsubscribed_fraction();
+            assert!((0.0..=1.0).contains(&gps));
+        }
+    }
+
+    #[test]
+    fn patterns_match_paper_table() {
+        use CommPattern::*;
+        let expect = vec![
+            Neighbors, Neighbors, ManyToMany, AllToAll, AllToAll, Neighbors, Neighbors, AllToAll,
+        ];
+        let got: Vec<CommPattern> = suite().iter().map(|w| w.pattern()).collect();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,127 @@
+//! Suite-wide workload properties: determinism, address hygiene, and the
+//! per-application store-size profiles the evaluation depends on.
+
+use gpu_model::{AddressMap, Gpu, GpuConfig, GpuId};
+use workloads::{app_region_base, suite, RunSpec};
+
+fn replay(app: &dyn workloads::Workload, spec: &RunSpec, gpu: u8) -> gpu_model::KernelRun {
+    let map = AddressMap::new(spec.num_gpus, 16 << 30);
+    let g = Gpu::new(GpuConfig::tiny(), GpuId::new(gpu), map);
+    g.execute_kernel(&app.trace(spec, 0, GpuId::new(gpu)))
+}
+
+#[test]
+fn traces_are_deterministic_per_seed() {
+    let spec = RunSpec::tiny();
+    for app in suite() {
+        let a = app.trace(&spec, 0, GpuId::new(0));
+        let b = app.trace(&spec, 0, GpuId::new(0));
+        assert_eq!(a, b, "{} is nondeterministic", app.name());
+    }
+}
+
+#[test]
+fn different_seeds_change_irregular_traces() {
+    let mut spec_a = RunSpec::tiny();
+    let mut spec_b = RunSpec::tiny();
+    spec_a.seed = 1;
+    spec_b.seed = 2;
+    for name in ["pagerank", "sssp", "als", "ct", "hit"] {
+        let app = suite().into_iter().find(|a| a.name() == name).expect("in suite");
+        let a = app.trace(&spec_a, 0, GpuId::new(0));
+        let b = app.trace(&spec_b, 0, GpuId::new(0));
+        assert_ne!(a, b, "{name} ignored the seed");
+    }
+}
+
+#[test]
+fn iterations_differ_for_all_apps() {
+    // Each iteration writes new values (and, for irregular apps, new
+    // addresses): the traces must not be byte-identical.
+    let spec = RunSpec::tiny();
+    for app in suite() {
+        let i0 = app.trace(&spec, 0, GpuId::new(0));
+        let i1 = app.trace(&spec, 1, GpuId::new(0));
+        assert_ne!(i0, i1, "{} repeats iterations", app.name());
+    }
+}
+
+#[test]
+fn remote_stores_target_only_peer_app_regions() {
+    let spec = RunSpec::paper(4);
+    for app in suite() {
+        for g in 0..4u8 {
+            let run = replay(app.as_ref(), &spec, g);
+            for t in &run.egress {
+                assert_ne!(t.store.dst, GpuId::new(g), "{} stored to itself", app.name());
+                let region_base = app_region_base(t.store.dst);
+                assert!(
+                    t.store.addr >= region_base,
+                    "{}: store below app region",
+                    app.name()
+                );
+                assert!(
+                    t.store.end() <= region_base + (9u64 << 30),
+                    "{}: store beyond app region",
+                    app.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn store_size_profiles_match_fig4_expectations() {
+    let spec = RunSpec::paper(4);
+    // (app, max mean size, min mean size)
+    let expectations = [
+        ("jacobi", 128.0, 128.0),
+        ("pagerank", 12.0, 4.0),
+        ("sssp", 12.0, 4.0),
+        ("als", 40.0, 14.0),
+        ("ct", 8.0, 8.0),
+        ("eqwp", 8.0, 8.0),
+        ("diffusion", 128.0, 128.0),
+        ("hit", 40.0, 14.0),
+    ];
+    for (name, max, min) in expectations {
+        let app = suite().into_iter().find(|a| a.name() == name).expect("in suite");
+        let run = replay(app.as_ref(), &spec, 1);
+        let mean = run.stats.mean_remote_size().expect("has remote stores");
+        assert!(
+            (min..=max).contains(&mean),
+            "{name}: mean store size {mean}B outside [{min}, {max}]"
+        );
+    }
+}
+
+#[test]
+fn scale_down_reduces_work_roughly_proportionally() {
+    let full = RunSpec::paper(4);
+    let mut quarter = full;
+    quarter.scale_down = 4;
+    for app in suite() {
+        let f = replay(app.as_ref(), &full, 1);
+        let q = replay(app.as_ref(), &quarter, 1);
+        let ratio = f.stats.remote_bytes as f64 / q.stats.remote_bytes.max(1) as f64;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "{}: scale_down=4 gave byte ratio {ratio}",
+            app.name()
+        );
+        assert!(q.kernel_time < f.kernel_time);
+    }
+}
+
+#[test]
+fn single_gpu_traces_have_no_remote_stores() {
+    let mut spec = RunSpec::tiny();
+    spec.num_gpus = 1;
+    for app in suite() {
+        let map = AddressMap::new(1, 16 << 30);
+        let g = Gpu::new(GpuConfig::tiny(), GpuId::new(0), map);
+        let run = g.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
+        assert_eq!(run.stats.remote_stores, 0, "{}", app.name());
+        assert!(run.stats.local_stores > 0, "{}", app.name());
+    }
+}

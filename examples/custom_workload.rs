@@ -1,0 +1,91 @@
+//! Build your own workload: dial in an application's store-size,
+//! locality, and rewrite profile with the `Synthetic` builder and see
+//! which communication paradigm wins — the first thing a downstream user
+//! does with this library.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use system::{single_gpu_time, Paradigm, PreparedWorkload, SystemConfig};
+use workloads::{CommPattern, Locality, RunSpec, Synthetic};
+
+fn evaluate(label: &str, app: &Synthetic, cfg: &SystemConfig, spec: &RunSpec) {
+    let t1 = single_gpu_time(app, cfg, spec);
+    let prep = PreparedWorkload::new(app, cfg, spec);
+    println!("{label}:");
+    for p in [Paradigm::BulkDma, Paradigm::P2pStores, Paradigm::FinePack] {
+        let report = prep.run(cfg, p);
+        println!(
+            "  {:<12} {:>5.2}x speedup   {:>9} wire bytes",
+            p.to_string(),
+            t1.as_secs_f64() / report.total_time.as_secs_f64(),
+            report.traffic.total()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let cfg = SystemConfig::paper(4);
+    let spec = RunSpec::paper(4);
+
+    // Profile 1: a graph-analytics-like app — tiny zipf-scattered updates
+    // with heavy rewriting. FinePack's best case.
+    let graphish = Synthetic::builder()
+        .comm_pattern(CommPattern::ManyToMany)
+        .bytes_per_gpu(160 << 10)
+        .element_bytes(4)
+        .locality(Locality::ZipfScatter { exponent: 1.2 })
+        .rewrite_factor(2.0)
+        .region_bytes(8 << 20)
+        .compute_wall_us(32.0)
+        .dma_overtransfer(3.0)
+        .build();
+    evaluate("graph-like (4B zipf scatter, rewrite 2.0)", &graphish, &cfg, &spec);
+
+    // Profile 2: a stencil-like app — fully coalesced halo pushes.
+    // P2P stores are already fine; FinePack adds little.
+    let stencilish = Synthetic::builder()
+        .comm_pattern(CommPattern::Neighbors)
+        .bytes_per_gpu(384 << 10)
+        .element_bytes(4)
+        .locality(Locality::Contiguous)
+        .rewrite_factor(1.0)
+        .compute_wall_us(48.0)
+        .dma_overtransfer(1.3)
+        .read_fraction(1.0)
+        .build();
+    evaluate("stencil-like (128B contiguous)", &stencilish, &cfg, &spec);
+
+    // Profile 3: the pathological case — updates scattered over a
+    // multi-GB volume (CT-like), defeating FinePack's address windows.
+    let ctish = Synthetic::builder()
+        .comm_pattern(CommPattern::AllToAll)
+        .bytes_per_gpu(128 << 10)
+        .element_bytes(8)
+        .locality(Locality::UniformScatter)
+        .rewrite_factor(1.0)
+        .region_bytes(4 << 30)
+        .compute_wall_us(45.0)
+        .dma_overtransfer(1.1)
+        .build();
+    evaluate("CT-like (8B uniform over 4GB)", &ctish, &cfg, &spec);
+
+    // Profile 4: same app as profile 3, but with 10% of updates issued
+    // as remote atomics — which FinePack must ship uncoalesced.
+    let atomicish = Synthetic::builder()
+        .comm_pattern(CommPattern::AllToAll)
+        .bytes_per_gpu(128 << 10)
+        .element_bytes(8)
+        .locality(Locality::ZipfScatter { exponent: 1.0 })
+        .region_bytes(8 << 20)
+        .compute_wall_us(45.0)
+        .atomic_fraction(0.1)
+        .build();
+    evaluate("atomic-heavy (10% remote atomics)", &atomicish, &cfg, &spec);
+
+    println!(
+        "takeaway: FinePack's win tracks the product of store granularity, \
+         spatial locality within its address windows, and rewrite density — \
+         exactly the three levers the paper's motivation section identifies."
+    );
+}

@@ -1,0 +1,55 @@
+//! Parallel parameter sweeps: `Workload` is `Send + Sync` and the whole
+//! simulation stack is value-oriented, so scaling studies fan out across
+//! OS threads with no shared mutable state — each thread owns its own
+//! runner.
+//!
+//! Run with: `cargo run --release --example parallel_sweep`
+
+use std::time::Instant;
+
+use system::{speedup_row, Paradigm, SystemConfig};
+use workloads::{suite, RunSpec};
+
+fn main() {
+    let cfg = SystemConfig::paper(4);
+    let spec = RunSpec {
+        scale_down: 4,
+        iterations: 1,
+        ..RunSpec::paper(4)
+    };
+
+    // Sequential baseline.
+    let t0 = Instant::now();
+    let sequential: Vec<_> = suite()
+        .iter()
+        .map(|a| speedup_row(a.as_ref(), &cfg, &spec, &Paradigm::FIG9))
+        .collect();
+    let seq_elapsed = t0.elapsed();
+
+    // The same sweep, one thread per application.
+    let t1 = Instant::now();
+    let parallel: Vec<_> = std::thread::scope(|s| {
+        suite()
+            .into_iter()
+            .map(|app| s.spawn(move || speedup_row(app.as_ref(), &cfg, &spec, &Paradigm::FIG9)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect()
+    });
+    let par_elapsed = t1.elapsed();
+
+    println!("app        finepack speedup (sequential == parallel)");
+    for (a, b) in sequential.iter().zip(parallel.iter()) {
+        let sa = a.speedup(Paradigm::FinePack).expect("measured");
+        let sb = b.speedup(Paradigm::FinePack).expect("measured");
+        assert!((sa - sb).abs() < 1e-12, "parallel run must be identical");
+        println!("{:<10} {sa:.2}x", a.app);
+    }
+    println!(
+        "\nsweep wall time: sequential {seq_elapsed:?}, {} threads {par_elapsed:?} \
+         ({:.1}x) — determinism preserved bit-for-bit",
+        sequential.len(),
+        seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(1e-9)
+    );
+}

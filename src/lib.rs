@@ -1,0 +1,24 @@
+//! # finepack-repro
+//!
+//! The facade crate of the FinePack (HPCA 2023) reproduction: re-exports
+//! every workspace crate so examples, integration tests, and downstream
+//! users can depend on one package.
+//!
+//! - [`sim_engine`] — discrete-event simulation substrate.
+//! - [`protocol`] — PCIe/NVLink/CXL wire formats and framing costs.
+//! - [`gpu_model`] — trace-driven GPU memory-system model.
+//! - [`finepack`] — the paper's contribution and its baselines.
+//! - [`workloads`] — the eight-application evaluation suite + substrates.
+//! - [`system`] — multi-GPU assembly, paradigms, and experiment drivers.
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub use finepack;
+pub use gpu_model;
+pub use protocol;
+pub use sim_engine;
+pub use system;
+pub use workloads;

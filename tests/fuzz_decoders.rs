@@ -1,0 +1,102 @@
+//! Decoder robustness: every wire/file decoder in the stack must reject
+//! arbitrary and mutated inputs with an error — never panic, never loop.
+
+use finepack::{FinePackPacket, SubheaderFormat};
+use gpu_model::{read_trace, write_trace, AccessPattern, GpuId, KernelTrace, TraceOp};
+use proptest::prelude::*;
+use protocol::TlpHeader;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the TLP header decoder.
+    #[test]
+    fn tlp_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = TlpHeader::decode(&bytes);
+    }
+
+    /// Arbitrary bytes never panic the FinePack packet decoder, under
+    /// every sub-header format.
+    #[test]
+    fn finepack_decode_total(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        sub in 2u32..=6,
+    ) {
+        let f = SubheaderFormat::new(sub).expect("2..=6");
+        let _ = FinePackPacket::decode(&bytes, f, GpuId::new(0), GpuId::new(1));
+    }
+
+    /// Arbitrary bytes never panic the trace reader.
+    #[test]
+    fn trace_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = read_trace(&bytes);
+    }
+
+    /// Single-byte corruption of a valid packet either still decodes (to
+    /// something) or fails cleanly — it never panics.
+    #[test]
+    fn finepack_decode_survives_bitflips(
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let pkt = FinePackPacket {
+            src: GpuId::new(0),
+            dst: GpuId::new(1),
+            base_addr: 0x4000_0000,
+            subheader: SubheaderFormat::paper(),
+            subpackets: (0..8)
+                .map(|i| finepack::SubPacket {
+                    offset: i * 64,
+                    data: vec![i as u8; 12],
+                })
+                .collect(),
+        };
+        let mut wire = pkt.encode();
+        let idx = flip_at % wire.len();
+        wire[idx] ^= 1 << flip_bit;
+        let _ = FinePackPacket::decode(&wire, pkt.subheader, pkt.src, pkt.dst);
+    }
+
+    /// Trace write/read is the identity for arbitrary generated traces.
+    #[test]
+    fn trace_roundtrip(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (1u32..10_000).prop_map(|c| TraceOp::Compute { cycles: c }),
+                (any::<u64>(), 1u32..=8, any::<u32>(), any::<u64>()).prop_map(
+                    |(base, b, m, s)| TraceOp::WarpStore {
+                        pattern: AccessPattern::Contiguous { base: base & 0xFFFF_FFFF },
+                        bytes_per_lane: b,
+                        active_mask: m,
+                        value_seed: s,
+                    }
+                ),
+                prop::collection::vec(any::<u64>(), 32).prop_map(|addrs| TraceOp::WarpStore {
+                    pattern: AccessPattern::Scattered { addrs },
+                    bytes_per_lane: 8,
+                    active_mask: u32::MAX,
+                    value_seed: 0,
+                }),
+                Just(TraceOp::Fence),
+                (any::<u64>(), 1u32..=8).prop_map(|(a, b)| TraceOp::RemoteLoad {
+                    addr: a,
+                    bytes: b,
+                }),
+                (any::<u64>(), 1u32..=8, any::<u64>()).prop_map(|(a, b, s)| {
+                    TraceOp::RemoteAtomic {
+                        addr: a,
+                        bytes: b,
+                        value_seed: s,
+                    }
+                }),
+            ],
+            0..64,
+        ),
+        name in "[a-z]{0,12}",
+    ) {
+        let mut trace = KernelTrace::new(name);
+        trace.ops = ops;
+        let bytes = write_trace(&trace);
+        prop_assert_eq!(read_trace(&bytes).expect("own output decodes"), trace);
+    }
+}

@@ -1,0 +1,51 @@
+//! §IV-C "Effect of Small Accesses on Local Memory Bandwidth": "the
+//! GPU's last-level cache and HBM/DRAM have enough bandwidth to match or
+//! exceed the rate at which stores can arrive from the inter-GPU
+//! interconnect." Verified across the suite: the de-packetizer's drain
+//! time is a rounding error next to wire time at every PCIe generation.
+
+use finepack::Depacketizer;
+use gpu_model::GpuConfig;
+use protocol::PcieGen;
+use system::{Paradigm, PreparedWorkload, SystemConfig};
+use workloads::{suite, RunSpec};
+
+#[test]
+fn hbm_drain_is_never_the_bottleneck() {
+    // The ratio of drain rate to arrival rate: HBM at 900 GB/s vs even
+    // PCIe 6.0 at 128 GB/s leaves 7x headroom.
+    let cfg = GpuConfig::gv100();
+    for gen in PcieGen::ALL {
+        let headroom = cfg.hbm_bandwidth.as_gbps() / gen.bandwidth().as_gbps();
+        assert!(headroom >= 7.0, "{gen}: headroom {headroom}");
+    }
+}
+
+#[test]
+fn depacketizer_drain_time_is_negligible_vs_wire_time() {
+    let cfg = SystemConfig::paper(2);
+    let spec = RunSpec::tiny();
+    let wire_bw = cfg.pcie_gen.bandwidth();
+    let hbm = cfg.gpu.hbm_bandwidth;
+    for app in suite() {
+        let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
+        let report = prep.run(&cfg, Paradigm::FinePack);
+        let wire_time = wire_bw.transfer_time(report.traffic.total());
+        let drain_time = hbm.transfer_time(report.egress.data_bytes);
+        assert!(
+            drain_time.as_secs_f64() < 0.1 * wire_time.as_secs_f64(),
+            "{}: drain {} vs wire {}",
+            app.name(),
+            drain_time,
+            wire_time
+        );
+    }
+}
+
+#[test]
+fn depacketizer_buffer_covers_a_full_packet() {
+    // The 64 x 128B ingress buffer (§IV-B) holds two maximum-payload
+    // FinePack transactions' worth of disaggregated data.
+    let d = Depacketizer::new();
+    assert!(d.buffer_bytes() >= 2 * 4096);
+}

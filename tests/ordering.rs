@@ -1,0 +1,141 @@
+//! Memory-ordering compatibility (§IV-C "Compatibility with Memory
+//! Ordering Rules"): FinePack reorders non-overlapping stores freely —
+//! legal under the GPU's weak memory model — while PCIe keeps posted
+//! writes ordered per stream, preserving same-address ordering. These
+//! tests check the observable consequences.
+
+use finepack::{EgressPath, FinePackConfig, FinePackEgress, WirePacket};
+use gpu_model::{GpuId, MemoryImage, RemoteStore};
+use proptest::prelude::*;
+use protocol::FramingModel;
+use sim_engine::{DetRng, SimTime};
+
+fn store(dst: u8, line: u64, off: u32, len: u32, v: u8) -> RemoteStore {
+    RemoteStore {
+        src: GpuId::new(0),
+        dst: GpuId::new(dst),
+        addr: 0x1_0000_0000 + line * 128 + u64::from(off),
+        data: (0..len).map(|i| v.wrapping_add(i as u8)).collect(),
+    }
+}
+
+fn emit_all(stores: &[RemoteStore]) -> Vec<WirePacket> {
+    let mut fp = FinePackEgress::new(
+        GpuId::new(0),
+        FinePackConfig::paper(4),
+        FramingModel::pcie_gen4(),
+    );
+    let mut packets = Vec::new();
+    for s in stores {
+        packets.extend(fp.push(s.clone(), SimTime::ZERO).expect("valid store"));
+    }
+    packets.extend(fp.release());
+    packets
+}
+
+fn apply(packets: &[&WirePacket]) -> Vec<MemoryImage> {
+    let mut images: Vec<MemoryImage> = (0..4).map(|_| MemoryImage::new()).collect();
+    for p in packets {
+        for s in &p.stores {
+            images[p.dst.index()].write(s.addr, &s.data);
+        }
+    }
+    images
+}
+
+/// Interleaves per-destination packet streams in an arbitrary (seeded)
+/// order while preserving each stream's internal order — the reorderings
+/// a switched fabric can legally introduce.
+fn legal_shuffle(packets: &[WirePacket], seed: u64) -> Vec<&WirePacket> {
+    let mut streams: Vec<Vec<&WirePacket>> = vec![Vec::new(); 4];
+    for p in packets {
+        streams[p.dst.index()].push(p);
+    }
+    let mut rng = DetRng::new(seed, "interleave");
+    let mut cursors = [0usize; 4];
+    let mut out = Vec::with_capacity(packets.len());
+    while out.len() < packets.len() {
+        let live: Vec<usize> = (0..4)
+            .filter(|d| cursors[*d] < streams[*d].len())
+            .collect();
+        let pick = live[rng.next_u64_below(live.len() as u64) as usize];
+        out.push(streams[pick][cursors[pick]]);
+        cursors[pick] += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any fabric-legal interleaving of per-destination streams yields
+    /// identical final memory images on every GPU.
+    #[test]
+    fn cross_destination_reordering_is_unobservable(
+        raw in prop::collection::vec((1u8..4, 0u64..64, 0u32..120, 1u32..=8, any::<u8>()), 1..200),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let stores: Vec<RemoteStore> = raw
+            .into_iter()
+            .map(|(d, l, o, n, v)| store(d, l, o.min(127), n.min(128 - o.min(127)), v))
+            .collect();
+        let packets = emit_all(&stores);
+        let a = apply(&legal_shuffle(&packets, seed_a));
+        let b = apply(&legal_shuffle(&packets, seed_b));
+        for g in 0..4 {
+            prop_assert!(a[g].same_contents(&b[g]), "GPU{g} image differs");
+        }
+    }
+
+    /// Same-address load-store ordering: at any point in the stream, a
+    /// load probe must observe the latest preceding store's value — the
+    /// flush it triggers carries that value, or the value already left.
+    #[test]
+    fn load_probe_observes_latest_value(
+        writes in prop::collection::vec((0u32..16, any::<u8>()), 1..64),
+        probe_after in 0usize..64,
+    ) {
+        let mut fp = FinePackEgress::new(
+            GpuId::new(0),
+            FinePackConfig::paper(4),
+            FramingModel::pcie_gen4(),
+        );
+        let mut image = MemoryImage::new();
+        let apply_pkts = |pkts: Vec<WirePacket>, image: &mut MemoryImage| {
+            for p in pkts {
+                for s in &p.stores {
+                    image.write(s.addr, &s.data);
+                }
+            }
+        };
+        let base = 0x1_0000_0000u64;
+        let mut latest = [None::<u8>; 16];
+        let probe_at = probe_after.min(writes.len() - 1);
+        for (i, (slot, v)) in writes.iter().enumerate() {
+            let s = RemoteStore {
+                src: GpuId::new(0),
+                dst: GpuId::new(1),
+                addr: base + u64::from(*slot) * 8,
+                data: vec![*v; 8],
+            };
+            latest[*slot as usize] = Some(*v);
+            let pkts = fp.push(s, SimTime::ZERO).expect("valid");
+            apply_pkts(pkts, &mut image);
+            if i == probe_at {
+                // The consumer loads every slot written so far; FinePack
+                // must make them visible first.
+                for slot in 0..16u64 {
+                    let pkts = fp.load_probe(GpuId::new(1), base + slot * 8, 8, SimTime::ZERO);
+                    apply_pkts(pkts, &mut image);
+                }
+                for (slot, expected) in latest.iter().enumerate() {
+                    if let Some(v) = expected {
+                        let got = image.read(base + slot as u64 * 8, 1)[0];
+                        prop_assert_eq!(got, *v, "slot {} stale at probe", slot);
+                    }
+                }
+            }
+        }
+    }
+}

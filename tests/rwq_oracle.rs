@@ -1,0 +1,176 @@
+//! Executable specification of §IV-B, checked against the real remote
+//! write queue: a deliberately naive model that tracks, per destination,
+//! an open window of byte->value mappings and flushes on exactly the
+//! paper's conditions. On any store stream, the real queue and the
+//! oracle must agree on (a) the sequence of flush reasons, (b) each
+//! flush's byte content, and (c) the final buffered content.
+
+use std::collections::BTreeMap;
+
+use finepack::{FinePackConfig, FlushReason, RemoteWriteQueue};
+use gpu_model::{GpuId, RemoteStore};
+use proptest::prelude::*;
+
+/// The naive §IV-B model: one open window per destination.
+#[derive(Debug, Default)]
+struct Oracle {
+    /// dst -> (window base, bytes, payload cost so far, line set)
+    open: BTreeMap<u8, OracleWindow>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct OracleWindow {
+    base: u64,
+    bytes: BTreeMap<u64, u8>,
+    payload_used: u32,
+    lines: std::collections::BTreeSet<u64>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct OracleFlush {
+    dst: u8,
+    reason: FlushReason,
+    bytes: BTreeMap<u64, u8>,
+}
+
+impl Oracle {
+    fn insert(&mut self, cfg: &FinePackConfig, store: &RemoteStore) -> Option<OracleFlush> {
+        let dst = store.dst.index() as u8;
+        let sub = cfg.subheader;
+        let line = store.addr & !u64::from(cfg.entry_bytes - 1);
+        let mut flush = None;
+        if let Some(w) = self.open.get(&dst) {
+            let in_window =
+                store.addr >= w.base && store.end() <= w.base + sub.addressable_range();
+            let line_present = w.lines.contains(&line);
+            let fresh_bytes = (store.addr..store.end())
+                .filter(|a| !w.bytes.contains_key(a))
+                .count() as u32;
+            let cost = if line_present {
+                fresh_bytes
+            } else {
+                store.len() + sub.bytes()
+            };
+            let payload_ok = w.payload_used + cost <= cfg.max_payload;
+            let entries_ok =
+                line_present || w.lines.len() < cfg.entries_per_partition as usize;
+            if !in_window || !payload_ok || !entries_ok {
+                let reason = if !in_window {
+                    FlushReason::WindowMiss
+                } else if !payload_ok {
+                    FlushReason::PayloadFull
+                } else {
+                    FlushReason::EntriesFull
+                };
+                let w = self.open.remove(&dst).expect("window open");
+                flush = Some(OracleFlush {
+                    dst,
+                    reason,
+                    bytes: w.bytes,
+                });
+            }
+        }
+        let w = self.open.entry(dst).or_insert_with(|| OracleWindow {
+            base: cfg.subheader.window_base(store.addr),
+            ..OracleWindow::default()
+        });
+        // Payload-cost accounting mirrors the register semantics.
+        let line_present = w.lines.contains(&line);
+        let fresh_bytes = (store.addr..store.end())
+            .filter(|a| !w.bytes.contains_key(a))
+            .count() as u32;
+        w.payload_used += if line_present {
+            fresh_bytes
+        } else {
+            store.len() + cfg.subheader.bytes()
+        };
+        w.lines.insert(line);
+        for (i, b) in store.data.iter().enumerate() {
+            w.bytes.insert(store.addr + i as u64, *b);
+        }
+        flush
+    }
+
+    fn release(&mut self) -> Vec<OracleFlush> {
+        std::mem::take(&mut self.open)
+            .into_iter()
+            .map(|(dst, w)| OracleFlush {
+                dst,
+                reason: FlushReason::Release,
+                bytes: w.bytes,
+            })
+            .collect()
+    }
+}
+
+fn batch_bytes(batch: &finepack::FlushedBatch) -> BTreeMap<u64, u8> {
+    let mut out = BTreeMap::new();
+    for e in &batch.entries {
+        for (off, len) in e.runs() {
+            for i in off..off + len {
+                out.insert(e.line_addr + u64::from(i), e.data[i as usize]);
+            }
+        }
+    }
+    out
+}
+
+fn store_strategy() -> impl Strategy<Value = RemoteStore> {
+    (1u8..4, 0u64..512, 0u32..128, 1u32..=32, any::<u8>()).prop_map(
+        |(dst, line, off, len, v)| {
+            let off = off.min(127);
+            let len = len.min(128 - off);
+            RemoteStore {
+                src: GpuId::new(0),
+                dst: GpuId::new(dst),
+                // Two 1GB-window-crossing regions to exercise window misses.
+                addr: (u64::from(dst % 2) << 31) + line * 128 + u64::from(off),
+                data: vec![v; len as usize],
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queue_matches_the_executable_spec(
+        stores in prop::collection::vec(store_strategy(), 1..300),
+    ) {
+        let cfg = FinePackConfig::paper(4);
+        let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
+        let mut oracle = Oracle::default();
+        for s in &stores {
+            let real = rwq.insert(s.clone()).expect("valid store");
+            let spec = oracle.insert(&cfg, s);
+            match (real, spec) {
+                (None, None) => {}
+                (Some(batch), Some(expected)) => {
+                    prop_assert_eq!(batch.dst.index() as u8, expected.dst);
+                    prop_assert_eq!(batch.reason, expected.reason);
+                    prop_assert_eq!(batch_bytes(&batch), expected.bytes);
+                }
+                (real, spec) => {
+                    return Err(TestCaseError::fail(format!(
+                        "divergence: real={real:?} spec={spec:?}"
+                    )));
+                }
+            }
+        }
+        // Final release must agree byte-for-byte per destination.
+        let mut real: Vec<(u8, BTreeMap<u64, u8>)> = rwq
+            .flush_all(FlushReason::Release)
+            .iter()
+            .map(|b| (b.dst.index() as u8, batch_bytes(b)))
+            .collect();
+        let mut spec: Vec<(u8, BTreeMap<u64, u8>)> = oracle
+            .release()
+            .into_iter()
+            .map(|f| (f.dst, f.bytes))
+            .collect();
+        real.sort_by_key(|(d, _)| *d);
+        spec.sort_by_key(|(d, _)| *d);
+        prop_assert_eq!(real, spec);
+    }
+}

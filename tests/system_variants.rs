@@ -1,0 +1,106 @@
+//! System-level integration of the extension variants: topologies,
+//! allocation policies, timeout flushes, and framings all compose with
+//! the full workload/runner stack.
+
+use finepack::{AllocationPolicy, FinePackConfig};
+use protocol::FramingModel;
+use sim_engine::SimTime;
+use system::{Paradigm, PreparedWorkload, SystemConfig, Topology};
+use workloads::{suite, Pagerank, RunSpec, ScalingMode};
+
+fn tiny4() -> (SystemConfig, RunSpec) {
+    let mut spec = RunSpec::tiny();
+    spec.num_gpus = 4;
+    (SystemConfig::paper(4), spec)
+}
+
+#[test]
+fn two_level_topology_never_beats_flat_switch() {
+    let (base, spec) = tiny4();
+    for app in suite() {
+        let prep = PreparedWorkload::new(app.as_ref(), &base, &spec);
+        let flat = prep.run(&base, Paradigm::FinePack).total_time;
+        let tree_cfg = base.with_topology(Topology::TwoLevel { gpus_per_leaf: 2 });
+        let tree = prep.run(&tree_cfg, Paradigm::FinePack).total_time;
+        assert!(tree >= flat, "{}: tree {tree} < flat {flat}", app.name());
+    }
+}
+
+#[test]
+fn dynamic_allocation_is_transparent_and_competitive() {
+    let (base, spec) = tiny4();
+    let dyn_cfg = base.with_finepack(
+        FinePackConfig::paper(4).with_allocation(AllocationPolicy::DynamicShared),
+    );
+    for app in suite() {
+        let prep = PreparedWorkload::new(app.as_ref(), &base, &spec);
+        let stat = prep.run(&base, Paradigm::FinePack);
+        let dynr = prep.run(&dyn_cfg, Paradigm::FinePack);
+        // Same unique footprint, same-or-less wire (never worse than 5%).
+        assert_eq!(stat.unique_bytes, dynr.unique_bytes, "{}", app.name());
+        assert!(
+            (dynr.traffic.total() as f64) < 1.05 * stat.traffic.total() as f64,
+            "{}: dynamic wire ballooned",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn timeout_config_composes_with_runner() {
+    let (base, spec) = tiny4();
+    let cfg = base.with_finepack_timeout(SimTime::from_us(2));
+    let app = Pagerank::default();
+    let prep = PreparedWorkload::new(&app, &cfg, &spec);
+    let with_timeout = prep.run(&cfg, Paradigm::FinePack);
+    let without = prep.run(&base, Paradigm::FinePack);
+    // Timeouts may fragment packets but never lose data.
+    assert_eq!(with_timeout.unique_bytes, without.unique_bytes);
+    assert!(with_timeout.egress.packets >= without.egress.packets);
+    assert_eq!(with_timeout.egress.stores_in, without.egress.stores_in);
+}
+
+#[test]
+fn alternate_framings_compose_with_runner() {
+    let (base, spec) = tiny4();
+    let app = Pagerank::default();
+    for framing in [FramingModel::cxl(), FramingModel::nvlink_flit()] {
+        let cfg = SystemConfig { framing, ..base };
+        let prep = PreparedWorkload::new(&app, &cfg, &spec);
+        let fp = prep.run(&cfg, Paradigm::FinePack);
+        let p2p = prep.run(&cfg, Paradigm::P2pStores);
+        assert!(fp.traffic.total() < p2p.traffic.total());
+        assert!(fp.total_time <= p2p.total_time);
+    }
+}
+
+#[test]
+fn weak_scaling_mode_composes_and_outscales_strong() {
+    let (base, mut spec) = tiny4();
+    let app = Pagerank::default();
+    spec.scaling = ScalingMode::Strong;
+    let strong = PreparedWorkload::new(&app, &base, &spec);
+    let strong_t = strong.run(&base, Paradigm::P2pStores).total_time;
+    spec.scaling = ScalingMode::Weak;
+    let weak = PreparedWorkload::new(&app, &base, &spec);
+    let weak_t = weak.run(&base, Paradigm::P2pStores).total_time;
+    // The weak-scaled problem is 4x larger per iteration, so its wall
+    // time is longer; but per unit of work it is far more efficient.
+    assert!(weak_t > strong_t);
+    assert!(weak_t.as_secs_f64() < 3.0 * strong_t.as_secs_f64());
+}
+
+#[test]
+fn time_attribution_sums_to_total() {
+    let (base, spec) = tiny4();
+    for app in suite() {
+        let prep = PreparedWorkload::new(app.as_ref(), &base, &spec);
+        for p in [Paradigm::BulkDma, Paradigm::P2pStores, Paradigm::FinePack] {
+            let r = prep.run(&base, p);
+            let sum = r.compute_time + r.drain_tail + r.barrier_time;
+            assert_eq!(sum, r.total_time, "{} {p}", app.name());
+            assert!(r.exposed_comm_fraction() >= 0.0);
+            assert!(r.exposed_comm_fraction() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Wire-byte accounting invariants across the whole stack: every byte on
+//! the wire is classified exactly once, and the remote write queue's
+//! payload-budget register never over-commits a packet.
+
+use finepack::{
+    EgressPath, FinePackConfig, FinePackEgress, FlushReason, GpsEgress, RawP2pEgress,
+    RemoteWriteQueue, WriteCombiningEgress,
+};
+use gpu_model::{GpuId, RemoteStore};
+use proptest::prelude::*;
+use protocol::FramingModel;
+use sim_engine::SimTime;
+
+fn store_strategy() -> impl Strategy<Value = RemoteStore> {
+    (1u8..4, 0u64..512, 0u32..128, 1u32..=32, any::<u8>()).prop_map(
+        |(dst, line, off, len, v)| {
+            let off = off.min(127);
+            let len = len.min(128 - off);
+            RemoteStore {
+                src: GpuId::new(0),
+                dst: GpuId::new(dst),
+                addr: 0x1000_0000 + line * 128 + u64::from(off),
+                data: vec![v; len as usize],
+            }
+        },
+    )
+}
+
+fn drain(path: &mut dyn EgressPath, stores: Vec<RemoteStore>) -> Vec<finepack::WirePacket> {
+    let mut packets = Vec::new();
+    for s in stores {
+        packets.extend(path.push(s, SimTime::ZERO).expect("valid store"));
+    }
+    packets.extend(path.release());
+    packets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// wire = data + protocol for every emitted packet, and the path's
+    /// cumulative metrics equal the sum over its packets.
+    #[test]
+    fn per_packet_and_cumulative_accounting_agree(
+        stores in prop::collection::vec(store_strategy(), 1..300),
+    ) {
+        let framing = FramingModel::pcie_gen4();
+        let paths: Vec<Box<dyn EgressPath>> = vec![
+            Box::new(FinePackEgress::new(GpuId::new(0), FinePackConfig::paper(4), framing)),
+            Box::new(RawP2pEgress::new(framing)),
+            Box::new(WriteCombiningEgress::new(GpuId::new(0), framing, 64)),
+            Box::new(GpsEgress::new(GpuId::new(0), framing, 64, 0.3, 7)),
+        ];
+        for mut path in paths {
+            let packets = drain(path.as_mut(), stores.clone());
+            let mut wire = 0u64;
+            let mut data = 0u64;
+            for p in &packets {
+                prop_assert!(p.wire_bytes >= p.data_bytes, "{}", path.name());
+                prop_assert_eq!(p.wire_bytes, p.data_bytes + p.protocol_bytes());
+                wire += p.wire_bytes;
+                data += p.data_bytes;
+            }
+            let m = path.metrics();
+            prop_assert_eq!(m.wire_bytes, wire, "{} wire", path.name());
+            prop_assert_eq!(m.data_bytes, data, "{} data", path.name());
+            prop_assert_eq!(m.packets, packets.len() as u64, "{} packets", path.name());
+        }
+    }
+
+    /// No FinePack packet's payload exceeds the PCIe maximum, and data
+    /// conservation holds: bytes in = bytes on wire + bytes elided.
+    #[test]
+    fn finepack_payload_budget_and_conservation(
+        stores in prop::collection::vec(store_strategy(), 1..400),
+    ) {
+        let framing = FramingModel::pcie_gen4();
+        let cfg = FinePackConfig::paper(4);
+        let mut fp = FinePackEgress::new(GpuId::new(0), cfg, framing);
+        let packets = drain(&mut fp, stores);
+        let overhead = u64::from(framing.per_tlp_overhead());
+        for p in &packets {
+            // wire = overhead + DW-padded payload; payload <= max.
+            let payload = p.wire_bytes - overhead;
+            prop_assert!(payload <= u64::from(cfg.max_payload) + 3, "payload {payload}");
+        }
+        let m = fp.metrics();
+        prop_assert_eq!(m.bytes_in, m.data_bytes + m.overwritten_bytes);
+    }
+
+    /// The queue's entry capacity is never exceeded, and the available-
+    /// payload-length register semantics hold: a released batch's
+    /// valid bytes plus per-entry sub-header costs fit the budget the
+    /// register tracked.
+    #[test]
+    fn rwq_capacity_and_budget(
+        stores in prop::collection::vec(store_strategy(), 1..400),
+    ) {
+        let cfg = FinePackConfig::paper(4);
+        let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
+        let mut batches = Vec::new();
+        for s in stores {
+            prop_assert!(rwq.buffered_entries() <= 3 * cfg.entries_per_partition as usize);
+            if let Some(b) = rwq.insert(s).expect("valid") {
+                batches.push(b);
+            }
+        }
+        batches.extend(rwq.flush_all(FlushReason::Release));
+        for b in &batches {
+            prop_assert!(b.entries.len() <= cfg.entries_per_partition as usize);
+            // Budget as the register tracks it: merged bytes + one
+            // sub-header per entry allocation.
+            let budget = b.valid_bytes()
+                + u64::from(cfg.subheader.bytes()) * b.entries.len() as u64;
+            prop_assert!(budget <= u64::from(cfg.max_payload), "budget {budget}");
+            // Window containment: every entry's valid bytes lie inside
+            // the batch window.
+            for e in &b.entries {
+                for (off, len) in e.runs() {
+                    let start = e.line_addr + u64::from(off);
+                    prop_assert!(start >= b.window_base);
+                    prop_assert!(
+                        start + u64::from(len)
+                            <= b.window_base + cfg.subheader.addressable_range()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gps_filtering_reduces_wire_monotonically() {
+    let framing = FramingModel::pcie_gen4();
+    let stores: Vec<RemoteStore> = (0..500u64)
+        .map(|i| RemoteStore {
+            src: GpuId::new(0),
+            dst: GpuId::new(1),
+            addr: 0x2000_0000 + i * 192,
+            data: vec![1; 8],
+        })
+        .collect();
+    let mut last = u64::MAX;
+    for unsub in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut gps = GpsEgress::new(GpuId::new(0), framing, 64, unsub, 11);
+        for s in &stores {
+            gps.push(s.clone(), SimTime::ZERO).expect("valid");
+        }
+        gps.release();
+        let wire = gps.metrics().wire_bytes;
+        assert!(wire <= last, "unsub={unsub}: {wire} > {last}");
+        last = wire;
+    }
+    assert_eq!(last, 0, "full unsubscription sends nothing");
+}

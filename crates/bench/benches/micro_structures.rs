@@ -1,16 +1,21 @@
-//! Criterion micro-benchmarks of FinePack's hot hardware-model paths:
+//! Micro-benchmarks of FinePack's hot hardware-model paths:
 //! remote-write-queue insertion, packetization, wire encode/decode, and
 //! L1 warp-store coalescing. These bound the simulator's throughput and
 //! double as regression guards for the data structures.
+//!
+//! Plain `Instant`-based timing (median of repeated batches) keeps the
+//! harness dependency-free; absolute numbers are indicative, not
+//! statistically rigorous.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
+
 use finepack::{
     packetize, EgressPath, FinePackConfig, FinePackEgress, FinePackPacket, FlushReason,
     RemoteWriteQueue,
 };
 use gpu_model::{coalesce_warp_store, AccessPattern, GpuConfig, GpuId, RemoteStore};
 use protocol::FramingModel;
-use sim_engine::SimTime;
+use sim_engine::{SimTime, Table};
 
 fn stores(n: u64, stride: u64, len: usize) -> Vec<RemoteStore> {
     (0..n)
@@ -23,51 +28,62 @@ fn stores(n: u64, stride: u64, len: usize) -> Vec<RemoteStore> {
         .collect()
 }
 
-fn bench_rwq_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rwq_insert");
-    for (name, stride, len) in [("scattered_8B", 192u64, 8usize), ("dense_128B", 128, 128)] {
+/// Runs `f` for `reps` timed batches and returns the median ns per batch
+/// divided by `elems` (ns per element).
+fn time_per_elem<F: FnMut() -> R, R>(reps: usize, elems: u64, mut f: F) -> f64 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64 / elems as f64
+}
+
+fn main() {
+    let mut table = Table::new(
+        "hot-path micro-benchmarks (median ns per element)",
+        &["path", "ns/elem"],
+    );
+    let mut row = |name: &str, ns: f64| table.row(&[name.to_string(), format!("{ns:.1}")]);
+
+    // Remote-write-queue insertion, scattered vs dense stores.
+    for (name, stride, len) in [("rwq_insert/scattered_8B", 192u64, 8usize), ("rwq_insert/dense_128B", 128, 128)] {
         let batch = stores(1024, stride, len);
-        g.throughput(Throughput::Elements(batch.len() as u64));
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || (RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4)), batch.clone()),
-                |(mut rwq, batch)| {
-                    for s in batch {
-                        let _ = rwq.insert(s).expect("valid store");
-                    }
-                    rwq.flush_all(FlushReason::Release)
-                },
-                BatchSize::SmallInput,
-            )
+        let ns = time_per_elem(21, batch.len() as u64, || {
+            let mut rwq = RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4));
+            for s in batch.clone() {
+                let _ = rwq.insert(s).expect("valid store");
+            }
+            rwq.flush_all(FlushReason::Release)
         });
+        row(name, ns);
     }
-    g.finish();
-}
 
-fn bench_packetize(c: &mut Criterion) {
+    // Packetization of a full flush batch.
     let cfg = FinePackConfig::paper(4);
     let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
     for s in stores(60, 192, 8) {
         rwq.insert(s).expect("valid store");
     }
     let batch = rwq.flush_all(FlushReason::Release).remove(0);
-    c.bench_function("packetize_60_stores", |b| {
-        b.iter(|| packetize(std::hint::black_box(&batch), &cfg, GpuId::new(0)))
-    });
-}
+    row(
+        "packetize_60_stores",
+        time_per_elem(101, 1, || packetize(std::hint::black_box(&batch), &cfg, GpuId::new(0))),
+    );
 
-fn bench_encode_decode(c: &mut Criterion) {
-    let cfg = FinePackConfig::paper(4);
-    let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
-    for s in stores(60, 192, 8) {
-        rwq.insert(s).expect("valid store");
-    }
-    let batch = rwq.flush_all(FlushReason::Release).remove(0);
+    // Wire encode/decode of an aggregated packet.
     let pkt = packetize(&batch, &cfg, GpuId::new(0)).remove(0);
     let wire = pkt.encode();
-    c.bench_function("packet_encode", |b| b.iter(|| std::hint::black_box(&pkt).encode()));
-    c.bench_function("packet_decode", |b| {
-        b.iter(|| {
+    row(
+        "packet_encode",
+        time_per_elem(101, 1, || std::hint::black_box(&pkt).encode()),
+    );
+    row(
+        "packet_decode",
+        time_per_elem(101, 1, || {
             FinePackPacket::decode(
                 std::hint::black_box(&wire),
                 cfg.subheader,
@@ -75,60 +91,44 @@ fn bench_encode_decode(c: &mut Criterion) {
                 GpuId::new(1),
             )
             .expect("valid wire")
-        })
-    });
-}
+        }),
+    );
 
-fn bench_coalescer(c: &mut Criterion) {
-    let cfg = GpuConfig::gv100();
+    // L1 warp-store coalescing.
+    let gpu = GpuConfig::gv100();
     let contiguous = AccessPattern::Contiguous { base: 0x1000 };
     let scattered = AccessPattern::Scattered {
         addrs: (0..32).map(|i| 0x10_0000 + i * 4096).collect(),
     };
-    c.bench_function("coalesce_contiguous_warp", |b| {
-        b.iter(|| coalesce_warp_store(&cfg, std::hint::black_box(&contiguous), 4, u32::MAX, 7))
-    });
-    c.bench_function("coalesce_scattered_warp", |b| {
-        b.iter(|| coalesce_warp_store(&cfg, std::hint::black_box(&scattered), 8, u32::MAX, 7))
-    });
-}
+    row(
+        "coalesce_contiguous_warp",
+        time_per_elem(101, 1, || {
+            coalesce_warp_store(&gpu, std::hint::black_box(&contiguous), 4, u32::MAX, 7)
+        }),
+    );
+    row(
+        "coalesce_scattered_warp",
+        time_per_elem(101, 1, || {
+            coalesce_warp_store(&gpu, std::hint::black_box(&scattered), 8, u32::MAX, 7)
+        }),
+    );
 
-fn bench_egress_pipeline(c: &mut Criterion) {
+    // Full egress pipeline end to end.
     let batch = stores(4096, 192, 8);
-    let mut g = c.benchmark_group("egress_pipeline");
-    g.throughput(Throughput::Elements(batch.len() as u64));
-    g.bench_function("finepack_end_to_end", |b| {
-        b.iter_batched(
-            || {
-                (
-                    FinePackEgress::new(
-                        GpuId::new(0),
-                        FinePackConfig::paper(4),
-                        FramingModel::pcie_gen4(),
-                    ),
-                    batch.clone(),
-                )
-            },
-            |(mut fp, batch)| {
-                let mut packets = Vec::new();
-                for s in batch {
-                    packets.extend(fp.push(s, SimTime::ZERO).expect("valid store"));
-                }
-                packets.extend(fp.release());
-                packets
-            },
-            BatchSize::SmallInput,
-        )
+    let ns = time_per_elem(11, batch.len() as u64, || {
+        let mut fp = FinePackEgress::new(
+            GpuId::new(0),
+            FinePackConfig::paper(4),
+            FramingModel::pcie_gen4(),
+        );
+        let mut packets = Vec::new();
+        for s in batch.clone() {
+            packets.extend(fp.push(s, SimTime::ZERO).expect("valid store"));
+        }
+        packets.extend(fp.release());
+        packets
     });
-    g.finish();
-}
+    row("egress_pipeline/finepack_end_to_end", ns);
 
-criterion_group!(
-    benches,
-    bench_rwq_insert,
-    bench_packetize,
-    bench_encode_decode,
-    bench_coalescer,
-    bench_egress_pipeline
-);
-criterion_main!(benches);
+    table.print();
+}

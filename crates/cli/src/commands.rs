@@ -6,8 +6,10 @@ use finepack::{AreaModel, FinePackConfig, SubheaderFormat};
 use gpu_model::{profile_run, read_trace, write_trace, AddressMap, Gpu, GpuId};
 use protocol::{fig2_sizes, FramingModel, PcieGen};
 use sim_engine::Table;
+use sim_engine::SimTime;
 use system::{
-    single_gpu_time, speedup_row, subheader_sweep, Paradigm, PreparedWorkload, SystemConfig,
+    fault_sweep, single_gpu_time, speedup_row, subheader_sweep, FaultProfile, Paradigm,
+    PreparedWorkload, SystemConfig,
 };
 use workloads::{suite, RunSpec, Workload};
 
@@ -24,12 +26,18 @@ COMMANDS:
   run              simulate one app across paradigms
                    --app <name> [--gpus N] [--pcie 4|5|6]
                    [--iterations K] [--scale-down S] [--windows W]
+                   [--ber RATE] [--fault-profile clean|noisy|outage|degraded|stuck]
   suite            Fig 9 table for the whole application suite
                    [--gpus N] [--pcie 4|5|6] [--scale-down S]
   goodput          goodput-vs-size curve (Fig 2)
                    [--framing pcie|cxl|nvlink]
   sweep-subheader  Table II / Fig 12 sub-header sweep
                    [--app <name>] [--gpus N] [--scale-down S]
+  faults           bit-error-rate sweep: replay amplification under a
+                   faulty data link layer
+                   [--app <name>] [--gpus N] [--paradigm <name>]
+                   [--scale-down S] [--iterations K]
+                   [--fault-profile clean|noisy|outage|degraded|stuck]
   area             FinePack SRAM footprint (§VI-B) [--gpus N]
   record           synthesize traces to disk
                    --app <name> --out <dir> [--gpus N] [--iterations K]
@@ -82,9 +90,61 @@ fn system_from(args: &Args, spec: &RunSpec) -> Result<SystemConfig, ArgError> {
     };
     let windows = args.get_parsed("windows", 1u32, "1-64")?;
     let fp = FinePackConfig::paper(u32::from(spec.num_gpus)).with_windows(windows);
-    Ok(SystemConfig::paper(spec.num_gpus)
+    let mut cfg = SystemConfig::paper(spec.num_gpus)
         .with_pcie_gen(gen)
-        .with_finepack(fp))
+        .with_finepack(fp);
+    if let Some(profile) = fault_profile_from(args)? {
+        cfg = cfg.with_faults(profile);
+    }
+    Ok(cfg)
+}
+
+/// Builds a [`FaultProfile`] from `--ber` and `--fault-profile`, or
+/// `None` when neither is given (the paper's fault-free evaluation).
+fn fault_profile_from(args: &Args) -> Result<Option<FaultProfile>, ArgError> {
+    let ber: Option<f64> = match args.get("ber") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| ArgError::Invalid {
+            key: "ber".into(),
+            value: v.to_string(),
+            expected: "bit-error rate in [0, 1], e.g. 1e-8",
+        })?),
+    };
+    let profile = match args.get("fault-profile") {
+        None => ber.map(FaultProfile::new),
+        Some(name) => {
+            let base = FaultProfile::new(ber.unwrap_or(match name {
+                "clean" | "outage" | "stuck" => 0.0,
+                _ => 1e-7,
+            }));
+            Some(match name {
+                "clean" => base,
+                "noisy" => base,
+                "outage" => base.with_outage(0, SimTime::from_us(5), SimTime::from_us(60)),
+                "degraded" => base
+                    .with_outage(0, SimTime::from_us(5), SimTime::from_us(60))
+                    .with_degrade(0.5),
+                "stuck" => base.stuck_link(0, SimTime::ZERO),
+                other => {
+                    return Err(ArgError::Invalid {
+                        key: "fault-profile".into(),
+                        value: other.to_string(),
+                        expected: "clean, noisy, outage, degraded, or stuck",
+                    })
+                }
+            })
+        }
+    };
+    if let Some(p) = &profile {
+        if !(0.0..=1.0).contains(&p.ber) {
+            return Err(ArgError::Invalid {
+                key: "ber".into(),
+                value: p.ber.to_string(),
+                expected: "bit-error rate in [0, 1]",
+            });
+        }
+    }
+    Ok(profile)
 }
 
 /// `goodput [--framing pcie|cxl|nvlink]`
@@ -127,6 +187,8 @@ pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
         "scale-down",
         "seed",
         "windows",
+        "ber",
+        "fault-profile",
     ])?;
     let app = find_app(args.get_or("app", "pagerank"))?;
     let spec = spec_from(args)?;
@@ -151,16 +213,110 @@ pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
         Paradigm::FinePack,
         Paradigm::InfiniteBw,
     ] {
-        let report = prep.run(&cfg, p);
-        t.row(&[
-            p.to_string(),
-            format!("{:.2}x", t1.as_secs_f64() / report.total_time.as_secs_f64()),
-            report.traffic.total().to_string(),
-            report
-                .mean_stores_per_packet()
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or_else(|| "-".into()),
-        ]);
+        match prep.try_run(&cfg, p) {
+            Ok(report) => t.row(&[
+                p.to_string(),
+                format!("{:.2}x", t1.as_secs_f64() / report.total_time.as_secs_f64()),
+                report.traffic.total().to_string(),
+                report
+                    .mean_stores_per_packet()
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]),
+            Err(e) => t.row(&[p.to_string(), "dead".into(), "-".into(), e.to_string()]),
+        }
+    }
+    Ok(t.render())
+}
+
+fn find_paradigm(name: &str) -> Result<Paradigm, ArgError> {
+    [
+        Paradigm::BulkDma,
+        Paradigm::P2pStores,
+        Paradigm::FinePack,
+        Paradigm::WriteCombining,
+        Paradigm::Gps,
+        Paradigm::InfiniteBw,
+    ]
+    .into_iter()
+    .find(|p| p.to_string() == name)
+    .ok_or(ArgError::Invalid {
+        key: "paradigm".into(),
+        value: name.to_string(),
+        expected: "one of the paradigm names (see `help`)",
+    })
+}
+
+/// `faults [--app <name>] [--paradigm <name>] ...`
+pub(crate) fn faults(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[
+        "app",
+        "gpus",
+        "paradigm",
+        "iterations",
+        "scale-down",
+        "seed",
+        "fault-profile",
+    ])?;
+    let app = find_app(args.get_or("app", "pagerank"))?;
+    let spec = spec_from(args)?;
+    let paradigm = find_paradigm(args.get_or("paradigm", "finepack"))?;
+    let mut cfg = SystemConfig::paper(spec.num_gpus);
+    if let Some(profile) = fault_profile_from(args)? {
+        cfg = cfg.with_faults(profile);
+    }
+    let bers = [0.0, 1e-8, 1e-7, 1e-6, 1e-5];
+    let points = fault_sweep(app.as_ref(), &cfg, &spec, paradigm, &bers);
+    let mut t = Table::new(
+        format!(
+            "{} under link faults ({paradigm}, {} GPUs)",
+            app.name(),
+            spec.num_gpus
+        ),
+        &[
+            "BER",
+            "slowdown",
+            "wire bytes",
+            "replayed",
+            "replay %",
+            "retrains",
+            "worst flush",
+        ],
+    );
+    for point in &points {
+        match &point.outcome {
+            Ok(r) => {
+                let total = r.traffic.total();
+                let worst = r
+                    .replay_amplification
+                    .rows()
+                    .into_iter()
+                    .max_by_key(|(_, bytes)| *bytes)
+                    .map(|(label, bytes)| format!("{label} ({bytes}B)"))
+                    .unwrap_or_else(|| "-".into());
+                t.row(&[
+                    format!("{:.0e}", point.ber),
+                    point
+                        .slowdown
+                        .map(|s| format!("{s:.3}x"))
+                        .unwrap_or_else(|| "-".into()),
+                    total.to_string(),
+                    r.replayed_bytes.to_string(),
+                    format!("{:.2}%", 100.0 * r.replayed_bytes as f64 / total.max(1) as f64),
+                    r.link_retrains.to_string(),
+                    worst,
+                ]);
+            }
+            Err(e) => t.row(&[
+                format!("{:.0e}", point.ber),
+                "dead".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                e.to_string(),
+            ]),
+        }
     }
     Ok(t.render())
 }
@@ -426,6 +582,62 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("jacobi") && out.contains("hit"));
+    }
+
+    #[test]
+    fn faults_sweep_runs_tiny() {
+        let out = faults(
+            &Args::parse([
+                "faults",
+                "--app",
+                "jacobi",
+                "--gpus",
+                "2",
+                "--scale-down",
+                "16",
+                "--iterations",
+                "1",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("BER"), "{out}");
+        assert!(out.contains("replay"), "{out}");
+    }
+
+    #[test]
+    fn run_with_stuck_link_reports_dead_paradigms() {
+        let out = run_app(
+            &Args::parse([
+                "run",
+                "--app",
+                "jacobi",
+                "--gpus",
+                "2",
+                "--scale-down",
+                "16",
+                "--iterations",
+                "1",
+                "--fault-profile",
+                "stuck",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("dead"), "{out}");
+        assert!(out.contains("no forward progress"), "{out}");
+    }
+
+    #[test]
+    fn bad_fault_options_are_rejected() {
+        let bad_profile = run_app(
+            &Args::parse(["run", "--fault-profile", "gremlins"]).unwrap(),
+        );
+        assert!(bad_profile.is_err());
+        let bad_ber = run_app(&Args::parse(["run", "--ber", "2.0"]).unwrap());
+        assert!(bad_ber.is_err());
+        let unparsed = run_app(&Args::parse(["run", "--ber", "lots"]).unwrap());
+        assert!(unparsed.is_err());
     }
 
     #[test]

@@ -51,6 +51,7 @@ where
         Some("run") => commands::run_app(&args).map_err(|e| e.to_string()),
         Some("suite") => commands::suite_table(&args).map_err(|e| e.to_string()),
         Some("sweep-subheader") => commands::sweep_subheader(&args).map_err(|e| e.to_string()),
+        Some("faults") => commands::faults(&args).map_err(|e| e.to_string()),
         Some("area") => commands::area(&args).map_err(|e| e.to_string()),
         Some("record") => commands::record(&args),
         Some("replay") => commands::replay(&args),

@@ -153,6 +153,7 @@ impl WriteCombiningEgress {
                     dst,
                     wire_bytes: wire,
                     data_bytes: u64::from(len),
+                    reason: None,
                     stores: vec![RemoteStore {
                         src: self.src,
                         dst,
@@ -280,6 +281,7 @@ impl GpsEgress {
                     dst,
                     wire_bytes: wire,
                     data_bytes: u64::from(len),
+                    reason: None,
                     stores: vec![RemoteStore {
                         src: self.src,
                         dst,

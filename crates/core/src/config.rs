@@ -250,6 +250,14 @@ pub enum FinePackError {
         /// Store length.
         len: u32,
     },
+    /// A store addressed to the GPU that issued it: local traffic must
+    /// never enter the remote write queue (a routing bug upstream).
+    SelfRoute {
+        /// The GPU that both issued and would receive the store.
+        gpu: u8,
+        /// Store address.
+        addr: u64,
+    },
     /// Packet decode failed.
     Decode(protocol::ProtocolError),
 }
@@ -265,6 +273,9 @@ impl fmt::Display for FinePackError {
             }
             FinePackError::StoreCrossesBlock { addr, len } => {
                 write!(f, "store at {addr:#x} len {len} crosses a cache block")
+            }
+            FinePackError::SelfRoute { gpu, addr } => {
+                write!(f, "store at {addr:#x} routed from GPU{gpu} to itself")
             }
             FinePackError::Decode(e) => write!(f, "packet decode failed: {e}"),
         }

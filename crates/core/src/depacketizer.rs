@@ -3,9 +3,10 @@
 //! their addresses, buffers them (64 × 128B), and issues them to the
 //! local memory system.
 
-use gpu_model::{MemoryImage, RemoteStore};
+use gpu_model::{GpuId, MemoryImage, RemoteStore};
 use sim_engine::{Bandwidth, SimTime};
 
+use crate::config::{FinePackError, SubheaderFormat};
 use crate::packet::FinePackPacket;
 
 /// Ingress-side de-packetizer with the paper's 64-entry × 128B buffer,
@@ -43,6 +44,9 @@ pub struct Depacketizer {
     bytes_delivered: u64,
     /// Peak buffer occupancy observed (entries).
     peak_occupancy: u32,
+    /// Arrivals rejected before delivery (failed LCRC or malformed
+    /// payload): the whole aggregated TLP bounces and must replay.
+    packets_rejected: u64,
 }
 
 impl Default for Depacketizer {
@@ -62,6 +66,7 @@ impl Depacketizer {
             stores_delivered: 0,
             bytes_delivered: 0,
             peak_occupancy: 0,
+            packets_rejected: 0,
         }
     }
 
@@ -105,6 +110,49 @@ impl Depacketizer {
     /// Peak buffer occupancy in entries.
     pub fn peak_occupancy(&self) -> u32 {
         self.peak_occupancy
+    }
+
+    /// Decodes a wire buffer and delivers it, rejecting corruption.
+    ///
+    /// This is the ingress path under fault injection: `lcrc_ok` carries
+    /// the data link layer's verdict. A failed LCRC — or a payload that
+    /// no longer parses — rejects the *entire* aggregated transaction:
+    /// FinePack has no sub-packet retry, so the whole TLP replays as a
+    /// unit from the sender's replay buffer. Nothing is written to `mem`
+    /// on rejection.
+    ///
+    /// # Errors
+    ///
+    /// [`FinePackError::Decode`] when `lcrc_ok` is false or the payload
+    /// is malformed; the rejection counter increments either way.
+    pub fn deliver_wire(
+        &mut self,
+        wire: &[u8],
+        subheader: SubheaderFormat,
+        src: GpuId,
+        dst: GpuId,
+        lcrc_ok: bool,
+        mem: &mut MemoryImage,
+    ) -> Result<Vec<RemoteStore>, FinePackError> {
+        if !lcrc_ok {
+            self.packets_rejected += 1;
+            return Err(FinePackError::Decode(
+                protocol::ProtocolError::InvalidField("LCRC"),
+            ));
+        }
+        let packet = match FinePackPacket::decode(wire, subheader, src, dst) {
+            Ok(p) => p,
+            Err(e) => {
+                self.packets_rejected += 1;
+                return Err(e);
+            }
+        };
+        Ok(self.deliver(&packet, mem))
+    }
+
+    /// Arrivals rejected before delivery.
+    pub fn packets_rejected(&self) -> u64 {
+        self.packets_rejected
     }
 }
 
@@ -156,6 +204,59 @@ mod tests {
         let small = d.drain_time(&packet(1, 8));
         let large = d.drain_time(&packet(100, 8));
         assert!(large > small);
+    }
+
+    #[test]
+    fn corrupted_arrival_is_rejected_whole() {
+        let mut d = Depacketizer::new();
+        let mut mem = MemoryImage::new();
+        let pkt = packet(10, 16);
+        let wire = pkt.encode();
+        // LCRC failure: nothing lands, the rejection is counted.
+        let err = d.deliver_wire(
+            &wire,
+            SubheaderFormat::paper(),
+            pkt.src,
+            pkt.dst,
+            false,
+            &mut mem,
+        );
+        assert!(err.is_err());
+        assert_eq!(d.packets_rejected(), 1);
+        assert_eq!(d.stores_delivered(), 0);
+        assert!(mem.same_contents(&MemoryImage::new()));
+        // The replayed (clean) copy delivers everything.
+        let stores = d
+            .deliver_wire(
+                &wire,
+                SubheaderFormat::paper(),
+                pkt.src,
+                pkt.dst,
+                true,
+                &mut mem,
+            )
+            .unwrap();
+        assert_eq!(stores.len(), 10);
+        assert_eq!(d.stores_delivered(), 10);
+        assert_eq!(d.packets_rejected(), 1);
+    }
+
+    #[test]
+    fn malformed_payload_is_rejected() {
+        let mut d = Depacketizer::new();
+        let mut mem = MemoryImage::new();
+        let mut wire = packet(4, 16).encode();
+        wire.truncate(20); // truncated mid-subpacket
+        let err = d.deliver_wire(
+            &wire,
+            SubheaderFormat::paper(),
+            GpuId::new(0),
+            GpuId::new(1),
+            true,
+            &mut mem,
+        );
+        assert!(err.is_err());
+        assert_eq!(d.packets_rejected(), 1);
     }
 
     #[test]

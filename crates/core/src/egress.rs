@@ -30,6 +30,10 @@ pub struct WirePacket {
     pub wire_bytes: u64,
     /// Data bytes carried (the stores' payloads).
     pub data_bytes: u64,
+    /// The flush that produced this packet, when it left a FinePack
+    /// queue (`None` for uncoalesced paths and atomics). Lets the
+    /// link layer attribute replay amplification to flush causes.
+    pub reason: Option<crate::FlushReason>,
     /// The stores this packet delivers, in order.
     pub stores: Vec<RemoteStore>,
 }
@@ -254,6 +258,7 @@ impl FinePackEgress {
                 dst: p.dst,
                 wire_bytes: wire,
                 data_bytes: data,
+                reason: Some(batch.reason),
                 stores: p.to_stores(),
             });
         }
@@ -307,6 +312,7 @@ impl EgressPath for FinePackEgress {
             dst: store.dst,
             wire_bytes: wire,
             data_bytes: data,
+            reason: None,
             stores: vec![store],
         });
         Ok(out)
@@ -427,6 +433,7 @@ impl EgressPath for RawP2pEgress {
             dst: store.dst,
             wire_bytes: wire,
             data_bytes: data,
+            reason: None,
             stores: vec![store],
         }])
     }

@@ -67,6 +67,7 @@ mod depacketizer;
 mod egress;
 mod packet;
 mod packetizer;
+mod replay_stats;
 mod rwq;
 
 pub use alt_design::ConfigPacketModel;
@@ -77,4 +78,5 @@ pub use depacketizer::Depacketizer;
 pub use egress::{EgressMetrics, EgressPath, FinePackEgress, RawP2pEgress, WirePacket};
 pub use packet::{FinePackPacket, SubPacket};
 pub use packetizer::packetize;
+pub use replay_stats::ReplayAmplification;
 pub use rwq::{FlushReason, FlushedBatch, FlushedEntry, RemoteWriteQueue, RwqStats};

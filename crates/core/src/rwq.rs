@@ -315,9 +315,10 @@ impl RemoteWriteQueue {
     ///
     /// # Errors
     ///
-    /// Returns an error if the store is larger than a queue entry or
+    /// Returns an error if the store is larger than a queue entry,
     /// crosses a cache-block boundary (the L1 coalescer never emits
-    /// either).
+    /// either), or is addressed back to the issuing GPU (a routing bug
+    /// upstream — local traffic never enters the remote write queue).
     pub fn insert(&mut self, store: RemoteStore) -> Result<Option<FlushedBatch>, FinePackError> {
         let entry_bytes = self.config.entry_bytes;
         let len = store.len();
@@ -334,7 +335,12 @@ impl RemoteWriteQueue {
                 len,
             });
         }
-        debug_assert_ne!(store.dst, self.src, "store routed to self");
+        if store.dst == self.src {
+            return Err(FinePackError::SelfRoute {
+                gpu: self.src.index() as u8,
+                addr: store.addr,
+            });
+        }
 
         let subheader = self.config.subheader;
         let sub_bytes = subheader.bytes();
@@ -609,6 +615,18 @@ mod tests {
 
     fn rwq() -> RemoteWriteQueue {
         RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4))
+    }
+
+    #[test]
+    fn self_routed_store_is_rejected() {
+        let mut q = rwq();
+        let err = q.insert(store(0, 0x1000, vec![1; 4])).unwrap_err();
+        assert!(matches!(
+            err,
+            FinePackError::SelfRoute { gpu: 0, addr: 0x1000 }
+        ));
+        assert_eq!(q.buffered_entries(), 0);
+        assert_eq!(q.stats().stores_received, 0);
     }
 
     #[test]

@@ -7,11 +7,12 @@ use finepack::{
     SubheaderFormat,
 };
 use gpu_model::GpuId;
-use proptest::prelude::*;
+use sim_engine::DetRng;
 
-fn entry_strategy() -> impl Strategy<Value = (u64, u128)> {
+fn random_entry(rng: &mut DetRng) -> (u64, u128) {
     // Line index and a fully arbitrary 128-bit byte mask.
-    (0u64..512, any::<u128>())
+    let mask = u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64());
+    (rng.next_u64_below(512), mask)
 }
 
 fn build_batch(entries: Vec<(u64, u128)>, window_base: u64) -> FlushedBatch {
@@ -39,14 +40,14 @@ fn build_batch(entries: Vec<(u64, u128)>, window_base: u64) -> FlushedBatch {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn arbitrary_masks_roundtrip(
-        raw in prop::collection::vec(entry_strategy(), 1..32),
-        sub in 2u32..=6,
-    ) {
+#[test]
+fn arbitrary_masks_roundtrip() {
+    let mut rng = DetRng::new(0xAD_0001, "masks");
+    for _ in 0..64 {
+        let raw: Vec<_> = (0..rng.next_in_range(1, 32))
+            .map(|_| random_entry(&mut rng))
+            .collect();
+        let sub = rng.next_in_range(2, 7) as u32;
         let cfg = FinePackConfig::paper(4)
             .with_subheader(SubheaderFormat::new(sub).expect("2..=6"));
         let window_base = 0x4000_0000u64;
@@ -63,11 +64,11 @@ proptest! {
         let packets = packetize(&batch, &cfg, GpuId::new(0));
         let mut got: Vec<(u64, u8)> = Vec::new();
         for p in &packets {
-            prop_assert!(p.payload_bytes() <= cfg.max_payload);
+            assert!(p.payload_bytes() <= cfg.max_payload);
             let wire = p.encode();
             let back = FinePackPacket::decode(&wire, cfg.subheader, p.src, p.dst)
                 .expect("own wire decodes");
-            prop_assert_eq!(&back, p);
+            assert_eq!(&back, p);
             for s in back.to_stores() {
                 for (i, b) in s.data.iter().enumerate() {
                     got.push((s.addr + i as u64, *b));
@@ -76,13 +77,15 @@ proptest! {
         }
         got.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// Worst-case fragmentation: alternating bytes (64 runs of 1 byte per
-    /// line) still fits the format, with one sub-header per run.
-    #[test]
-    fn alternating_mask_packs_one_subheader_per_run(lines in 1u64..8) {
+/// Worst-case fragmentation: alternating bytes (64 runs of 1 byte per
+/// line) still fits the format, with one sub-header per run.
+#[test]
+fn alternating_mask_packs_one_subheader_per_run() {
+    for lines in 1u64..8 {
         let cfg = FinePackConfig::paper(4);
         let mask = {
             let mut m = 0u128;
@@ -94,10 +97,10 @@ proptest! {
         let batch = build_batch((0..lines).map(|l| (l, mask)).collect(), 0x4000_0000);
         let packets = packetize(&batch, &cfg, GpuId::new(0));
         let subpackets: usize = packets.iter().map(|p| p.len()).sum();
-        prop_assert_eq!(subpackets as u64, lines * 64);
+        assert_eq!(subpackets as u64, lines * 64);
         for p in &packets {
             for s in &p.subpackets {
-                prop_assert_eq!(s.data.len(), 1);
+                assert_eq!(s.data.len(), 1);
             }
         }
     }

@@ -1,4 +1,4 @@
-//! Property tests for the FinePack hardware structures.
+//! Randomized property tests for the FinePack hardware structures.
 
 use std::collections::HashMap;
 
@@ -6,16 +6,17 @@ use finepack::{
     packetize, ConfigPacketModel, FinePackConfig, FlushReason, RemoteWriteQueue, SubheaderFormat,
 };
 use gpu_model::{GpuId, RemoteStore};
-use proptest::prelude::*;
+use sim_engine::DetRng;
 
 /// (dst, line index, offset, len, value) with the no-block-crossing
 /// invariant the L1 coalescer guarantees.
-fn store_params() -> impl Strategy<Value = (u8, u64, u32, u32, u8)> {
-    (1u8..4, 0u64..1024, 0u32..128, 1u32..=64, any::<u8>()).prop_map(|(d, l, o, n, v)| {
-        let o = o.min(127);
-        let n = n.min(128 - o);
-        (d, l, o, n, v)
-    })
+fn store_params(rng: &mut DetRng) -> (u8, u64, u32, u32, u8) {
+    let d = rng.next_in_range(1, 4) as u8;
+    let l = rng.next_u64_below(1024);
+    let o = (rng.next_u64_below(128) as u32).min(127);
+    let n = (rng.next_in_range(1, 65) as u32).min(128 - o);
+    let v = rng.next_u64() as u8;
+    (d, l, o, n, v)
 }
 
 fn build(d: u8, l: u64, o: u32, n: u32, v: u8) -> RemoteStore {
@@ -27,16 +28,16 @@ fn build(d: u8, l: u64, o: u32, n: u32, v: u8) -> RemoteStore {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Last-writer-wins: flushing the queue yields, for every byte, the
-    /// value of the most recent store to that byte — and only bytes that
-    /// were actually written.
-    #[test]
-    fn rwq_flush_is_last_writer_wins(
-        raw in prop::collection::vec(store_params(), 1..250),
-    ) {
+/// Last-writer-wins: flushing the queue yields, for every byte, the
+/// value of the most recent store to that byte — and only bytes that
+/// were actually written.
+#[test]
+fn rwq_flush_is_last_writer_wins() {
+    let mut rng = DetRng::new(0xC0_0001, "rwq-lww");
+    for _ in 0..64 {
+        let raw: Vec<_> = (0..rng.next_in_range(1, 250))
+            .map(|_| store_params(&mut rng))
+            .collect();
         // Keyed by (destination, address): in a real system the address
         // determines the destination, but the generator draws them
         // independently, so the oracle must distinguish partitions.
@@ -68,40 +69,46 @@ proptest! {
             absorb(flushed.into_iter().collect(), &mut emitted);
         }
         absorb(rwq.flush_all(FlushReason::Release), &mut emitted);
-        prop_assert_eq!(emitted, expected);
+        assert_eq!(emitted, expected);
     }
+}
 
-    /// Accounting identity: stores received = entry hits + entry misses,
-    /// and buffered entries drain to zero on release.
-    #[test]
-    fn rwq_counters_are_consistent(
-        raw in prop::collection::vec(store_params(), 1..250),
-    ) {
+/// Accounting identity: stores received = entry hits + entry misses,
+/// and buffered entries drain to zero on release.
+#[test]
+fn rwq_counters_are_consistent() {
+    let mut rng = DetRng::new(0xC0_0002, "rwq-counters");
+    for _ in 0..64 {
+        let raw: Vec<_> = (0..rng.next_in_range(1, 250))
+            .map(|_| store_params(&mut rng))
+            .collect();
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4));
         let n = raw.len() as u64;
         for (d, l, o, len, v) in raw {
             rwq.insert(build(d, l, o, len, v)).expect("valid");
         }
         let stats = rwq.stats();
-        prop_assert_eq!(stats.stores_received, n);
-        prop_assert_eq!(stats.entry_hits + stats.entry_misses, n);
+        assert_eq!(stats.stores_received, n);
+        assert_eq!(stats.entry_hits + stats.entry_misses, n);
         rwq.flush_all(FlushReason::Release);
-        prop_assert_eq!(rwq.buffered_entries(), 0);
+        assert_eq!(rwq.buffered_entries(), 0);
     }
+}
 
-    /// Packetizer invariants, for every Table II sub-header format:
-    /// payload budget respected, offsets fit the field, sub-packet data
-    /// bytes equal the batch's valid bytes.
-    #[test]
-    fn packetizer_respects_format(
-        raw in prop::collection::vec(store_params(), 1..200),
-        bytes in 2u32..=6,
-    ) {
+/// Packetizer invariants, for every Table II sub-header format:
+/// payload budget respected, offsets fit the field, sub-packet data
+/// bytes equal the batch's valid bytes.
+#[test]
+fn packetizer_respects_format() {
+    let mut rng = DetRng::new(0xC0_0003, "packetizer");
+    for _ in 0..64 {
+        let bytes = rng.next_in_range(2, 7) as u32;
         let cfg = FinePackConfig::paper(4)
             .with_subheader(SubheaderFormat::new(bytes).expect("2..=6"));
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
         let mut batches = Vec::new();
-        for (d, l, o, n, v) in raw {
+        for _ in 0..rng.next_in_range(1, 200) {
+            let (d, l, o, n, v) = store_params(&mut rng);
             if let Some(b) = rwq.insert(build(d, l, o, n, v)).expect("valid") {
                 batches.push(b);
             }
@@ -111,37 +118,46 @@ proptest! {
             let packets = packetize(batch, &cfg, GpuId::new(0));
             let mut data_bytes = 0u64;
             for p in &packets {
-                prop_assert!(p.payload_bytes() <= cfg.max_payload);
-                prop_assert_eq!(p.base_addr % 4, 0, "base must be DW-aligned");
+                assert!(p.payload_bytes() <= cfg.max_payload);
+                assert_eq!(p.base_addr % 4, 0, "base must be DW-aligned");
                 for sub in &p.subpackets {
-                    prop_assert!(sub.offset < cfg.subheader.addressable_range());
-                    prop_assert!(!sub.data.is_empty());
+                    assert!(sub.offset < cfg.subheader.addressable_range());
+                    assert!(!sub.data.is_empty());
                     data_bytes += sub.data.len() as u64;
                 }
             }
-            prop_assert_eq!(data_bytes, batch.valid_bytes());
+            assert_eq!(data_bytes, batch.valid_bytes());
         }
     }
+}
 
-    /// The §VI-B alternate design is strictly less efficient than
-    /// FinePack for any non-empty batch of stores.
-    #[test]
-    fn config_packet_design_never_wins(
-        sizes in prop::collection::vec(1u32..=128, 1..100),
-    ) {
+/// The §VI-B alternate design is strictly less efficient than
+/// FinePack for any non-empty batch of stores.
+#[test]
+fn config_packet_design_never_wins() {
+    let mut rng = DetRng::new(0xC0_0004, "config-packet");
+    for _ in 0..100 {
+        let sizes: Vec<u32> = (0..rng.next_in_range(1, 100))
+            .map(|_| rng.next_in_range(1, 129) as u32)
+            .collect();
         let m = ConfigPacketModel::new();
-        prop_assert!(m.wire_bytes(&sizes) > m.finepack_wire_bytes(&sizes));
+        assert!(m.wire_bytes(&sizes) > m.finepack_wire_bytes(&sizes));
         let eff = m.relative_efficiency(&sizes);
-        prop_assert!(eff > 0.0 && eff < 1.0);
+        assert!(eff > 0.0 && eff < 1.0);
     }
+}
 
-    /// Window-base masking is idempotent and monotone.
-    #[test]
-    fn window_base_is_projection(addr in any::<u64>(), bytes in 2u32..=6) {
+/// Window-base masking is idempotent and monotone.
+#[test]
+fn window_base_is_projection() {
+    let mut rng = DetRng::new(0xC0_0005, "window-base");
+    for _ in 0..500 {
+        let addr = rng.next_u64();
+        let bytes = rng.next_in_range(2, 7) as u32;
         let f = SubheaderFormat::new(bytes).expect("valid");
         let base = f.window_base(addr);
-        prop_assert!(base <= addr);
-        prop_assert_eq!(f.window_base(base), base);
-        prop_assert!(addr - base < f.addressable_range());
+        assert!(base <= addr);
+        assert_eq!(f.window_base(base), base);
+        assert!(addr - base < f.addressable_range());
     }
 }

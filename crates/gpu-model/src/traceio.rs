@@ -7,8 +7,6 @@
 //! regenerating. The format is a compact little-endian TLV stream with a
 //! magic header and version byte.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::trace::{AccessPattern, KernelTrace, TraceOp};
 
 /// File magic: "FPKT" (FinePack trace).
@@ -67,19 +65,19 @@ impl std::error::Error for TraceIoError {}
 /// assert_eq!(read_trace(&bytes)?, t);
 /// # Ok::<(), gpu_model::TraceIoError>(())
 /// ```
-pub fn write_trace(trace: &KernelTrace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + trace.len() * 16);
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
+pub fn write_trace(trace: &KernelTrace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + trace.len() * 16);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
     let name = trace.name.as_bytes();
-    buf.put_u16_le(name.len() as u16);
-    buf.put_slice(name);
-    buf.put_u32_le(trace.len() as u32);
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&(trace.len() as u32).to_le_bytes());
     for op in &trace.ops {
         match op {
             TraceOp::Compute { cycles } => {
-                buf.put_u8(TAG_COMPUTE);
-                buf.put_u32_le(*cycles);
+                buf.push(TAG_COMPUTE);
+                buf.extend_from_slice(&cycles.to_le_bytes());
             }
             TraceOp::WarpStore {
                 pattern,
@@ -89,52 +87,87 @@ pub fn write_trace(trace: &KernelTrace) -> Bytes {
             } => {
                 match pattern {
                     AccessPattern::Contiguous { base } => {
-                        buf.put_u8(TAG_STORE_CONTIG);
-                        buf.put_u64_le(*base);
+                        buf.push(TAG_STORE_CONTIG);
+                        buf.extend_from_slice(&base.to_le_bytes());
                     }
                     AccessPattern::Strided { base, stride } => {
-                        buf.put_u8(TAG_STORE_STRIDED);
-                        buf.put_u64_le(*base);
-                        buf.put_u64_le(*stride);
+                        buf.push(TAG_STORE_STRIDED);
+                        buf.extend_from_slice(&base.to_le_bytes());
+                        buf.extend_from_slice(&stride.to_le_bytes());
                     }
                     AccessPattern::Scattered { addrs } => {
-                        buf.put_u8(TAG_STORE_SCATTER);
-                        buf.put_u8(addrs.len() as u8);
+                        buf.push(TAG_STORE_SCATTER);
+                        buf.push(addrs.len() as u8);
                         for a in addrs {
-                            buf.put_u64_le(*a);
+                            buf.extend_from_slice(&a.to_le_bytes());
                         }
                     }
                 }
-                buf.put_u8(*bytes_per_lane as u8);
-                buf.put_u32_le(*active_mask);
-                buf.put_u64_le(*value_seed);
+                buf.push(*bytes_per_lane as u8);
+                buf.extend_from_slice(&active_mask.to_le_bytes());
+                buf.extend_from_slice(&value_seed.to_le_bytes());
             }
-            TraceOp::Fence => buf.put_u8(TAG_FENCE),
+            TraceOp::Fence => buf.push(TAG_FENCE),
             TraceOp::RemoteLoad { addr, bytes } => {
-                buf.put_u8(TAG_LOAD);
-                buf.put_u64_le(*addr);
-                buf.put_u8(*bytes as u8);
+                buf.push(TAG_LOAD);
+                buf.extend_from_slice(&addr.to_le_bytes());
+                buf.push(*bytes as u8);
             }
             TraceOp::RemoteAtomic {
                 addr,
                 bytes,
                 value_seed,
             } => {
-                buf.put_u8(TAG_ATOMIC);
-                buf.put_u64_le(*addr);
-                buf.put_u8(*bytes as u8);
-                buf.put_u64_le(*value_seed);
+                buf.push(TAG_ATOMIC);
+                buf.extend_from_slice(&addr.to_le_bytes());
+                buf.push(*bytes as u8);
+                buf.extend_from_slice(&value_seed.to_le_bytes());
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), TraceIoError> {
-    if buf.remaining() < n {
-        Err(TraceIoError::Truncated)
-    } else {
-        Ok(())
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn need(&self, n: usize) -> Result<(), TraceIoError> {
+        if self.bytes.len() - self.pos < n {
+            Err(TraceIoError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceIoError> {
+        self.need(n)?;
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, TraceIoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16, TraceIoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, TraceIoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, TraceIoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
@@ -144,94 +177,71 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), TraceIoError> {
 ///
 /// Returns a [`TraceIoError`] for malformed, truncated, or
 /// version-incompatible streams. Never panics on arbitrary input.
-pub fn read_trace(mut bytes: &[u8]) -> Result<KernelTrace, TraceIoError> {
-    let buf = &mut bytes;
-    need(buf, 5)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+pub fn read_trace(bytes: &[u8]) -> Result<KernelTrace, TraceIoError> {
+    let buf = &mut Cursor::new(bytes);
+    let magic = buf.take(4)?;
+    if magic != MAGIC {
         return Err(TraceIoError::BadMagic);
     }
-    let version = buf.get_u8();
+    let version = buf.get_u8()?;
     if version != VERSION {
         return Err(TraceIoError::UnsupportedVersion(version));
     }
-    need(buf, 2)?;
-    let name_len = buf.get_u16_le() as usize;
-    need(buf, name_len)?;
-    let mut name_bytes = vec![0u8; name_len];
-    buf.copy_to_slice(&mut name_bytes);
-    let name =
-        String::from_utf8(name_bytes).map_err(|_| TraceIoError::InvalidField("name utf-8"))?;
-    need(buf, 4)?;
-    let n_ops = buf.get_u32_le() as usize;
+    let name_len = buf.get_u16_le()? as usize;
+    let name = String::from_utf8(buf.take(name_len)?.to_vec())
+        .map_err(|_| TraceIoError::InvalidField("name utf-8"))?;
+    let n_ops = buf.get_u32_le()? as usize;
     let mut trace = KernelTrace::new(name);
     trace.ops.reserve(n_ops.min(1 << 20));
     for _ in 0..n_ops {
-        need(buf, 1)?;
-        let tag = buf.get_u8();
+        let tag = buf.get_u8()?;
         let op = match tag {
-            TAG_COMPUTE => {
-                need(buf, 4)?;
-                TraceOp::Compute {
-                    cycles: buf.get_u32_le(),
-                }
-            }
+            TAG_COMPUTE => TraceOp::Compute {
+                cycles: buf.get_u32_le()?,
+            },
             TAG_STORE_CONTIG | TAG_STORE_STRIDED | TAG_STORE_SCATTER => {
                 let pattern = match tag {
-                    TAG_STORE_CONTIG => {
-                        need(buf, 8)?;
-                        AccessPattern::Contiguous {
-                            base: buf.get_u64_le(),
-                        }
-                    }
-                    TAG_STORE_STRIDED => {
-                        need(buf, 16)?;
-                        AccessPattern::Strided {
-                            base: buf.get_u64_le(),
-                            stride: buf.get_u64_le(),
-                        }
-                    }
+                    TAG_STORE_CONTIG => AccessPattern::Contiguous {
+                        base: buf.get_u64_le()?,
+                    },
+                    TAG_STORE_STRIDED => AccessPattern::Strided {
+                        base: buf.get_u64_le()?,
+                        stride: buf.get_u64_le()?,
+                    },
                     _ => {
-                        need(buf, 1)?;
-                        let n = buf.get_u8() as usize;
+                        let n = buf.get_u8()? as usize;
                         if n > 32 {
                             return Err(TraceIoError::InvalidField("lane count"));
                         }
-                        need(buf, n * 8)?;
-                        AccessPattern::Scattered {
-                            addrs: (0..n).map(|_| buf.get_u64_le()).collect(),
+                        let mut addrs = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            addrs.push(buf.get_u64_le()?);
                         }
+                        AccessPattern::Scattered { addrs }
                     }
                 };
-                need(buf, 13)?;
-                let bytes_per_lane = u32::from(buf.get_u8());
+                buf.need(13)?;
+                let bytes_per_lane = u32::from(buf.get_u8()?);
                 if !(1..=8).contains(&bytes_per_lane) {
                     return Err(TraceIoError::InvalidField("bytes per lane"));
                 }
                 TraceOp::WarpStore {
                     pattern,
                     bytes_per_lane,
-                    active_mask: buf.get_u32_le(),
-                    value_seed: buf.get_u64_le(),
+                    active_mask: buf.get_u32_le()?,
+                    value_seed: buf.get_u64_le()?,
                 }
             }
             TAG_FENCE => TraceOp::Fence,
-            TAG_LOAD => {
-                need(buf, 9)?;
-                TraceOp::RemoteLoad {
-                    addr: buf.get_u64_le(),
-                    bytes: u32::from(buf.get_u8()),
-                }
-            }
-            TAG_ATOMIC => {
-                need(buf, 17)?;
-                TraceOp::RemoteAtomic {
-                    addr: buf.get_u64_le(),
-                    bytes: u32::from(buf.get_u8()),
-                    value_seed: buf.get_u64_le(),
-                }
-            }
+            TAG_LOAD => TraceOp::RemoteLoad {
+                addr: buf.get_u64_le()?,
+                bytes: u32::from(buf.get_u8()?),
+            },
+            TAG_ATOMIC => TraceOp::RemoteAtomic {
+                addr: buf.get_u64_le()?,
+                bytes: u32::from(buf.get_u8()?),
+                value_seed: buf.get_u64_le()?,
+            },
             other => return Err(TraceIoError::UnknownTag(other)),
         };
         trace.push(op);
@@ -291,14 +301,14 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = write_trace(&sample()).to_vec();
+        let mut bytes = write_trace(&sample());
         bytes[0] = b'X';
         assert_eq!(read_trace(&bytes), Err(TraceIoError::BadMagic));
     }
 
     #[test]
     fn future_version_rejected() {
-        let mut bytes = write_trace(&sample()).to_vec();
+        let mut bytes = write_trace(&sample());
         bytes[4] = 99;
         assert_eq!(read_trace(&bytes), Err(TraceIoError::UnsupportedVersion(99)));
     }

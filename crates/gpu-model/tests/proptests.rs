@@ -1,6 +1,6 @@
-//! Property tests for the GPU model: the L1 coalescer must cover exactly
-//! the bytes the warp wrote, with per-lane conflict resolution, and
-//! routing must partition cleanly by address ownership.
+//! Randomized property tests for the GPU model: the L1 coalescer must
+//! cover exactly the bytes the warp wrote, with per-lane conflict
+//! resolution, and routing must partition cleanly by address ownership.
 
 use std::collections::HashMap;
 
@@ -8,32 +8,27 @@ use gpu_model::{
     coalesce_warp_store, route_txn, AccessPattern, AddressMap, GpuConfig, GpuId, MemoryImage,
     store_byte,
 };
-use proptest::prelude::*;
+use sim_engine::DetRng;
 
-fn scattered_warp() -> impl Strategy<Value = (Vec<u64>, u32, u32)> {
-    (
-        prop::collection::vec(0u64..4096, 32),
-        prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
-        any::<u32>(),
-    )
-        .prop_map(|(mut addrs, elem, mask)| {
-            for a in &mut addrs {
-                *a *= u64::from(elem); // element-aligned
-            }
-            (addrs, elem, mask)
-        })
+fn scattered_warp(rng: &mut DetRng) -> (Vec<u64>, u32, u32) {
+    let elem = [1u32, 2, 4, 8][rng.next_u64_below(4) as usize];
+    let addrs: Vec<u64> = (0..32)
+        .map(|_| rng.next_u64_below(4096) * u64::from(elem))
+        .collect();
+    let mask = rng.next_u64() as u32;
+    (addrs, elem, mask)
 }
 
-proptest! {
-    /// The union of transaction byte ranges equals the union of active
-    /// lanes' write ranges; transactions never overlap; data honors
-    /// highest-lane-wins on conflicts.
-    #[test]
-    fn coalescer_covers_exactly_the_written_bytes(
-        (addrs, elem, mask) in scattered_warp(),
-        seed in any::<u64>(),
-    ) {
-        let cfg = GpuConfig::gv100();
+/// The union of transaction byte ranges equals the union of active
+/// lanes' write ranges; transactions never overlap; data honors
+/// highest-lane-wins on conflicts.
+#[test]
+fn coalescer_covers_exactly_the_written_bytes() {
+    let cfg = GpuConfig::gv100();
+    let mut rng = DetRng::new(0x69_0001, "coalescer");
+    for _ in 0..256 {
+        let (addrs, elem, mask) = scattered_warp(&mut rng);
+        let seed = rng.next_u64();
         let txns = coalesce_warp_store(
             &cfg,
             &AccessPattern::Scattered { addrs: addrs.clone() },
@@ -53,66 +48,76 @@ proptest! {
         }
         let mut covered: HashMap<u64, ()> = HashMap::new();
         for t in &txns {
-            prop_assert!(!t.is_empty());
+            assert!(!t.is_empty());
             // A transaction never crosses a cache block.
             let first_block = t.addr / 128;
             let last_block = (t.addr + u64::from(t.len()) - 1) / 128;
-            prop_assert_eq!(first_block, last_block);
+            assert_eq!(first_block, last_block);
             for i in 0..u64::from(t.len()) {
                 let dup = covered.insert(t.addr + i, ());
-                prop_assert!(dup.is_none(), "byte {:#x} covered twice", t.addr + i);
+                assert!(dup.is_none(), "byte {:#x} covered twice", t.addr + i);
                 // Every data byte is the deterministic store pattern.
-                prop_assert_eq!(t.data[i as usize], store_byte(t.addr + i, seed));
+                assert_eq!(t.data[i as usize], store_byte(t.addr + i, seed));
             }
         }
-        prop_assert_eq!(covered.len(), expected.len());
+        assert_eq!(covered.len(), expected.len());
         for k in expected.keys() {
-            prop_assert!(covered.contains_key(k));
+            assert!(covered.contains_key(k));
         }
     }
+}
 
-    /// Routing partitions transactions: a store is remote iff its owner
-    /// differs from the issuing GPU, and the destination is the owner.
-    #[test]
-    fn routing_partitions_by_ownership(
-        line in 0u64..((4u64 << 30) / 128),
-        src in 0u8..4,
-    ) {
-        let map = AddressMap::new(4, 1 << 30);
+/// Routing partitions transactions: a store is remote iff its owner
+/// differs from the issuing GPU, and the destination is the owner.
+#[test]
+fn routing_partitions_by_ownership() {
+    let map = AddressMap::new(4, 1 << 30);
+    let mut rng = DetRng::new(0x69_0002, "routing");
+    for _ in 0..500 {
+        let line = rng.next_u64_below((4u64 << 30) / 128);
+        let src = rng.next_u64_below(4) as u8;
         let addr = line * 128;
         let txn = gpu_model::StoreTxn { addr, data: vec![7; 8] };
-        // StoreTxn fields are public? constructed above; route it.
         match route_txn(&map, GpuId::new(src), txn) {
             Ok(remote) => {
-                prop_assert_ne!(remote.dst, GpuId::new(src));
-                prop_assert_eq!(remote.dst, map.owner(addr));
+                assert_ne!(remote.dst, GpuId::new(src));
+                assert_eq!(remote.dst, map.owner(addr));
             }
-            Err(_) => prop_assert_eq!(map.owner(addr), GpuId::new(src)),
+            Err(_) => assert_eq!(map.owner(addr), GpuId::new(src)),
         }
     }
+}
 
-    /// MemoryImage::same_contents is an equivalence on random write sets.
-    #[test]
-    fn memory_image_equivalence(
-        writes in prop::collection::vec((0u64..65536, 1usize..32, any::<u8>()), 0..64),
-    ) {
+/// MemoryImage::same_contents is an equivalence on random write sets.
+#[test]
+fn memory_image_equivalence() {
+    let mut rng = DetRng::new(0x69_0003, "memimage");
+    for _ in 0..100 {
+        let n = rng.next_u64_below(64) as usize;
+        let writes: Vec<(u64, usize, u8)> = (0..n)
+            .map(|_| {
+                (
+                    rng.next_u64_below(65536),
+                    rng.next_in_range(1, 32) as usize,
+                    rng.next_u64() as u8,
+                )
+            })
+            .collect();
         let mut a = MemoryImage::new();
         let mut b = MemoryImage::new();
         for (addr, len, v) in &writes {
             a.write(*addr, &vec![*v; *len]);
         }
-        // Apply in reverse order of groups with same result only if no
-        // overlaps; instead, apply identically for the reflexivity check.
         for (addr, len, v) in &writes {
             b.write(*addr, &vec![*v; *len]);
         }
-        prop_assert!(a.same_contents(&b));
-        prop_assert!(b.same_contents(&a));
+        assert!(a.same_contents(&b));
+        assert!(b.same_contents(&a));
         if let Some((addr, _, _)) = writes.first() {
             // Flip one byte: the images must now differ.
             let cur = a.read(*addr, 1)[0];
             b.write(*addr, &[cur ^ 0xFF]);
-            prop_assert!(!a.same_contents(&b));
+            assert!(!a.same_contents(&b));
         }
     }
 }

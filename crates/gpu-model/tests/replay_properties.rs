@@ -4,99 +4,116 @@
 use gpu_model::{
     profile_run, AccessPattern, AddressMap, Gpu, GpuConfig, GpuId, KernelTrace, TraceOp,
 };
-use proptest::prelude::*;
+use sim_engine::DetRng;
 
-fn op_strategy() -> impl Strategy<Value = TraceOp> {
-    prop_oneof![
-        (1u32..5_000).prop_map(|c| TraceOp::Compute { cycles: c }),
-        (0u64..(1 << 20), 1u32..=8, any::<u32>()).prop_map(|(base, b, m)| TraceOp::WarpStore {
-            pattern: AccessPattern::Contiguous {
-                base: (1u64 << 30) + base * 8,
-            },
-            bytes_per_lane: b,
-            active_mask: m,
-            value_seed: base,
-        }),
-        prop::collection::vec(0u64..(1 << 20), 32).prop_map(|slots| TraceOp::WarpStore {
+fn random_op(rng: &mut DetRng) -> TraceOp {
+    match rng.next_u64_below(4) {
+        0 => TraceOp::Compute {
+            cycles: rng.next_in_range(1, 5_000) as u32,
+        },
+        1 => {
+            let base = rng.next_u64_below(1 << 20);
+            TraceOp::WarpStore {
+                pattern: AccessPattern::Contiguous {
+                    base: (1u64 << 30) + base * 8,
+                },
+                bytes_per_lane: rng.next_in_range(1, 9) as u32,
+                active_mask: rng.next_u64() as u32,
+                value_seed: base,
+            }
+        }
+        2 => TraceOp::WarpStore {
             pattern: AccessPattern::Scattered {
-                addrs: slots.into_iter().map(|s| (1u64 << 30) + s * 8).collect(),
+                addrs: (0..32)
+                    .map(|_| (1u64 << 30) + rng.next_u64_below(1 << 20) * 8)
+                    .collect(),
             },
             bytes_per_lane: 8,
             active_mask: u32::MAX,
             value_seed: 1,
-        }),
-        Just(TraceOp::Fence),
-    ]
+        },
+        _ => TraceOp::Fence,
+    }
+}
+
+fn random_trace(rng: &mut DetRng, name: &str, max_ops: u64) -> KernelTrace {
+    let mut t = KernelTrace::new(name);
+    t.ops = (0..rng.next_u64_below(max_ops))
+        .map(|_| random_op(rng))
+        .collect();
+    t
 }
 
 fn gpu() -> Gpu {
     Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 1 << 30))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Replay is a pure function of the trace.
-    #[test]
-    fn replay_is_deterministic(ops in prop::collection::vec(op_strategy(), 0..64)) {
-        let mut t = KernelTrace::new("d");
-        t.ops = ops;
+/// Replay is a pure function of the trace.
+#[test]
+fn replay_is_deterministic() {
+    let mut rng = DetRng::new(0x4E_0001, "replay-det");
+    for _ in 0..48 {
+        let t = random_trace(&mut rng, "d", 64);
         let g = gpu();
         let a = g.execute_kernel(&t);
         let b = g.execute_kernel(&t);
-        prop_assert_eq!(a.kernel_time, b.kernel_time);
-        prop_assert_eq!(a.egress, b.egress);
-        prop_assert_eq!(a.fences, b.fences);
+        assert_eq!(a.kernel_time, b.kernel_time);
+        assert_eq!(a.egress, b.egress);
+        assert_eq!(a.fences, b.fences);
     }
+}
 
-    /// Egress is time-sorted, times never exceed the kernel end, and
-    /// fence times are non-decreasing.
-    #[test]
-    fn replay_respects_time_order(ops in prop::collection::vec(op_strategy(), 0..64)) {
-        let mut t = KernelTrace::new("o");
-        t.ops = ops;
+/// Egress is time-sorted, times never exceed the kernel end, and
+/// fence times are non-decreasing.
+#[test]
+fn replay_respects_time_order() {
+    let mut rng = DetRng::new(0x4E_0002, "replay-order");
+    for _ in 0..48 {
+        let t = random_trace(&mut rng, "o", 64);
         let run = gpu().execute_kernel(&t);
         for pair in run.egress.windows(2) {
-            prop_assert!(pair[0].time <= pair[1].time);
+            assert!(pair[0].time <= pair[1].time);
         }
         for ts in &run.egress {
-            prop_assert!(ts.time <= run.kernel_time);
+            assert!(ts.time <= run.kernel_time);
         }
         for pair in run.fences.windows(2) {
-            prop_assert!(pair[0] <= pair[1]);
+            assert!(pair[0] <= pair[1]);
         }
     }
+}
 
-    /// Conservation: remote bytes in stats equal the sum over egress
-    /// stores, and every egress store targets a peer.
-    #[test]
-    fn replay_conserves_bytes(ops in prop::collection::vec(op_strategy(), 0..64)) {
-        let mut t = KernelTrace::new("c");
-        t.ops = ops;
+/// Conservation: remote bytes in stats equal the sum over egress
+/// stores, and every egress store targets a peer.
+#[test]
+fn replay_conserves_bytes() {
+    let mut rng = DetRng::new(0x4E_0003, "replay-conserve");
+    for _ in 0..48 {
+        let t = random_trace(&mut rng, "c", 64);
         let run = gpu().execute_kernel(&t);
         let sum: u64 = run.egress.iter().map(|s| u64::from(s.store.len())).sum();
-        prop_assert_eq!(sum, run.stats.remote_bytes);
-        prop_assert_eq!(run.egress.len() as u64, run.stats.remote_stores);
+        assert_eq!(sum, run.stats.remote_bytes);
+        assert_eq!(run.egress.len() as u64, run.stats.remote_stores);
         for s in &run.egress {
-            prop_assert_eq!(s.store.dst, GpuId::new(1));
-            prop_assert_eq!(s.store.src, GpuId::new(0));
+            assert_eq!(s.store.dst, GpuId::new(1));
+            assert_eq!(s.store.src, GpuId::new(0));
         }
         // Profile totals agree with replay stats.
         let p = profile_run(&run, 1 << 30);
-        prop_assert_eq!(p.total_bytes, run.stats.remote_bytes);
+        assert_eq!(p.total_bytes, run.stats.remote_bytes);
     }
+}
 
-    /// More compute never reduces kernel time.
-    #[test]
-    fn compute_is_monotone(
-        ops in prop::collection::vec(op_strategy(), 0..32),
-        extra in 1u32..10_000,
-    ) {
-        let mut base = KernelTrace::new("m");
-        base.ops = ops;
+/// More compute never reduces kernel time.
+#[test]
+fn compute_is_monotone() {
+    let mut rng = DetRng::new(0x4E_0004, "replay-monotone");
+    for _ in 0..48 {
+        let mut base = random_trace(&mut rng, "m", 32);
+        let extra = rng.next_in_range(1, 10_000) as u32;
         let t0 = gpu().execute_kernel(&base).kernel_time;
         base.push(TraceOp::Compute { cycles: extra });
         let t1 = gpu().execute_kernel(&base).kernel_time;
-        prop_assert!(t1 >= t0);
+        assert!(t1 >= t0);
     }
 }

@@ -30,6 +30,7 @@ mod dllp;
 mod goodput;
 mod nvlink;
 mod pcie;
+mod replay;
 
 use std::fmt;
 
@@ -38,6 +39,10 @@ pub use dllp::{Dllp, DLLP_WIRE_BYTES};
 pub use goodput::{fig2_sizes, goodput_curve, pcie_efficiency, GoodputPoint};
 pub use nvlink::{NvlinkModel, FLIT_BYTES};
 pub use pcie::{FramingModel, PcieGen, TlpHeader, TlpType, MAX_PAYLOAD_BYTES, TLP_HEADER_BYTES};
+pub use replay::{
+    BitErrorModel, DataLinkEndpoint, LinkTransfer, ReplayAction, ReplayConfig, ReplayError,
+    ReplayStats, SEQ_MODULO,
+};
 
 /// Errors produced when decoding wire formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,891 @@
+//! The PCIe data link layer's Ack/Nak retry protocol, closed-loop.
+//!
+//! FinePack's transparency claim (§IV-A) extends below the transaction
+//! layer: an aggregated FinePack TLP is protected by the same LCRC,
+//! acknowledged by the same Ack/Nak DLLPs, and replayed from the same
+//! replay buffer as any plain memory write. This module models that
+//! machinery so the simulator can inject bit errors and show that the
+//! final memory image is still byte-identical to a fault-free run — the
+//! only observable difference being replayed wire bytes and added
+//! latency.
+//!
+//! The state machine follows the PCIe data link layer:
+//!
+//! - 12-bit TLP sequence numbers (`NEXT_TRANSMIT_SEQ`, `ACKD_SEQ`,
+//!   `NEXT_RCV_SEQ`) with modulo-4096 wraparound;
+//! - a bounded replay buffer holding unacknowledged TLPs;
+//! - [`Dllp::Ack`] purges the buffer up to the acknowledged sequence,
+//!   [`Dllp::Nak`] replays everything after it;
+//! - a `REPLAY_TIMER` that replays the whole buffer when an Ack fails to
+//!   arrive (e.g. the Ack DLLP itself was corrupted);
+//! - a `REPLAY_NUM` counter that escalates to link retraining after
+//!   repeated replays without forward progress.
+//!
+//! Bit errors are drawn from a [`BitErrorModel`] using the simulator's
+//! deterministic RNG, so fault runs replay exactly for a fixed seed.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use sim_engine::{DetRng, SimTime};
+
+use crate::dllp::{Dllp, DLLP_WIRE_BYTES};
+
+/// Sequence numbers are 12 bits: arithmetic is modulo 4096.
+pub const SEQ_MODULO: u16 = 1 << 12;
+
+/// Distance from `from` to `to` in modulo-4096 sequence space.
+fn seq_distance(from: u16, to: u16) -> u16 {
+    to.wrapping_sub(from) & (SEQ_MODULO - 1)
+}
+
+/// The sequence number immediately before `seq` (modulo 4096).
+fn seq_before(seq: u16) -> u16 {
+    seq.wrapping_sub(1) & (SEQ_MODULO - 1)
+}
+
+/// A per-bit error-rate model for a link direction.
+///
+/// # Examples
+///
+/// ```
+/// use protocol::BitErrorModel;
+///
+/// let clean = BitErrorModel::new(0.0);
+/// assert_eq!(clean.tlp_error_probability(4096), 0.0);
+/// let noisy = BitErrorModel::new(1e-6);
+/// // A 4KB TLP carries ~32k bits: a few percent of them fail.
+/// assert!(noisy.tlp_error_probability(4096) > 0.03);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitErrorModel {
+    ber: f64,
+}
+
+impl BitErrorModel {
+    /// Creates a model with `ber` errors per transmitted bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= ber <= 1`.
+    pub fn new(ber: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ber),
+            "bit error rate out of range: {ber}"
+        );
+        BitErrorModel { ber }
+    }
+
+    /// The configured errors-per-bit rate.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+
+    /// Probability that a transfer of `bytes` bytes suffers at least one
+    /// bit error (and so fails its LCRC check).
+    pub fn tlp_error_probability(&self, bytes: u64) -> f64 {
+        if self.ber <= 0.0 {
+            return 0.0;
+        }
+        if self.ber >= 1.0 {
+            return 1.0;
+        }
+        // 1 - (1-ber)^bits, computed in log space for small rates.
+        let bits = (bytes * 8) as f64;
+        -f64::exp_m1(bits * f64::ln_1p(-self.ber))
+    }
+
+    /// Draws whether a transfer of `bytes` bytes is corrupted.
+    pub fn corrupts(&self, bytes: u64, rng: &mut DetRng) -> bool {
+        rng.chance(self.tlp_error_probability(bytes))
+    }
+}
+
+/// Data-link-layer retry parameters.
+///
+/// Defaults follow PCIe proportions: the replay timer is a few
+/// round-trips, REPLAY_NUM escalates after four replays without
+/// progress, and retraining costs microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayConfig {
+    /// Replay-buffer capacity in TLPs (unacknowledged outstanding TLPs).
+    pub buffer_tlps: usize,
+    /// Ack/Nak turnaround: TLP receipt to DLLP arrival back at the
+    /// transmitter.
+    pub ack_delay: SimTime,
+    /// REPLAY_TIMER timeout: replay the buffer if no Ack/Nak arrives.
+    pub replay_timer: SimTime,
+    /// Replays without forward progress before escalating to retrain
+    /// (PCIe's 2-bit REPLAY_NUM rolls over on the fourth).
+    pub max_replay_num: u32,
+    /// Time the link spends retraining (recovery/LTSSM round-trip).
+    pub retrain_time: SimTime,
+    /// Consecutive retrains without delivering a TLP before the
+    /// endpoint declares the link dead ([`ReplayError::LinkDown`]).
+    pub max_consecutive_retrains: u32,
+}
+
+impl ReplayConfig {
+    /// Defaults proportioned for a PCIe 4.0 x16 link.
+    pub fn pcie_gen4() -> Self {
+        ReplayConfig {
+            buffer_tlps: 32,
+            ack_delay: SimTime::from_ns(500),
+            replay_timer: SimTime::from_us(2),
+            max_replay_num: 4,
+            retrain_time: SimTime::from_us(20),
+            max_consecutive_retrains: 16,
+        }
+    }
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig::pcie_gen4()
+    }
+}
+
+/// Errors surfaced by the data link state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The replay buffer is full: the transmitter must stall until an
+    /// Ack frees an entry.
+    BufferFull {
+        /// Configured buffer capacity.
+        capacity: usize,
+    },
+    /// An Ack/Nak referenced a sequence number outside the
+    /// unacknowledged window (a protocol violation).
+    BadSequence {
+        /// The offending DLLP sequence number.
+        seq: u16,
+    },
+    /// The link failed to deliver a TLP despite repeated retrains —
+    /// permanently down as far as the endpoint can tell.
+    LinkDown {
+        /// Sequence number of the undeliverable TLP.
+        seq: u16,
+        /// Retrains attempted before giving up.
+        retrains: u32,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::BufferFull { capacity } => {
+                write!(f, "replay buffer full ({capacity} TLPs outstanding)")
+            }
+            ReplayError::BadSequence { seq } => {
+                write!(f, "DLLP sequence {seq} outside the unacknowledged window")
+            }
+            ReplayError::LinkDown { seq, retrains } => write!(
+                f,
+                "link down: TLP seq {seq} undeliverable after {retrains} retrains"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// What the transmitter must do after consuming a DLLP or a timer expiry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayAction {
+    /// Pure forward progress; nothing to retransmit.
+    None,
+    /// Retransmit these sequence numbers, oldest first.
+    Retransmit(Vec<u16>),
+    /// REPLAY_NUM rolled over: retrain the link, then retransmit.
+    Retrain(Vec<u16>),
+}
+
+/// Cumulative per-direction link statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// TLPs accepted into the replay buffer.
+    pub tlps_sent: u64,
+    /// TLPs acknowledged (delivered exactly once to the receiver).
+    pub tlps_delivered: u64,
+    /// Total transmissions, including replays.
+    pub transmissions: u64,
+    /// TLP bytes transmitted the first time.
+    pub first_transmission_bytes: u64,
+    /// TLP bytes retransmitted (wire traffic that is not goodput).
+    pub replayed_bytes: u64,
+    /// Ack DLLPs consumed.
+    pub acks: u64,
+    /// Nak DLLPs consumed.
+    pub naks: u64,
+    /// Ack/Nak DLLPs lost to bit errors on the return path.
+    pub dllps_lost: u64,
+    /// REPLAY_TIMER expirations.
+    pub timer_expiries: u64,
+    /// Link retrains triggered by REPLAY_NUM rollover.
+    pub retrains: u64,
+    /// DLLP return-path bytes (Acks and Naks, including lost ones).
+    pub dllp_bytes: u64,
+    /// Duplicate TLPs discarded by the receiver (replays of delivered
+    /// TLPs whose Ack was lost).
+    pub rx_duplicates: u64,
+}
+
+/// The outcome of carrying one TLP across the link, closed-loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTransfer {
+    /// Sequence number the TLP was assigned.
+    pub seq: u16,
+    /// Transmission attempts (1 = clean first pass).
+    pub attempts: u32,
+    /// Bytes retransmitted beyond the first attempt.
+    pub replayed_bytes: u64,
+    /// Retrains incurred while delivering this TLP.
+    pub retrains: u32,
+    /// Latency added by Naks, timer expiries, and retrains. Zero for a
+    /// clean first-pass delivery, so fault-free timing is unchanged.
+    pub extra_delay: SimTime,
+}
+
+/// One buffered, unacknowledged TLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BufferedTlp {
+    seq: u16,
+    wire_bytes: u64,
+    enqueued_at: SimTime,
+}
+
+/// One direction of a data-link-layer connection: the transmitter's
+/// retry state machine plus a model of the peer's receiver, so the
+/// Ack/Nak loop closes inside one object.
+///
+/// # Examples
+///
+/// ```
+/// use protocol::{BitErrorModel, DataLinkEndpoint, ReplayConfig};
+/// use sim_engine::{DetRng, SimTime};
+///
+/// let mut ep = DataLinkEndpoint::new(
+///     ReplayConfig::pcie_gen4(),
+///     BitErrorModel::new(0.0),
+///     DetRng::new(7, "link0"),
+/// );
+/// let t = ep.transmit(SimTime::ZERO, 256).unwrap();
+/// assert_eq!(t.attempts, 1);
+/// assert_eq!(t.extra_delay, SimTime::ZERO);
+/// assert_eq!(ep.stats().tlps_delivered, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataLinkEndpoint {
+    cfg: ReplayConfig,
+    ber: BitErrorModel,
+    rng: DetRng,
+    /// Unacknowledged TLPs, oldest first.
+    buffer: VecDeque<BufferedTlp>,
+    /// Sequence number the next new TLP will carry.
+    next_transmit_seq: u16,
+    /// Most recently acknowledged sequence number.
+    ackd_seq: u16,
+    /// Receiver side: sequence number expected next.
+    next_rcv_seq: u16,
+    /// Replays since the last forward progress.
+    replay_num: u32,
+    /// Retrains since the last delivered TLP.
+    consecutive_retrains: u32,
+    /// REPLAY_TIMER deadline, armed while TLPs are outstanding.
+    timer_deadline: Option<SimTime>,
+    /// Forced-failure window: transmissions inside it are lost outright
+    /// (models a transient link outage; the TLP is not Nak'd, the timer
+    /// must recover it).
+    outage: Option<(SimTime, SimTime)>,
+    stats: ReplayStats,
+}
+
+impl DataLinkEndpoint {
+    /// Creates an idle endpoint.
+    pub fn new(cfg: ReplayConfig, ber: BitErrorModel, rng: DetRng) -> Self {
+        assert!(cfg.buffer_tlps > 0, "replay buffer must hold at least 1 TLP");
+        assert!(cfg.max_replay_num > 0, "REPLAY_NUM must allow one replay");
+        DataLinkEndpoint {
+            cfg,
+            ber,
+            rng,
+            buffer: VecDeque::new(),
+            next_transmit_seq: 0,
+            ackd_seq: SEQ_MODULO - 1, // "nothing acknowledged yet"
+            next_rcv_seq: 0,
+            replay_num: 0,
+            consecutive_retrains: 0,
+            timer_deadline: None,
+            outage: None,
+            stats: ReplayStats::default(),
+        }
+    }
+
+    /// Declares a transmission blackout: attempts in `[from, until)`
+    /// are lost without a Nak. `until == SimTime::MAX` models a link
+    /// that never comes back (the watchdog's stuck-link case).
+    pub fn set_outage(&mut self, from: SimTime, until: SimTime) {
+        assert!(from < until, "empty outage window");
+        self.outage = Some((from, until));
+    }
+
+    /// Clears any configured outage window.
+    pub fn clear_outage(&mut self) {
+        self.outage = None;
+    }
+
+    /// True if a transmission at `at` falls inside the outage window.
+    pub fn in_outage(&self, at: SimTime) -> bool {
+        self.outage.is_some_and(|(from, until)| at >= from && at < until)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &ReplayStats {
+        &self.stats
+    }
+
+    /// Unacknowledged TLPs in the replay buffer.
+    pub fn outstanding(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The sequence number the next new TLP will carry.
+    pub fn next_transmit_seq(&self) -> u16 {
+        self.next_transmit_seq
+    }
+
+    /// The most recently acknowledged sequence number.
+    pub fn ackd_seq(&self) -> u16 {
+        self.ackd_seq
+    }
+
+    /// Replays since the last forward progress (REPLAY_NUM).
+    pub fn replay_num(&self) -> u32 {
+        self.replay_num
+    }
+
+    /// Accepts a TLP of `wire_bytes` into the replay buffer and assigns
+    /// its sequence number. The caller transmits it; the entry stays
+    /// buffered until an Ack covers it.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::BufferFull`] when `buffer_tlps` TLPs are already
+    /// outstanding — the transmitter must stall (this is how the link
+    /// layer applies backpressure).
+    pub fn enqueue(&mut self, now: SimTime, wire_bytes: u64) -> Result<u16, ReplayError> {
+        if self.buffer.len() >= self.cfg.buffer_tlps {
+            return Err(ReplayError::BufferFull {
+                capacity: self.cfg.buffer_tlps,
+            });
+        }
+        let seq = self.next_transmit_seq;
+        self.next_transmit_seq = (seq + 1) & (SEQ_MODULO - 1);
+        self.buffer.push_back(BufferedTlp {
+            seq,
+            wire_bytes,
+            enqueued_at: now,
+        });
+        self.stats.tlps_sent += 1;
+        self.stats.transmissions += 1;
+        self.stats.first_transmission_bytes += wire_bytes;
+        if self.timer_deadline.is_none() {
+            self.timer_deadline = now.checked_add(self.cfg.replay_timer);
+        }
+        Ok(seq)
+    }
+
+    /// Receiver half: a TLP with `seq` arrives, `lcrc_ok` telling whether
+    /// its LCRC verified. Returns the DLLP the receiver schedules and
+    /// whether the TLP is accepted (delivered to the transaction layer) —
+    /// duplicates and corrupted TLPs are not.
+    pub fn receive_tlp(&mut self, seq: u16, lcrc_ok: bool) -> (Dllp, bool) {
+        let last_good = seq_before(self.next_rcv_seq);
+        if !lcrc_ok {
+            // Bad LCRC: Nak the last in-order TLP; sender replays.
+            return (Dllp::Nak { seq: last_good }, false);
+        }
+        if seq == self.next_rcv_seq {
+            self.next_rcv_seq = (seq + 1) & (SEQ_MODULO - 1);
+            return (Dllp::Ack { seq }, true);
+        }
+        // A duplicate (already received: its Ack was lost) is re-acked
+        // and discarded; a gap (future seq) is Nak'd.
+        if seq_distance(seq, last_good) <= seq_distance(last_good, seq) {
+            self.stats.rx_duplicates += 1;
+            (Dllp::Ack { seq: last_good }, false)
+        } else {
+            (Dllp::Nak { seq: last_good }, false)
+        }
+    }
+
+    /// Transmitter half: consumes an Ack or Nak DLLP.
+    ///
+    /// An Ack purges the replay buffer through the acknowledged
+    /// sequence. A Nak does the same (a Nak acknowledges everything up
+    /// to its sequence) and then asks for everything after it back.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::BadSequence`] if the DLLP references a sequence
+    /// outside the unacknowledged window, and [`ReplayError::LinkDown`]
+    /// if escalation exhausts the retrain budget.
+    pub fn handle_dllp(&mut self, now: SimTime, dllp: Dllp) -> Result<ReplayAction, ReplayError> {
+        match dllp {
+            Dllp::Ack { seq } => {
+                self.stats.acks += 1;
+                let freed = self.purge_through(seq)?;
+                if freed > 0 {
+                    // Forward progress: REPLAY_NUM and the retrain
+                    // escalation both reset.
+                    self.replay_num = 0;
+                    self.consecutive_retrains = 0;
+                }
+                self.rearm_timer(now);
+                Ok(ReplayAction::None)
+            }
+            Dllp::Nak { seq } => {
+                self.stats.naks += 1;
+                self.purge_through(seq)?;
+                self.rearm_timer(now);
+                self.initiate_replay()
+            }
+            Dllp::UpdateFcPosted { .. } => Ok(ReplayAction::None),
+        }
+    }
+
+    /// Fires the REPLAY_TIMER if `now` has passed its deadline: every
+    /// unacknowledged TLP is scheduled for retransmission.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::LinkDown`] if escalation exhausts the retrain
+    /// budget.
+    pub fn expire_timer(&mut self, now: SimTime) -> Result<ReplayAction, ReplayError> {
+        let Some(deadline) = self.timer_deadline else {
+            return Ok(ReplayAction::None);
+        };
+        if now < deadline || self.buffer.is_empty() {
+            return Ok(ReplayAction::None);
+        }
+        self.stats.timer_expiries += 1;
+        self.rearm_timer(now);
+        self.initiate_replay()
+    }
+
+    /// Purges buffered TLPs with sequence numbers in `(ackd_seq, seq]`.
+    /// Returns how many were freed.
+    fn purge_through(&mut self, seq: u16) -> Result<usize, ReplayError> {
+        // A (re)acknowledgment of the current ACKD_SEQ is a no-op.
+        if seq == self.ackd_seq {
+            return Ok(0);
+        }
+        let window = seq_distance(self.ackd_seq, seq);
+        let outstanding = self.buffer.len() as u16;
+        if window == 0 || window > outstanding {
+            return Err(ReplayError::BadSequence { seq });
+        }
+        let mut freed = 0;
+        while let Some(front) = self.buffer.front().copied() {
+            if seq_distance(front.seq, seq) > outstanding {
+                break; // front is past the acknowledged range
+            }
+            self.buffer.pop_front();
+            freed += 1;
+            self.stats.tlps_delivered += 1;
+            if front.seq == seq {
+                break;
+            }
+        }
+        self.ackd_seq = seq;
+        Ok(freed)
+    }
+
+    /// Counts one replay of the whole buffer, escalating to retrain when
+    /// REPLAY_NUM rolls over.
+    fn initiate_replay(&mut self) -> Result<ReplayAction, ReplayError> {
+        let seqs: Vec<u16> = self.buffer.iter().map(|t| t.seq).collect();
+        if seqs.is_empty() {
+            return Ok(ReplayAction::None);
+        }
+        for t in &self.buffer {
+            self.stats.replayed_bytes += t.wire_bytes;
+        }
+        self.stats.transmissions += seqs.len() as u64;
+        self.replay_num += 1;
+        if self.replay_num >= self.cfg.max_replay_num {
+            self.replay_num = 0;
+            self.stats.retrains += 1;
+            self.consecutive_retrains += 1;
+            if self.consecutive_retrains > self.cfg.max_consecutive_retrains {
+                return Err(ReplayError::LinkDown {
+                    seq: seqs[0],
+                    retrains: self.consecutive_retrains,
+                });
+            }
+            return Ok(ReplayAction::Retrain(seqs));
+        }
+        Ok(ReplayAction::Retransmit(seqs))
+    }
+
+    fn rearm_timer(&mut self, now: SimTime) {
+        self.timer_deadline = if self.buffer.is_empty() {
+            None
+        } else {
+            now.checked_add(self.cfg.replay_timer)
+        };
+    }
+
+    /// Records the DLLP return-path bytes of one Ack/Nak.
+    fn account_dllp(&mut self) {
+        self.stats.dllp_bytes += u64::from(DLLP_WIRE_BYTES);
+    }
+
+    /// Carries one TLP of `wire_bytes` across the link, simulating the
+    /// full closed loop: LCRC corruption draws, Nak-triggered replays,
+    /// lost-Ack timer recoveries, and REPLAY_NUM-escalated retrains.
+    ///
+    /// With a zero bit-error rate and no outage the TLP is delivered on
+    /// the first attempt with `extra_delay == ZERO`, so fault-free runs
+    /// are bit- and time-identical to a simulation without this layer.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::LinkDown`] when the retrain budget is exhausted —
+    /// the caller's watchdog should turn this into a diagnostic rather
+    /// than retrying forever.
+    pub fn transmit(&mut self, now: SimTime, wire_bytes: u64) -> Result<LinkTransfer, ReplayError> {
+        let seq = self.enqueue(now, wire_bytes)?;
+        let mut t = now;
+        let mut attempts: u32 = 1;
+        let mut replayed: u64 = 0;
+        let mut retrains: u32 = 0;
+        loop {
+            if self.in_outage(t) {
+                // The TLP vanishes: no Nak will come, only the timer.
+                let wait = self
+                    .timer_deadline
+                    .unwrap_or_else(|| t + self.cfg.replay_timer);
+                t = t.max(wait);
+                if let ReplayAction::Retrain(_) = self.expire_timer(t)? {
+                    retrains += 1;
+                    t += self.cfg.retrain_time;
+                }
+                attempts += 1;
+                replayed += wire_bytes;
+                continue;
+            }
+            // The TLP reaches the receiver; its LCRC may have failed.
+            let corrupted = self.ber.corrupts(wire_bytes, &mut self.rng);
+            let (dllp, _accepted) = self.receive_tlp(seq, !corrupted);
+            self.account_dllp();
+            // The DLLP rides the reverse direction and can be lost too.
+            if self.ber.corrupts(u64::from(DLLP_WIRE_BYTES), &mut self.rng) {
+                self.stats.dllps_lost += 1;
+                let wait = self
+                    .timer_deadline
+                    .unwrap_or_else(|| t + self.cfg.replay_timer);
+                t = t.max(wait);
+                if let ReplayAction::Retrain(_) = self.expire_timer(t)? {
+                    retrains += 1;
+                    t += self.cfg.retrain_time;
+                }
+                // A lost Ack means the receiver may already have the
+                // TLP; the replay below is discarded as a duplicate and
+                // re-acked, which the next loop iteration handles.
+                attempts += 1;
+                replayed += wire_bytes;
+                continue;
+            }
+            t += self.cfg.ack_delay;
+            match self.handle_dllp(t, dllp)? {
+                ReplayAction::None => {
+                    if self.buffer.iter().all(|b| b.seq != seq) {
+                        // Delivered and acknowledged.
+                        self.consecutive_retrains = 0;
+                        let extra = if attempts == 1 {
+                            SimTime::ZERO
+                        } else {
+                            t.saturating_sub(now + self.cfg.ack_delay)
+                        };
+                        return Ok(LinkTransfer {
+                            seq,
+                            attempts,
+                            replayed_bytes: replayed,
+                            retrains,
+                            extra_delay: extra,
+                        });
+                    }
+                    // Re-ack of an old sequence (duplicate path): replay
+                    // once more via the timer.
+                    let wait = self
+                        .timer_deadline
+                        .unwrap_or_else(|| t + self.cfg.replay_timer);
+                    t = t.max(wait);
+                    if let ReplayAction::Retrain(_) = self.expire_timer(t)? {
+                        retrains += 1;
+                        t += self.cfg.retrain_time;
+                    }
+                    attempts += 1;
+                    replayed += wire_bytes;
+                }
+                ReplayAction::Retransmit(_) => {
+                    attempts += 1;
+                    replayed += wire_bytes;
+                }
+                ReplayAction::Retrain(_) => {
+                    retrains += 1;
+                    t += self.cfg.retrain_time;
+                    attempts += 1;
+                    replayed += wire_bytes;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoint(ber: f64) -> DataLinkEndpoint {
+        DataLinkEndpoint::new(
+            ReplayConfig::pcie_gen4(),
+            BitErrorModel::new(ber),
+            DetRng::new(0xD11, "dll-test"),
+        )
+    }
+
+    #[test]
+    fn clean_transfer_is_free() {
+        let mut ep = endpoint(0.0);
+        for i in 0..100u64 {
+            let t = ep.transmit(SimTime::from_ns(i * 10), 4096).unwrap();
+            assert_eq!(t.attempts, 1);
+            assert_eq!(t.replayed_bytes, 0);
+            assert_eq!(t.extra_delay, SimTime::ZERO);
+        }
+        assert_eq!(ep.stats().tlps_delivered, 100);
+        assert_eq!(ep.stats().replayed_bytes, 0);
+        assert_eq!(ep.outstanding(), 0);
+    }
+
+    #[test]
+    fn sequence_numbers_wrap_at_4096() {
+        let mut ep = endpoint(0.0);
+        for _ in 0..(usize::from(SEQ_MODULO) + 5) {
+            ep.transmit(SimTime::ZERO, 64).unwrap();
+        }
+        // 4101 TLPs: the 4097th reuses seq 0.
+        assert_eq!(ep.next_transmit_seq(), 5);
+        assert_eq!(ep.ackd_seq(), 4);
+        assert_eq!(ep.stats().tlps_delivered, u64::from(SEQ_MODULO) + 5);
+    }
+
+    #[test]
+    fn ack_frees_the_replay_buffer() {
+        let mut ep = endpoint(0.0);
+        let s0 = ep.enqueue(SimTime::ZERO, 100).unwrap();
+        let s1 = ep.enqueue(SimTime::ZERO, 200).unwrap();
+        let s2 = ep.enqueue(SimTime::ZERO, 300).unwrap();
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        assert_eq!(ep.outstanding(), 3);
+        // A collapsed Ack for seq 1 covers 0 and 1.
+        let action = ep.handle_dllp(SimTime::ZERO, Dllp::Ack { seq: 1 }).unwrap();
+        assert_eq!(action, ReplayAction::None);
+        assert_eq!(ep.outstanding(), 1);
+        assert_eq!(ep.ackd_seq(), 1);
+        assert_eq!(ep.stats().tlps_delivered, 2);
+        ep.handle_dllp(SimTime::ZERO, Dllp::Ack { seq: 2 }).unwrap();
+        assert_eq!(ep.outstanding(), 0);
+    }
+
+    #[test]
+    fn nak_requests_retransmission_of_the_tail() {
+        let mut ep = endpoint(0.0);
+        for _ in 0..4 {
+            ep.enqueue(SimTime::ZERO, 64).unwrap();
+        }
+        // Nak{1}: 0 and 1 are acknowledged, 2 and 3 replay.
+        let action = ep.handle_dllp(SimTime::ZERO, Dllp::Nak { seq: 1 }).unwrap();
+        assert_eq!(action, ReplayAction::Retransmit(vec![2, 3]));
+        assert_eq!(ep.outstanding(), 2);
+        assert_eq!(ep.stats().naks, 1);
+        assert_eq!(ep.stats().replayed_bytes, 128);
+    }
+
+    #[test]
+    fn replay_timer_replays_everything_outstanding() {
+        let mut ep = endpoint(0.0);
+        ep.enqueue(SimTime::ZERO, 64).unwrap();
+        ep.enqueue(SimTime::ZERO, 64).unwrap();
+        // Before the deadline: nothing happens.
+        let early = ep.expire_timer(SimTime::from_ns(10)).unwrap();
+        assert_eq!(early, ReplayAction::None);
+        // After it: both TLPs replay.
+        let deadline = ReplayConfig::pcie_gen4().replay_timer;
+        let action = ep.expire_timer(deadline).unwrap();
+        assert_eq!(action, ReplayAction::Retransmit(vec![0, 1]));
+        assert_eq!(ep.stats().timer_expiries, 1);
+    }
+
+    #[test]
+    fn replay_num_escalates_to_retrain() {
+        let mut ep = endpoint(0.0);
+        ep.enqueue(SimTime::ZERO, 64).unwrap();
+        let last_good = SEQ_MODULO - 1; // nothing delivered yet
+        let mut actions = Vec::new();
+        for _ in 0..ReplayConfig::pcie_gen4().max_replay_num {
+            actions.push(
+                ep.handle_dllp(SimTime::ZERO, Dllp::Nak { seq: last_good })
+                    .unwrap(),
+            );
+        }
+        // First three are plain replays; the fourth escalates.
+        assert!(matches!(actions[0], ReplayAction::Retransmit(_)));
+        assert!(matches!(actions[2], ReplayAction::Retransmit(_)));
+        assert!(matches!(actions[3], ReplayAction::Retrain(_)));
+        assert_eq!(ep.stats().retrains, 1);
+        assert_eq!(ep.replay_num(), 0); // reset by the retrain
+    }
+
+    #[test]
+    fn progress_resets_replay_num() {
+        let mut ep = endpoint(0.0);
+        ep.enqueue(SimTime::ZERO, 64).unwrap();
+        ep.enqueue(SimTime::ZERO, 64).unwrap();
+        let last_good = SEQ_MODULO - 1;
+        ep.handle_dllp(SimTime::ZERO, Dllp::Nak { seq: last_good })
+            .unwrap();
+        assert_eq!(ep.replay_num(), 1);
+        // Ack for seq 0: forward progress.
+        ep.handle_dllp(SimTime::ZERO, Dllp::Ack { seq: 0 }).unwrap();
+        assert_eq!(ep.replay_num(), 0);
+    }
+
+    #[test]
+    fn buffer_capacity_stalls_the_transmitter() {
+        let cfg = ReplayConfig {
+            buffer_tlps: 2,
+            ..ReplayConfig::pcie_gen4()
+        };
+        let mut ep = DataLinkEndpoint::new(cfg, BitErrorModel::new(0.0), DetRng::new(1, "cap"));
+        ep.enqueue(SimTime::ZERO, 64).unwrap();
+        ep.enqueue(SimTime::ZERO, 64).unwrap();
+        assert_eq!(
+            ep.enqueue(SimTime::ZERO, 64),
+            Err(ReplayError::BufferFull { capacity: 2 })
+        );
+        ep.handle_dllp(SimTime::ZERO, Dllp::Ack { seq: 0 }).unwrap();
+        assert!(ep.enqueue(SimTime::ZERO, 64).is_ok());
+    }
+
+    #[test]
+    fn bad_sequence_is_rejected() {
+        let mut ep = endpoint(0.0);
+        ep.enqueue(SimTime::ZERO, 64).unwrap();
+        // Acking seq 7 with only seq 0 outstanding is a violation.
+        assert_eq!(
+            ep.handle_dllp(SimTime::ZERO, Dllp::Ack { seq: 7 }),
+            Err(ReplayError::BadSequence { seq: 7 })
+        );
+    }
+
+    #[test]
+    fn receiver_acks_in_order_naks_corruption() {
+        let mut ep = endpoint(0.0);
+        let (d, accepted) = ep.receive_tlp(0, true);
+        assert_eq!(d, Dllp::Ack { seq: 0 });
+        assert!(accepted);
+        // Corrupted: Nak of the last good (0), not accepted.
+        let (d, accepted) = ep.receive_tlp(1, false);
+        assert_eq!(d, Dllp::Nak { seq: 0 });
+        assert!(!accepted);
+        // Duplicate of 0: re-acked, discarded.
+        let (d, accepted) = ep.receive_tlp(0, true);
+        assert_eq!(d, Dllp::Ack { seq: 0 });
+        assert!(!accepted);
+        assert_eq!(ep.stats().rx_duplicates, 1);
+    }
+
+    #[test]
+    fn bit_errors_force_replays_but_deliver_everything() {
+        let mut ep = endpoint(5e-5); // ~15% per 4KB TLP
+        let mut replayed = 0u64;
+        for i in 0..200u64 {
+            let t = ep.transmit(SimTime::from_us(i), 4096).unwrap();
+            replayed += t.replayed_bytes;
+            if t.attempts > 1 {
+                assert!(t.extra_delay > SimTime::ZERO);
+            }
+        }
+        assert_eq!(ep.stats().tlps_delivered, 200);
+        assert!(replayed > 0, "a 5e-5 BER must corrupt something in 200 TLPs");
+        assert_eq!(ep.stats().replayed_bytes, replayed);
+        assert_eq!(ep.outstanding(), 0);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = || {
+            let mut ep = DataLinkEndpoint::new(
+                ReplayConfig::pcie_gen4(),
+                BitErrorModel::new(1e-5),
+                DetRng::new(99, "det"),
+            );
+            let mut log = Vec::new();
+            for i in 0..100u64 {
+                let t = ep.transmit(SimTime::from_us(i), 2048).unwrap();
+                log.push((t.attempts, t.replayed_bytes, t.extra_delay));
+            }
+            (log, *ep.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn permanent_outage_declares_link_down() {
+        let mut ep = endpoint(0.0);
+        ep.set_outage(SimTime::ZERO, SimTime::MAX);
+        let err = ep.transmit(SimTime::ZERO, 256).unwrap_err();
+        assert!(matches!(err, ReplayError::LinkDown { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("link down"), "{msg}");
+    }
+
+    #[test]
+    fn transient_outage_recovers_via_timer() {
+        let mut ep = endpoint(0.0);
+        // Out for 5us: a couple of timer-driven replays, then success.
+        ep.set_outage(SimTime::ZERO, SimTime::from_us(5));
+        let t = ep.transmit(SimTime::ZERO, 256).unwrap();
+        assert!(t.attempts > 1);
+        assert!(t.extra_delay >= SimTime::from_us(4), "delay {:?}", t.extra_delay);
+        assert_eq!(ep.stats().tlps_delivered, 1);
+        ep.clear_outage();
+        let t = ep.transmit(SimTime::from_us(10), 256).unwrap();
+        assert_eq!(t.attempts, 1);
+    }
+
+    #[test]
+    fn error_probability_is_monotone_in_size() {
+        let m = BitErrorModel::new(1e-7);
+        let p64 = m.tlp_error_probability(64);
+        let p4k = m.tlp_error_probability(4096);
+        assert!(p64 < p4k);
+        assert!(p4k < 1.0);
+        assert!((0.0..1.0).contains(&p64));
+        assert_eq!(BitErrorModel::new(1.0).tlp_error_probability(1), 1.0);
+    }
+
+    #[test]
+    fn stats_conserve_bytes() {
+        let mut ep = endpoint(1e-5);
+        for i in 0..100u64 {
+            ep.transmit(SimTime::from_us(i), 1024).unwrap();
+        }
+        let s = ep.stats();
+        assert_eq!(s.first_transmission_bytes, 100 * 1024);
+        assert_eq!(s.transmissions, s.tlps_sent + s.replayed_bytes / 1024);
+    }
+}

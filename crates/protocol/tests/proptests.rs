@@ -1,84 +1,84 @@
-//! Property tests for the wire-protocol models.
+//! Randomized property tests for the wire-protocol models, driven by
+//! the deterministic simulation RNG.
 
-use proptest::prelude::*;
 use protocol::{FramingModel, NvlinkModel, TlpHeader, TlpType};
+use sim_engine::DetRng;
 
-fn header_strategy() -> impl Strategy<Value = TlpHeader> {
-    (
-        prop_oneof![
-            Just(TlpType::MemWrite),
-            Just(TlpType::MemRead),
-            Just(TlpType::FinePack)
-        ],
-        0u8..8,       // traffic class
-        any::<bool>(),
-        any::<bool>(),
-        0u8..4,       // attributes
-        1u32..=1024,  // length in DW
-        any::<u16>(),
-        any::<u8>(),
-        0u8..16,
-        0u8..16,
-        0u64..(1 << 62),
-    )
-        .prop_map(
-            |(ty, tc, td, ep, attr, len_dw, req, tag, last_be, first_be, addr)| TlpHeader {
-                tlp_type: ty,
-                traffic_class: tc,
-                has_digest: td,
-                poisoned: ep,
-                attributes: attr,
-                length_bytes: len_dw * 4,
-                requester_id: req,
-                tag,
-                last_be,
-                first_be,
-                address: addr & !0x3, // DW-aligned
-            },
-        )
+fn random_header(rng: &mut DetRng) -> TlpHeader {
+    let tlp_type = match rng.next_u64_below(3) {
+        0 => TlpType::MemWrite,
+        1 => TlpType::MemRead,
+        _ => TlpType::FinePack,
+    };
+    TlpHeader {
+        tlp_type,
+        traffic_class: rng.next_u64_below(8) as u8,
+        has_digest: rng.chance(0.5),
+        poisoned: rng.chance(0.5),
+        attributes: rng.next_u64_below(4) as u8,
+        length_bytes: rng.next_in_range(1, 1025) as u32 * 4,
+        requester_id: rng.next_u64() as u16,
+        tag: rng.next_u64() as u8,
+        last_be: rng.next_u64_below(16) as u8,
+        first_be: rng.next_u64_below(16) as u8,
+        address: (rng.next_u64() & ((1 << 62) - 1)) & !0x3, // DW-aligned
+    }
 }
 
-proptest! {
-    /// Every well-formed header round-trips through its 16-byte wire
-    /// encoding, including the 1024-DW length wrap case.
-    #[test]
-    fn tlp_header_roundtrip(hdr in header_strategy()) {
+/// Every well-formed header round-trips through its 16-byte wire
+/// encoding, including the 1024-DW length wrap case.
+#[test]
+fn tlp_header_roundtrip() {
+    let mut rng = DetRng::new(0x9207_0001, "tlp-roundtrip");
+    for _ in 0..500 {
+        let hdr = random_header(&mut rng);
         let wire = hdr.encode();
         let back = TlpHeader::decode(&wire).expect("valid header");
-        prop_assert_eq!(back, hdr);
+        assert_eq!(back, hdr);
     }
+}
 
-    /// Goodput is always in (0, 1) and never decreases with payload size
-    /// within a single TLP.
-    #[test]
-    fn pcie_goodput_bounds_and_monotonicity(payload in 1u32..=4096) {
-        let fm = FramingModel::pcie_gen4();
+/// Goodput is always in (0, 1) and never decreases with payload size
+/// within a single TLP.
+#[test]
+fn pcie_goodput_bounds_and_monotonicity() {
+    let fm = FramingModel::pcie_gen4();
+    for payload in 1u32..=4096 {
         let g = fm.goodput(payload);
-        prop_assert!(g > 0.0 && g < 1.0);
+        assert!(g > 0.0 && g < 1.0);
         // Goodput is monotonic across DW boundaries (within a DW the
         // padding makes it locally dip, so compare DW-aligned sizes).
         if payload % 4 == 0 && payload > 4 {
-            prop_assert!(fm.goodput(payload) >= fm.goodput(payload - 4) - 1e-12);
+            assert!(fm.goodput(payload) >= fm.goodput(payload - 4) - 1e-12);
         }
     }
+}
 
-    /// Bulk transfers are never more wire-expensive than the same bytes
-    /// sent as two bulk transfers.
-    #[test]
-    fn bulk_wire_subadditivity(a in 1u64..100_000, b in 1u64..100_000) {
-        let fm = FramingModel::pcie_gen4();
-        prop_assert!(fm.bulk_wire_bytes(a + b) <= fm.bulk_wire_bytes(a) + fm.bulk_wire_bytes(b));
-        prop_assert!(fm.bulk_wire_bytes(a + b) >= a + b);
+/// Bulk transfers are never more wire-expensive than the same bytes
+/// sent as two bulk transfers.
+#[test]
+fn bulk_wire_subadditivity() {
+    let fm = FramingModel::pcie_gen4();
+    let mut rng = DetRng::new(0x9207_0002, "bulk-subadd");
+    for _ in 0..500 {
+        let a = rng.next_in_range(1, 100_000);
+        let b = rng.next_in_range(1, 100_000);
+        assert!(fm.bulk_wire_bytes(a + b) <= fm.bulk_wire_bytes(a) + fm.bulk_wire_bytes(b));
+        assert!(fm.bulk_wire_bytes(a + b) >= a + b);
     }
+}
 
-    /// NVLink wire size is flit-quantized and at least payload + header.
-    #[test]
-    fn nvlink_wire_is_flit_quantized(payload in 1u32..=256, aligned in any::<bool>()) {
-        let nv = NvlinkModel::default();
-        let wire = nv.wire_bytes(payload, aligned);
-        prop_assert_eq!(wire % 16, 0);
-        prop_assert!(wire >= u64::from(payload) + 16);
+/// NVLink wire size is flit-quantized and at least payload + header.
+#[test]
+fn nvlink_wire_is_flit_quantized() {
+    let nv = NvlinkModel::default();
+    for payload in 1u32..=256 {
+        for aligned in [false, true] {
+            let wire = nv.wire_bytes(payload, aligned);
+            assert_eq!(wire % 16, 0);
+            assert!(wire >= u64::from(payload) + 16);
+        }
         // Unaligned never cheaper than aligned.
-        prop_assert!(nv.wire_bytes(payload, false) >= nv.wire_bytes(payload, true));
+        assert!(nv.wire_bytes(payload, false) >= nv.wire_bytes(payload, true));
     }
 }

@@ -4,14 +4,16 @@
 //! perturbation) draws from a [`DetRng`] derived from a fixed experiment
 //! seed, so that every run of every benchmark is exactly reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic RNG seeded from an experiment seed plus a stream label.
 ///
 /// Different components (e.g. per-GPU generators) derive independent
 /// streams from the same experiment seed so that changing one component's
 /// draw count does not perturb another's.
+///
+/// The generator is a self-contained xoshiro256++ (public domain
+/// reference construction) seeded through splitmix64, so the simulator
+/// carries no external RNG dependency and the byte-for-byte output of a
+/// seeded run is stable across toolchains.
 ///
 /// # Examples
 ///
@@ -24,7 +26,15 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
@@ -36,10 +46,28 @@ impl DetRng {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let mixed = seed ^ h.rotate_left(17);
-        DetRng {
-            inner: SmallRng::seed_from_u64(mixed),
-        }
+        let mut sm = seed ^ h.rotate_left(17);
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform draw in `[0, bound)`.
@@ -49,7 +77,14 @@ impl DetRng {
     /// Panics if `bound == 0`.
     pub fn next_u64_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift with rejection: unbiased and cheap.
+        let threshold = bound.wrapping_neg() % bound; // 2^64 mod bound
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(bound);
+            if m as u64 >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -59,12 +94,13 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn next_in_range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.next_u64_below(hi - lo)
     }
 
     /// Uniform draw in `[0.0, 1.0)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 high bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
@@ -80,7 +116,7 @@ impl DetRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen_bool(p)
+        self.next_f64() < p
     }
 
     /// Draws an index from a discrete weight vector.
@@ -132,7 +168,7 @@ impl DetRng {
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.next_u64_below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }

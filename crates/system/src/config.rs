@@ -6,6 +6,7 @@ use gpu_model::GpuConfig;
 use protocol::{FramingModel, PcieGen};
 use sim_engine::SimTime;
 
+use crate::fault::FaultProfile;
 use crate::topology::Topology;
 
 /// Complete configuration of a simulated multi-GPU node.
@@ -46,8 +47,12 @@ pub struct SystemConfig {
     /// Optional FinePack inactivity-timeout flush (§IV-B); `None`
     /// matches the paper's evaluated configuration.
     pub finepack_flush_timeout: Option<SimTime>,
-    /// Experiment seed (drives GPS subscription draws).
+    /// Experiment seed (drives GPS subscription draws and the fault
+    /// layer's per-link RNG streams).
     pub seed: u64,
+    /// Optional link fault injection; `None` runs the fabric without a
+    /// data link layer (the paper's idealized evaluation).
+    pub fault: Option<FaultProfile>,
 }
 
 impl SystemConfig {
@@ -71,7 +76,14 @@ impl SystemConfig {
             combining_entries: 64,
             finepack_flush_timeout: None,
             seed: 0xF14E_9ACC,
+            fault: None,
         }
+    }
+
+    /// Injects link faults (bit errors, outages, degradation).
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.fault = Some(profile);
+        self
     }
 
     /// Enables FinePack's inactivity-timeout flush (§IV-B option).
@@ -108,6 +120,9 @@ impl SystemConfig {
         self.gpu.validate();
         self.finepack.validate();
         assert!(self.combining_entries > 0);
+        if let Some(fault) = &self.fault {
+            fault.validate();
+        }
         if let Topology::TwoLevel { gpus_per_leaf } = self.topology {
             assert!(
                 gpus_per_leaf > 0 && self.num_gpus.is_multiple_of(gpus_per_leaf),

@@ -8,6 +8,7 @@ use sim_engine::{geomean, SimTime};
 use workloads::{CommPattern, RunSpec, Workload};
 
 use crate::config::SystemConfig;
+use crate::fault::RunError;
 use crate::paradigm::Paradigm;
 use crate::report::RunReport;
 use crate::runner::{DmaPlan, Runner};
@@ -88,13 +89,79 @@ impl PreparedWorkload {
     }
 
     /// Simulates this workload under `paradigm` on `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if injected faults kill the run; fault experiments should
+    /// use [`PreparedWorkload::try_run`].
     pub fn run(&self, cfg: &SystemConfig, paradigm: Paradigm) -> RunReport {
+        self.try_run(cfg, paradigm)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`PreparedWorkload::run`], surfacing link death and watchdog
+    /// trips as diagnostics instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the first failing iteration.
+    pub fn try_run(&self, cfg: &SystemConfig, paradigm: Paradigm) -> Result<RunReport, RunError> {
         let mut runner = Runner::new(*cfg, paradigm, self.gps_unsubscribed, false);
         for iter_runs in &self.runs {
-            runner.run_iteration(iter_runs, &self.dma_plan);
+            runner.try_run_iteration(iter_runs, &self.dma_plan)?;
         }
-        runner.finish(&self.name, self.read_fraction)
+        Ok(runner.finish(&self.name, self.read_fraction))
     }
+}
+
+/// One point of a bit-error-rate sweep: how fault injection at `ber`
+/// changed the run relative to the fault-free baseline.
+#[derive(Debug, Clone)]
+pub struct FaultSweepPoint {
+    /// Injected bit-error rate.
+    pub ber: f64,
+    /// The run's outcome: a report, or the diagnostic that killed it.
+    pub outcome: Result<RunReport, RunError>,
+    /// Slowdown relative to the fault-free run (1.0 = no impact);
+    /// `None` when the run died.
+    pub slowdown: Option<f64>,
+}
+
+/// Sweeps bit-error rates for one workload under `paradigm`, reusing
+/// the fault-free run at index 0 as the slowdown baseline. Replay
+/// parameters beyond BER (outages, degradation) come from `base_cfg`'s
+/// profile when set, else [`crate::FaultProfile::new`] defaults.
+pub fn fault_sweep(
+    app: &dyn Workload,
+    base_cfg: &SystemConfig,
+    spec: &RunSpec,
+    paradigm: Paradigm,
+    bers: &[f64],
+) -> Vec<FaultSweepPoint> {
+    let prepared = PreparedWorkload::new(app, base_cfg, spec);
+    let mut clean_cfg = *base_cfg;
+    clean_cfg.fault = None;
+    let baseline = prepared
+        .run(&clean_cfg, paradigm)
+        .total_time
+        .as_secs_f64();
+    bers.iter()
+        .map(|&ber| {
+            let mut profile = base_cfg.fault.unwrap_or_else(|| crate::FaultProfile::new(ber));
+            profile.ber = ber;
+            let cfg = base_cfg.with_faults(profile);
+            let outcome = prepared.try_run(&cfg, paradigm);
+            let slowdown = outcome
+                .as_ref()
+                .ok()
+                .map(|r| r.total_time.as_secs_f64() / baseline.max(f64::MIN_POSITIVE));
+            FaultSweepPoint {
+                ber,
+                outcome,
+                slowdown,
+            }
+        })
+        .collect()
 }
 
 /// The memcpy paradigm's transfer legs for one iteration: each GPU ships

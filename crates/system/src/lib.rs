@@ -31,6 +31,7 @@
 
 mod config;
 mod experiment;
+mod fault;
 mod link;
 mod paradigm;
 mod report;
@@ -39,10 +40,11 @@ mod topology;
 
 pub use config::SystemConfig;
 pub use experiment::{
-    bandwidth_sweep, dma_plan, geomean_speedup, single_gpu_time, speedup_row, subheader_sweep,
-    PreparedWorkload, SpeedupRow,
+    bandwidth_sweep, dma_plan, fault_sweep, geomean_speedup, single_gpu_time, speedup_row,
+    subheader_sweep, FaultSweepPoint, PreparedWorkload, SpeedupRow,
 };
-pub use link::{Fabric, Link};
+pub use fault::{FabricFault, FaultProfile, Outage, RunError};
+pub use link::{Fabric, Link, LinkDelivery};
 pub use paradigm::Paradigm;
 pub use report::{RunReport, TrafficBreakdown, UniqueTracker};
 pub use runner::{DmaPlan, Runner};

@@ -4,14 +4,34 @@
 //! GPU, which is where all-to-all patterns contend.
 
 use gpu_model::GpuId;
+use protocol::{DataLinkEndpoint, ReplayError, ReplayStats};
 use sim_engine::{Bandwidth, SimTime};
 
-/// One link direction: serializes transfers in arrival order.
+/// The outcome of one delivery on a (possibly fault-injected) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDelivery {
+    /// When the last (good) byte cleared this link.
+    pub done: SimTime,
+    /// Time added by replays, timer recoveries, and retrains — zero for
+    /// a clean first-pass delivery, so fault-free timing is unchanged.
+    pub penalty: SimTime,
+}
+
+/// One link direction: serializes transfers in arrival order. With a
+/// [`DataLinkEndpoint`] attached, every transfer additionally runs the
+/// Ack/Nak replay loop: corrupted TLPs retransmit (costing wire bytes
+/// and latency), retrains may degrade the link, and a permanently stuck
+/// link surfaces [`ReplayError::LinkDown`] instead of hanging.
 #[derive(Debug, Clone)]
 pub struct Link {
     bandwidth: Bandwidth,
     busy_until: SimTime,
     bytes_carried: u64,
+    /// Data link layer, when fault injection is active.
+    dll: Option<DataLinkEndpoint>,
+    /// Post-retrain bandwidth factor (applied once, on first retrain).
+    degrade: Option<f64>,
+    degraded: bool,
 }
 
 impl Link {
@@ -21,12 +41,40 @@ impl Link {
             bandwidth,
             busy_until: SimTime::ZERO,
             bytes_carried: 0,
+            dll: None,
+            degrade: None,
+            degraded: false,
+        }
+    }
+
+    /// Attaches a data link layer; subsequent [`Link::try_transmit`]
+    /// calls run the replay loop. `degrade` scales bandwidth after the
+    /// link's first retrain (a link renegotiating at reduced width).
+    pub fn attach_dll(&mut self, dll: DataLinkEndpoint, degrade: Option<f64>) {
+        self.dll = Some(dll);
+        self.degrade = degrade;
+    }
+
+    /// Forces an outage window on the attached data link layer (no-op
+    /// on a fault-free link).
+    pub fn set_outage(&mut self, from: SimTime, until: SimTime) {
+        if let Some(dll) = &mut self.dll {
+            dll.set_outage(from, until);
         }
     }
 
     /// Transmits `bytes` arriving at time `at`; returns the completion
     /// time. Transfers queue behind earlier ones (store-and-forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a data link layer is attached — fault-injected links
+    /// must use [`Link::try_transmit`], which can report link death.
     pub fn transmit(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        assert!(
+            self.dll.is_none(),
+            "fault-injected link requires try_transmit"
+        );
         let start = at.max(self.busy_until);
         let done = start + self.bandwidth.transfer_time(bytes);
         self.busy_until = done;
@@ -34,14 +82,61 @@ impl Link {
         done
     }
 
+    /// Transmits `bytes` through the data link layer (when attached),
+    /// charging replayed bytes as wire traffic and replay/retrain
+    /// latency as delay. With no faults injected this is exactly
+    /// [`Link::transmit`] with a zero penalty.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::LinkDown`] when the link exhausts its retrain
+    /// budget without delivering (a stuck link).
+    pub fn try_transmit(&mut self, at: SimTime, bytes: u64) -> Result<LinkDelivery, ReplayError> {
+        let Some(dll) = &mut self.dll else {
+            return Ok(LinkDelivery {
+                done: self.transmit(at, bytes),
+                penalty: SimTime::ZERO,
+            });
+        };
+        let start = at.max(self.busy_until);
+        let xfer = dll.transmit(start, bytes)?;
+        // Replays occupy the wire again; retrains and Ack round-trips
+        // add pure latency on top.
+        let clean = self.bandwidth.transfer_time(bytes);
+        let total = self.bandwidth.transfer_time(bytes + xfer.replayed_bytes) + xfer.extra_delay;
+        let done = start + total;
+        self.busy_until = done;
+        self.bytes_carried += bytes + xfer.replayed_bytes;
+        if xfer.retrains > 0 && !self.degraded {
+            if let Some(factor) = self.degrade {
+                self.bandwidth = self.bandwidth.scale(factor);
+                self.degraded = true;
+            }
+        }
+        Ok(LinkDelivery {
+            done,
+            penalty: total.saturating_sub(clean),
+        })
+    }
+
     /// When the link next becomes idle.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
     }
 
-    /// Total bytes carried.
+    /// Total bytes carried (first transmissions plus replays).
     pub fn bytes_carried(&self) -> u64 {
         self.bytes_carried
+    }
+
+    /// Data link layer statistics, when fault injection is active.
+    pub fn dll_stats(&self) -> Option<ReplayStats> {
+        self.dll.as_ref().map(|d| *d.stats())
+    }
+
+    /// Whether the link renegotiated down after a retrain.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Resets the busy horizon (used at iteration barriers, when the
@@ -70,6 +165,27 @@ impl Fabric {
         }
     }
 
+    /// Attaches fault injection to every link direction, each with an
+    /// independent deterministic RNG stream derived from `seed`. An
+    /// outage in the profile lands on the nominated GPU's egress link.
+    pub fn with_faults(mut self, profile: crate::FaultProfile, seed: u64) -> Self {
+        profile.validate();
+        let ber = protocol::BitErrorModel::new(profile.ber);
+        for (dir, links) in [("egress", &mut self.egress), ("ingress", &mut self.ingress)] {
+            for (i, link) in links.iter_mut().enumerate() {
+                let rng = sim_engine::DetRng::new(seed, &format!("dll-{dir}{i}"));
+                link.attach_dll(
+                    DataLinkEndpoint::new(profile.replay, ber, rng),
+                    profile.degrade,
+                );
+            }
+        }
+        if let Some(o) = profile.outage {
+            self.egress[usize::from(o.gpu)].set_outage(o.from, o.until);
+        }
+        self
+    }
+
     /// Sends `bytes` from `src` to `dst` starting no earlier than `at`;
     /// returns the time the last byte lands at the destination.
     ///
@@ -80,12 +196,79 @@ impl Fabric {
     ///
     /// # Panics
     ///
-    /// Panics if `src == dst` (local traffic never enters the fabric).
+    /// Panics if `src == dst` (local traffic never enters the fabric),
+    /// or if fault injection is attached (use [`Fabric::try_send`]).
     pub fn send(&mut self, at: SimTime, src: GpuId, dst: GpuId, bytes: u64) -> SimTime {
         assert_ne!(src, dst, "local traffic must not enter the fabric");
         let start = at.max(self.egress[src.index()].busy_until());
         self.egress[src.index()].transmit(at, bytes);
         self.ingress[dst.index()].transmit(start + self.hop_latency, bytes)
+    }
+
+    /// [`Fabric::send`] through the data link layer: replayed TLPs cost
+    /// wire bytes and delay; a stuck link surfaces as an error.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::FabricFault`] naming the dead link direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn try_send(
+        &mut self,
+        at: SimTime,
+        src: GpuId,
+        dst: GpuId,
+        bytes: u64,
+    ) -> Result<SimTime, Box<crate::FabricFault>> {
+        assert_ne!(src, dst, "local traffic must not enter the fabric");
+        let start = at.max(self.egress[src.index()].busy_until());
+        let out = self.egress[src.index()]
+            .try_transmit(at, bytes)
+            .map_err(|error| {
+                Box::new(crate::FabricFault {
+                    link: format!("egress{}", src.index()),
+                    at,
+                    error,
+                    stats: self.egress[src.index()].dll_stats().unwrap_or_default(),
+                })
+            })?;
+        let head = start + self.hop_latency + out.penalty;
+        // The last byte cannot land before it has left the egress link
+        // (matters when a degraded egress is slower than the ingress).
+        let floor = out.done + self.hop_latency;
+        self.ingress[dst.index()]
+            .try_transmit(head, bytes)
+            .map(|d| d.done.max(floor))
+            .map_err(|error| {
+                Box::new(crate::FabricFault {
+                    link: format!("ingress{}", dst.index()),
+                    at,
+                    error,
+                    stats: self.ingress[dst.index()].dll_stats().unwrap_or_default(),
+                })
+            })
+    }
+
+    /// Total bytes retransmitted across all link directions.
+    pub fn replayed_bytes_total(&self) -> u64 {
+        self.egress
+            .iter()
+            .chain(self.ingress.iter())
+            .filter_map(Link::dll_stats)
+            .map(|s| s.replayed_bytes)
+            .sum()
+    }
+
+    /// Total link retrains across all link directions.
+    pub fn retrains_total(&self) -> u64 {
+        self.egress
+            .iter()
+            .chain(self.ingress.iter())
+            .filter_map(Link::dll_stats)
+            .map(|s| s.retrains)
+            .sum()
     }
 
     /// Total bytes each GPU sent.
@@ -155,6 +338,95 @@ mod tests {
     fn self_send_panics() {
         let mut f = Fabric::new(2, bw(), SimTime::ZERO);
         f.send(SimTime::ZERO, GpuId::new(0), GpuId::new(0), 1);
+    }
+
+    #[test]
+    fn fault_free_dll_is_transparent() {
+        use crate::FaultProfile;
+        let mut plain = Fabric::new(2, bw(), SimTime::from_ns(500));
+        let mut faulty = Fabric::new(2, bw(), SimTime::from_ns(500))
+            .with_faults(FaultProfile::new(0.0), 42);
+        for i in 0..4u64 {
+            let at = SimTime::from_us(i);
+            let a = plain.send(at, GpuId::new(0), GpuId::new(1), 32_000);
+            let b = faulty
+                .try_send(at, GpuId::new(0), GpuId::new(1), 32_000)
+                .unwrap();
+            assert_eq!(a, b, "transfer {i} diverged");
+        }
+        assert_eq!(faulty.replayed_bytes_total(), 0);
+        assert_eq!(
+            plain.egress_bytes(GpuId::new(0)),
+            faulty.egress_bytes(GpuId::new(0))
+        );
+    }
+
+    #[test]
+    fn bit_errors_add_wire_bytes_and_delay() {
+        use crate::FaultProfile;
+        let mut faulty = Fabric::new(2, bw(), SimTime::ZERO)
+            .with_faults(FaultProfile::new(1e-6), 7);
+        let mut clean_total = SimTime::ZERO;
+        let mut landed = SimTime::ZERO;
+        for _ in 0..50 {
+            let at = landed;
+            landed = faulty
+                .try_send(at, GpuId::new(0), GpuId::new(1), 32_000)
+                .unwrap();
+            clean_total += bw().transfer_time(32_000);
+        }
+        assert!(faulty.replayed_bytes_total() > 0, "no replays at 1e-6 BER");
+        assert!(landed > clean_total, "replays added no time");
+        assert_eq!(
+            faulty.egress_bytes(GpuId::new(0)),
+            50 * 32_000
+                + faulty.egress[0]
+                    .dll_stats()
+                    .map(|s| s.replayed_bytes)
+                    .unwrap_or(0)
+        );
+    }
+
+    #[test]
+    fn stuck_link_reports_link_down() {
+        use crate::FaultProfile;
+        let mut faulty = Fabric::new(2, bw(), SimTime::ZERO)
+            .with_faults(FaultProfile::new(0.0).stuck_link(0, SimTime::ZERO), 7);
+        let err = faulty
+            .try_send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 4096)
+            .unwrap_err();
+        assert_eq!(err.link, "egress0");
+        assert!(matches!(
+            err.error,
+            protocol::ReplayError::LinkDown { .. }
+        ));
+        // The reverse direction still works.
+        assert!(faulty
+            .try_send(SimTime::ZERO, GpuId::new(1), GpuId::new(0), 4096)
+            .is_ok());
+    }
+
+    #[test]
+    fn degraded_link_slows_after_retrain() {
+        use crate::FaultProfile;
+        let profile = FaultProfile::new(0.0)
+            .with_outage(0, SimTime::ZERO, SimTime::from_us(100))
+            .with_degrade(0.25);
+        let mut faulty = Fabric::new(2, bw(), SimTime::ZERO).with_faults(profile, 7);
+        // The outage forces timer recoveries and eventually a retrain;
+        // the link comes back at quarter width.
+        let first = faulty
+            .try_send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000)
+            .unwrap();
+        assert!(faulty.egress[0].is_degraded());
+        let second = faulty
+            .try_send(first, GpuId::new(0), GpuId::new(1), 32_000)
+            .unwrap();
+        // Post-retrain: 32KB at 8 GB/s is 4us of egress serialization.
+        assert!(
+            second - first >= SimTime::from_us(4),
+            "second={second} first={first}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use finepack::EgressMetrics;
+use finepack::{EgressMetrics, ReplayAmplification};
 use sim_engine::SimTime;
 
 use crate::paradigm::Paradigm;
@@ -98,6 +98,13 @@ pub struct RunReport {
     pub egress: EgressMetrics,
     /// Unique bytes written across all GPUs and iterations.
     pub unique_bytes: u64,
+    /// TLP bytes retransmitted by the data link layer (zero without
+    /// fault injection); counted in `traffic.protocol`, never goodput.
+    pub replayed_bytes: u64,
+    /// Link retrains triggered by REPLAY_NUM escalation.
+    pub link_retrains: u64,
+    /// Replayed-byte attribution by flush reason and packet size.
+    pub replay_amplification: ReplayAmplification,
 }
 
 impl RunReport {

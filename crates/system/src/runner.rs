@@ -2,11 +2,12 @@
 //! streams through a paradigm's egress paths and the switched fabric,
 //! producing execution times and wire-traffic accounting.
 
-use finepack::{EgressMetrics, EgressPath, WirePacket};
+use finepack::{EgressMetrics, EgressPath, ReplayAmplification, WirePacket};
 use gpu_model::{GpuId, KernelRun, MemoryImage};
 use sim_engine::{Bandwidth, EventQueue, SimTime};
 
 use crate::config::SystemConfig;
+use crate::fault::RunError;
 use crate::topology::RoutedFabric;
 use crate::paradigm::Paradigm;
 use crate::report::{RunReport, TrafficBreakdown, UniqueTracker};
@@ -63,6 +64,7 @@ pub struct Runner {
     drain_tail: SimTime,
     barrier_time: SimTime,
     iterations: u32,
+    replay_amp: ReplayAmplification,
 }
 
 impl Runner {
@@ -83,12 +85,15 @@ impl Runner {
         let paths = (0..cfg.num_gpus)
             .map(|g| paradigm.make_egress(&cfg, GpuId::new(g), gps_unsubscribed))
             .collect();
-        let fabric = RoutedFabric::new(
+        let mut fabric = RoutedFabric::new(
             cfg.topology,
             cfg.num_gpus,
             cfg.pcie_gen.bandwidth(),
             cfg.hop_latency,
         );
+        if let Some(profile) = cfg.fault {
+            fabric = fabric.with_faults(profile, cfg.seed);
+        }
         Runner {
             cfg,
             paradigm,
@@ -105,6 +110,7 @@ impl Runner {
             drain_tail: SimTime::ZERO,
             barrier_time: SimTime::ZERO,
             iterations: 0,
+            replay_amp: ReplayAmplification::new(),
         }
     }
 
@@ -113,10 +119,37 @@ impl Runner {
         self.images.as_deref()
     }
 
-    fn deliver(&mut self, at: SimTime, src: GpuId, packets: Vec<WirePacket>) -> SimTime {
+    fn deliver(
+        &mut self,
+        at: SimTime,
+        src: GpuId,
+        packets: Vec<WirePacket>,
+    ) -> Result<SimTime, RunError> {
         let mut last = SimTime::ZERO;
+        let stall_limit = self.cfg.fault.map(|f| f.max_stall);
         for p in packets {
-            let landed = self.fabric.send(at, src, p.dst, p.wire_bytes);
+            let replayed_before = self.fabric.replayed_bytes_total();
+            let landed = self
+                .fabric
+                .try_send(at, src, p.dst, p.wire_bytes)
+                .map_err(RunError::LinkDown)?;
+            // A replayed aggregated TLP retransmits whole: attribute
+            // the amplification to the flush that produced the packet.
+            let replayed = self.fabric.replayed_bytes_total() - replayed_before;
+            self.replay_amp.record(p.reason, p.wire_bytes, replayed);
+            // No-forward-progress watchdog: a delivery that stalls past
+            // the bound (crawling degraded link, replay storm) is a
+            // diagnostic failure, not a silently absurd timeline.
+            if let Some(limit) = stall_limit {
+                if landed.saturating_sub(at) > limit {
+                    return Err(RunError::Stalled {
+                        gpu: src.index() as u8,
+                        at,
+                        landed,
+                        limit,
+                    });
+                }
+            }
             // The de-packetizer / L2 drains disaggregated stores at local
             // memory bandwidth (§IV-B); this is never the bottleneck but
             // is modeled for completeness.
@@ -128,7 +161,7 @@ impl Runner {
                 }
             }
         }
-        last
+        Ok(last)
     }
 
     /// Simulates one bulk-synchronous iteration. `runs` holds each GPU's
@@ -137,8 +170,32 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Panics if `runs.len()` differs from the configured GPU count.
+    /// Panics if `runs.len()` differs from the configured GPU count, or
+    /// if injected faults kill the run — fault experiments should use
+    /// [`Runner::try_run_iteration`] and inspect the diagnostic.
     pub fn run_iteration(&mut self, runs: &[KernelRun], dma_plan: &[(GpuId, GpuId, u64)]) {
+        if let Err(e) = self.try_run_iteration(runs, dma_plan) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`Runner::run_iteration`], surfacing link death and watchdog
+    /// trips as errors instead of hanging or panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::LinkDown`] when a link exhausts its retrain budget;
+    /// [`RunError::Stalled`] when a delivery exceeds the fault
+    /// profile's stall bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs.len()` differs from the configured GPU count.
+    pub fn try_run_iteration(
+        &mut self,
+        runs: &[KernelRun],
+        dma_plan: &[(GpuId, GpuId, u64)],
+    ) -> Result<(), RunError> {
         assert_eq!(runs.len(), usize::from(self.cfg.num_gpus));
         // Unique-byte tracking is paradigm-independent: it reflects the
         // program's store stream.
@@ -163,7 +220,10 @@ impl Runner {
                 for (src, dst, bytes) in dma_plan {
                     let start = runs[src.index()].kernel_time + self.cfg.dma_sw_overhead;
                     let wire = self.cfg.framing.bulk_wire_bytes(*bytes);
-                    let landed = self.fabric.send(start, *src, *dst, wire);
+                    let landed = self
+                        .fabric
+                        .try_send(start, *src, *dst, wire)
+                        .map_err(RunError::LinkDown)?;
                     last_delivery = last_delivery.max(landed);
                     self.dma_wire_bytes += wire;
                     self.dma_data_bytes += bytes;
@@ -224,7 +284,7 @@ impl Runner {
                     let path = self.paths[gpu].as_mut().expect("store paradigm");
                     packets.extend(path.advance(now));
                     if !packets.is_empty() {
-                        let done = self.deliver(now, GpuId::new(gpu as u8), packets);
+                        let done = self.deliver(now, GpuId::new(gpu as u8), packets)?;
                         last_delivery = last_delivery.max(done);
                     }
                 }
@@ -239,6 +299,7 @@ impl Runner {
         self.iterations += 1;
         self.unique.barrier();
         self.fabric.reset_time();
+        Ok(())
     }
 
     /// Finalizes the run into a [`RunReport`]. `read_fraction` is the
@@ -251,7 +312,10 @@ impl Runner {
         }
         let unique = self.unique.unique_bytes();
         let useful_target = (unique as f64 * read_fraction) as u64;
-        let traffic = match self.paradigm {
+        // Retransmitted TLP bytes rode the wire but carried no new
+        // data: they are protocol overhead, never goodput.
+        let replayed_bytes = self.fabric.replayed_bytes_total();
+        let mut traffic = match self.paradigm {
             Paradigm::InfiniteBw => TrafficBreakdown::default(),
             Paradigm::BulkDma => {
                 let useful = useful_target.min(self.dma_data_bytes);
@@ -270,6 +334,9 @@ impl Runner {
                 }
             }
         };
+        if self.paradigm != Paradigm::InfiniteBw {
+            traffic.protocol += replayed_bytes;
+        }
         RunReport {
             workload: workload.to_string(),
             paradigm: self.paradigm,
@@ -281,6 +348,9 @@ impl Runner {
             traffic,
             egress,
             unique_bytes: unique,
+            replayed_bytes,
+            link_retrains: self.fabric.retrains_total(),
+            replay_amplification: self.replay_amp,
         }
     }
 }

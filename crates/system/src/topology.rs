@@ -7,6 +7,8 @@
 use gpu_model::GpuId;
 use sim_engine::{Bandwidth, SimTime};
 
+use protocol::DataLinkEndpoint;
+
 use crate::link::Link;
 
 /// The switch arrangement connecting the GPUs.
@@ -106,6 +108,34 @@ impl RoutedFabric {
         }
     }
 
+    /// Attaches fault injection to every link direction — access links
+    /// and (for two-level topologies) leaf uplinks/downlinks — each
+    /// with an independent deterministic RNG stream derived from
+    /// `seed`. An outage in the profile lands on the nominated GPU's
+    /// egress link.
+    pub fn with_faults(mut self, profile: crate::FaultProfile, seed: u64) -> Self {
+        profile.validate();
+        let ber = protocol::BitErrorModel::new(profile.ber);
+        for (dir, links) in [
+            ("egress", &mut self.egress),
+            ("ingress", &mut self.ingress),
+            ("up", &mut self.up),
+            ("down", &mut self.down),
+        ] {
+            for (i, link) in links.iter_mut().enumerate() {
+                let rng = sim_engine::DetRng::new(seed, &format!("dll-{dir}{i}"));
+                link.attach_dll(
+                    DataLinkEndpoint::new(profile.replay, ber, rng),
+                    profile.degrade,
+                );
+            }
+        }
+        if let Some(o) = profile.outage {
+            self.egress[usize::from(o.gpu)].set_outage(o.from, o.until);
+        }
+        self
+    }
+
     fn leaf_of(&self, gpu: GpuId) -> usize {
         gpu.index() / self.gpus_per_leaf
     }
@@ -134,6 +164,97 @@ impl RoutedFabric {
             head = down_start + self.hop_latency;
         }
         self.ingress[dst.index()].transmit(head, bytes)
+    }
+
+    /// [`RoutedFabric::send`] through the data link layer: replayed
+    /// TLPs cost wire bytes and delay at every stage; a stuck link
+    /// surfaces as an error naming the dead direction.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::FabricFault`] when any traversed link declares itself
+    /// down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn try_send(
+        &mut self,
+        at: SimTime,
+        src: GpuId,
+        dst: GpuId,
+        bytes: u64,
+    ) -> Result<SimTime, Box<crate::FabricFault>> {
+        assert_ne!(src, dst, "local traffic must not enter the fabric");
+        let fault = |link: &Link, name: String, error| {
+            Box::new(crate::FabricFault {
+                link: name,
+                at,
+                error,
+                stats: link.dll_stats().unwrap_or_default(),
+            })
+        };
+        let start = at.max(self.egress[src.index()].busy_until());
+        let out = match self.egress[src.index()].try_transmit(at, bytes) {
+            Ok(d) => d,
+            Err(e) => {
+                let l = &self.egress[src.index()];
+                return Err(fault(l, format!("egress{}", src.index()), e));
+            }
+        };
+        let mut head = start + self.hop_latency + out.penalty;
+        // The last byte cannot land before it has cleared every
+        // upstream link (matters when a degraded link is slower than
+        // the ones after it).
+        let mut floor = out.done + self.hop_latency;
+        let (src_leaf, dst_leaf) = (self.leaf_of(src), self.leaf_of(dst));
+        if matches!(self.topology, Topology::TwoLevel { .. }) && src_leaf != dst_leaf {
+            let up_start = head.max(self.up[src_leaf].busy_until());
+            let up_out = match self.up[src_leaf].try_transmit(head, bytes) {
+                Ok(d) => d,
+                Err(e) => return Err(fault(&self.up[src_leaf], format!("up{src_leaf}"), e)),
+            };
+            head = up_start + self.hop_latency + up_out.penalty;
+            floor = floor.max(up_out.done) + self.hop_latency;
+            let down_start = head.max(self.down[dst_leaf].busy_until());
+            let down_out = match self.down[dst_leaf].try_transmit(head, bytes) {
+                Ok(d) => d,
+                Err(e) => return Err(fault(&self.down[dst_leaf], format!("down{dst_leaf}"), e)),
+            };
+            head = down_start + self.hop_latency + down_out.penalty;
+            floor = floor.max(down_out.done) + self.hop_latency;
+        }
+        match self.ingress[dst.index()].try_transmit(head, bytes) {
+            Ok(d) => Ok(d.done.max(floor)),
+            Err(e) => {
+                let l = &self.ingress[dst.index()];
+                Err(fault(l, format!("ingress{}", dst.index()), e))
+            }
+        }
+    }
+
+    fn all_links(&self) -> impl Iterator<Item = &Link> {
+        self.egress
+            .iter()
+            .chain(self.ingress.iter())
+            .chain(self.up.iter())
+            .chain(self.down.iter())
+    }
+
+    /// Total bytes retransmitted across all link directions.
+    pub fn replayed_bytes_total(&self) -> u64 {
+        self.all_links()
+            .filter_map(Link::dll_stats)
+            .map(|s| s.replayed_bytes)
+            .sum()
+    }
+
+    /// Total link retrains across all link directions.
+    pub fn retrains_total(&self) -> u64 {
+        self.all_links()
+            .filter_map(Link::dll_stats)
+            .map(|s| s.retrains)
+            .sum()
     }
 
     /// Quiesces link timing at an iteration barrier.

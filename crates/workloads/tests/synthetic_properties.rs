@@ -1,70 +1,67 @@
-//! Property tests for the configurable synthetic workload: every legal
+//! Randomized tests for the configurable synthetic workload: every legal
 //! knob combination must produce well-formed traces whose observable
 //! profile tracks the knobs.
 
 use gpu_model::{profile_run, AddressMap, Gpu, GpuConfig, GpuId};
-use proptest::prelude::*;
+use sim_engine::DetRng;
 use workloads::{CommPattern, Locality, RunSpec, Synthetic, Workload};
 
-fn knob_strategy() -> impl Strategy<Value = Synthetic> {
-    (
-        prop_oneof![
-            Just(CommPattern::Neighbors),
-            Just(CommPattern::ManyToMany),
-            Just(CommPattern::AllToAll)
-        ],
-        1u64..8,              // bytes_per_gpu in 32KB units
-        prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
-        prop_oneof![
-            Just(Locality::Contiguous),
-            (0.5f64..1.5).prop_map(|e| Locality::ZipfScatter { exponent: e }),
-            Just(Locality::UniformScatter)
-        ],
-        1.0f64..3.0,          // rewrite factor
-        0.0f64..0.2,          // load fraction
-        0.0f64..0.2,          // atomic fraction
-    )
-        .prop_map(|(pattern, kb, group, locality, rewrite, loads, atomics)| {
-            Synthetic::builder()
-                .comm_pattern(pattern)
-                .bytes_per_gpu(kb * 32 * 1024)
-                .element_bytes(8)
-                .group_lanes(group)
-                .locality(locality)
-                .rewrite_factor(rewrite)
-                .region_bytes(4 << 20)
-                .load_fraction(loads)
-                .atomic_fraction(atomics)
-                .build()
-        })
+fn random_knobs(rng: &mut DetRng) -> Synthetic {
+    let pattern = match rng.next_u64_below(3) {
+        0 => CommPattern::Neighbors,
+        1 => CommPattern::ManyToMany,
+        _ => CommPattern::AllToAll,
+    };
+    let kb = rng.next_in_range(1, 8);
+    let group = [1u32, 2, 4, 8][rng.next_u64_below(4) as usize];
+    let locality = match rng.next_u64_below(3) {
+        0 => Locality::Contiguous,
+        1 => Locality::ZipfScatter {
+            exponent: 0.5 + rng.next_f64(),
+        },
+        _ => Locality::UniformScatter,
+    };
+    Synthetic::builder()
+        .comm_pattern(pattern)
+        .bytes_per_gpu(kb * 32 * 1024)
+        .element_bytes(8)
+        .group_lanes(group)
+        .locality(locality)
+        .rewrite_factor(1.0 + rng.next_f64() * 2.0)
+        .region_bytes(4 << 20)
+        .load_fraction(rng.next_f64() * 0.2)
+        .atomic_fraction(rng.next_f64() * 0.2)
+        .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Any legal knob combination yields a replayable trace whose stores
-    /// all land in peer app regions.
-    #[test]
-    fn all_knob_combinations_are_well_formed(app in knob_strategy()) {
+/// Any legal knob combination yields a replayable trace whose stores
+/// all land in peer app regions.
+#[test]
+fn all_knob_combinations_are_well_formed() {
+    let mut rng = DetRng::new(0x3C_0001, "knobs");
+    for _ in 0..40 {
+        let app = random_knobs(&mut rng);
         let spec = RunSpec::tiny();
         let map = AddressMap::new(2, 16 << 30);
         let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), map);
         let trace = app.trace(&spec, 0, GpuId::new(0));
-        prop_assert!(!trace.is_empty());
+        assert!(!trace.is_empty());
         let run = gpu.execute_kernel(&trace);
         for t in &run.egress {
-            prop_assert_eq!(t.store.dst, GpuId::new(1));
+            assert_eq!(t.store.dst, GpuId::new(1));
         }
         for t in &run.atomics {
-            prop_assert_eq!(t.store.dst, GpuId::new(1));
+            assert_eq!(t.store.dst, GpuId::new(1));
         }
-        prop_assert!(app.dma_bytes_per_gpu(&spec) > 0);
+        assert!(app.dma_bytes_per_gpu(&spec) > 0);
     }
+}
 
-    /// Store sizes track group_lanes * element_bytes for scattered
-    /// profiles (merging can only enlarge them).
-    #[test]
-    fn store_sizes_track_granularity(group in prop_oneof![Just(1u32), Just(2), Just(4)]) {
+/// Store sizes track group_lanes * element_bytes for scattered
+/// profiles (merging can only enlarge them).
+#[test]
+fn store_sizes_track_granularity() {
+    for group in [1u32, 2, 4] {
         let app = Synthetic::builder()
             .group_lanes(group)
             .element_bytes(8)
@@ -76,12 +73,16 @@ proptest! {
         let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
         let p = profile_run(&run, 1 << 30);
         let expect = u64::from(group) * 8;
-        prop_assert_eq!(p.sizes.quantile(0.5), Some(expect));
+        assert_eq!(p.sizes.quantile(0.5), Some(expect));
     }
+}
 
-    /// Rewrite factor measured from the trace grows with the knob.
-    #[test]
-    fn rewrite_knob_is_observable(rewrite in 1.0f64..4.0) {
+/// Rewrite factor measured from the trace grows with the knob.
+#[test]
+fn rewrite_knob_is_observable() {
+    let mut rng = DetRng::new(0x3C_0002, "rewrite");
+    for _ in 0..20 {
+        let rewrite = 1.0 + rng.next_f64() * 3.0;
         let app = Synthetic::builder()
             .locality(Locality::ZipfScatter { exponent: 1.2 })
             .rewrite_factor(rewrite)
@@ -93,7 +94,7 @@ proptest! {
         let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
         let p = profile_run(&run, 1 << 30);
         if rewrite >= 2.0 {
-            prop_assert!(p.rewrite_factor() > 1.2, "measured {}", p.rewrite_factor());
+            assert!(p.rewrite_factor() > 1.2, "measured {}", p.rewrite_factor());
         }
     }
 }

@@ -6,7 +6,6 @@
 
 use finepack::{EgressPath, FinePackConfig, FinePackEgress, WirePacket};
 use gpu_model::{GpuId, MemoryImage, RemoteStore};
-use proptest::prelude::*;
 use protocol::FramingModel;
 use sim_engine::{DetRng, SimTime};
 
@@ -65,37 +64,46 @@ fn legal_shuffle(packets: &[WirePacket], seed: u64) -> Vec<&WirePacket> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any fabric-legal interleaving of per-destination streams yields
-    /// identical final memory images on every GPU.
-    #[test]
-    fn cross_destination_reordering_is_unobservable(
-        raw in prop::collection::vec((1u8..4, 0u64..64, 0u32..120, 1u32..=8, any::<u8>()), 1..200),
-        seed_a in any::<u64>(),
-        seed_b in any::<u64>(),
-    ) {
-        let stores: Vec<RemoteStore> = raw
-            .into_iter()
-            .map(|(d, l, o, n, v)| store(d, l, o.min(127), n.min(128 - o.min(127)), v))
+/// Any fabric-legal interleaving of per-destination streams yields
+/// identical final memory images on every GPU.
+#[test]
+fn cross_destination_reordering_is_unobservable() {
+    let mut rng = DetRng::new(0x0D_0001, "reorder");
+    for _ in 0..48 {
+        let n = rng.next_in_range(1, 200);
+        let stores: Vec<RemoteStore> = (0..n)
+            .map(|_| {
+                let d = rng.next_in_range(1, 4) as u8;
+                let l = rng.next_u64_below(64);
+                let o = (rng.next_u64_below(120) as u32).min(127);
+                let len = (rng.next_in_range(1, 9) as u32).min(128 - o);
+                let v = rng.next_u64() as u8;
+                store(d, l, o, len, v)
+            })
             .collect();
+        let seed_a = rng.next_u64();
+        let seed_b = rng.next_u64();
         let packets = emit_all(&stores);
         let a = apply(&legal_shuffle(&packets, seed_a));
         let b = apply(&legal_shuffle(&packets, seed_b));
         for g in 0..4 {
-            prop_assert!(a[g].same_contents(&b[g]), "GPU{g} image differs");
+            assert!(a[g].same_contents(&b[g]), "GPU{g} image differs");
         }
     }
+}
 
-    /// Same-address load-store ordering: at any point in the stream, a
-    /// load probe must observe the latest preceding store's value — the
-    /// flush it triggers carries that value, or the value already left.
-    #[test]
-    fn load_probe_observes_latest_value(
-        writes in prop::collection::vec((0u32..16, any::<u8>()), 1..64),
-        probe_after in 0usize..64,
-    ) {
+/// Same-address load-store ordering: at any point in the stream, a
+/// load probe must observe the latest preceding store's value — the
+/// flush it triggers carries that value, or the value already left.
+#[test]
+fn load_probe_observes_latest_value() {
+    let mut rng = DetRng::new(0x0D_0002, "probe");
+    for _ in 0..48 {
+        let n = rng.next_in_range(1, 64) as usize;
+        let writes: Vec<(u32, u8)> = (0..n)
+            .map(|_| (rng.next_u64_below(16) as u32, rng.next_u64() as u8))
+            .collect();
+        let probe_after = rng.next_u64_below(64) as usize;
         let mut fp = FinePackEgress::new(
             GpuId::new(0),
             FinePackConfig::paper(4),
@@ -132,7 +140,7 @@ proptest! {
                 for (slot, expected) in latest.iter().enumerate() {
                     if let Some(v) = expected {
                         let got = image.read(base + slot as u64 * 8, 1)[0];
-                        prop_assert_eq!(got, *v, "slot {} stale at probe", slot);
+                        assert_eq!(got, *v, "slot {} stale at probe", slot);
                     }
                 }
             }

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use finepack::{FinePackConfig, FlushReason, RemoteWriteQueue};
 use gpu_model::{GpuId, RemoteStore};
-use proptest::prelude::*;
+use sim_engine::DetRng;
 
 /// The naive §IV-B model: one open window per destination.
 #[derive(Debug, Default)]
@@ -115,29 +115,28 @@ fn batch_bytes(batch: &finepack::FlushedBatch) -> BTreeMap<u64, u8> {
     out
 }
 
-fn store_strategy() -> impl Strategy<Value = RemoteStore> {
-    (1u8..4, 0u64..512, 0u32..128, 1u32..=32, any::<u8>()).prop_map(
-        |(dst, line, off, len, v)| {
-            let off = off.min(127);
-            let len = len.min(128 - off);
-            RemoteStore {
-                src: GpuId::new(0),
-                dst: GpuId::new(dst),
-                // Two 1GB-window-crossing regions to exercise window misses.
-                addr: (u64::from(dst % 2) << 31) + line * 128 + u64::from(off),
-                data: vec![v; len as usize],
-            }
-        },
-    )
+fn random_store(rng: &mut DetRng) -> RemoteStore {
+    let dst = rng.next_in_range(1, 4) as u8;
+    let line = rng.next_u64_below(512);
+    let off = (rng.next_u64_below(128) as u32).min(127);
+    let len = (rng.next_in_range(1, 33) as u32).min(128 - off);
+    let v = rng.next_u64() as u8;
+    RemoteStore {
+        src: GpuId::new(0),
+        dst: GpuId::new(dst),
+        // Two 1GB-window-crossing regions to exercise window misses.
+        addr: (u64::from(dst % 2) << 31) + line * 128 + u64::from(off),
+        data: vec![v; len as usize],
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn queue_matches_the_executable_spec(
-        stores in prop::collection::vec(store_strategy(), 1..300),
-    ) {
+#[test]
+fn queue_matches_the_executable_spec() {
+    let mut rng = DetRng::new(0x09_0001, "rwq-oracle");
+    for _ in 0..64 {
+        let stores: Vec<RemoteStore> = (0..rng.next_in_range(1, 300))
+            .map(|_| random_store(&mut rng))
+            .collect();
         let cfg = FinePackConfig::paper(4);
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
         let mut oracle = Oracle::default();
@@ -147,14 +146,12 @@ proptest! {
             match (real, spec) {
                 (None, None) => {}
                 (Some(batch), Some(expected)) => {
-                    prop_assert_eq!(batch.dst.index() as u8, expected.dst);
-                    prop_assert_eq!(batch.reason, expected.reason);
-                    prop_assert_eq!(batch_bytes(&batch), expected.bytes);
+                    assert_eq!(batch.dst.index() as u8, expected.dst);
+                    assert_eq!(batch.reason, expected.reason);
+                    assert_eq!(batch_bytes(&batch), expected.bytes);
                 }
                 (real, spec) => {
-                    return Err(TestCaseError::fail(format!(
-                        "divergence: real={real:?} spec={spec:?}"
-                    )));
+                    panic!("divergence: real={real:?} spec={spec:?}");
                 }
             }
         }
@@ -171,6 +168,6 @@ proptest! {
             .collect();
         real.sort_by_key(|(d, _)| *d);
         spec.sort_by_key(|(d, _)| *d);
-        prop_assert_eq!(real, spec);
+        assert_eq!(real, spec);
     }
 }

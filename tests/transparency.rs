@@ -10,26 +10,24 @@ use finepack::{
     RawP2pEgress, RemoteWriteQueue, SubheaderFormat, WriteCombiningEgress,
 };
 use gpu_model::{GpuId, MemoryImage, RemoteStore};
-use proptest::prelude::*;
 use protocol::FramingModel;
-use sim_engine::SimTime;
+use sim_engine::{DetRng, SimTime};
 
-/// A generated store: (line index, offset in line, length, value seed).
-fn store_strategy() -> impl Strategy<Value = (u64, u32, u32, u8)> {
-    (0u64..256, 0u32..128, 1u32..=16, any::<u8>()).prop_map(|(line, off, len, v)| {
-        let off = off.min(127);
-        let len = len.min(128 - off);
-        (line, off, len, v)
-    })
-}
-
-fn build_store(line: u64, off: u32, len: u32, v: u8) -> RemoteStore {
-    RemoteStore {
-        src: GpuId::new(0),
-        dst: GpuId::new(1),
-        addr: 0x4000_0000 + line * 128 + u64::from(off),
-        data: (0..len).map(|i| v.wrapping_add(i as u8)).collect(),
-    }
+fn random_stores(rng: &mut DetRng, max: u64) -> Vec<RemoteStore> {
+    (0..rng.next_in_range(1, max))
+        .map(|_| {
+            let line = rng.next_u64_below(256);
+            let off = (rng.next_u64_below(128) as u32).min(127);
+            let len = (rng.next_in_range(1, 17) as u32).min(128 - off);
+            let v = rng.next_u64() as u8;
+            RemoteStore {
+                src: GpuId::new(0),
+                dst: GpuId::new(1),
+                addr: 0x4000_0000 + line * 128 + u64::from(off),
+                data: (0..len).map(|i| v.wrapping_add(i as u8)).collect(),
+            }
+        })
+        .collect()
 }
 
 fn image_of_program_order(stores: &[RemoteStore]) -> MemoryImage {
@@ -57,13 +55,11 @@ fn image_via_path(path: &mut dyn EgressPath, stores: &[RemoteStore]) -> MemoryIm
     image
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn finepack_is_transparent(raw in prop::collection::vec(store_strategy(), 1..200)) {
-        let stores: Vec<RemoteStore> =
-            raw.into_iter().map(|(l, o, n, v)| build_store(l, o, n, v)).collect();
+#[test]
+fn finepack_is_transparent() {
+    let mut rng = DetRng::new(0x7A_0001, "fp-transparent");
+    for _ in 0..64 {
+        let stores = random_stores(&mut rng, 200);
         let reference = image_of_program_order(&stores);
         let mut fp = FinePackEgress::new(
             GpuId::new(0),
@@ -71,39 +67,42 @@ proptest! {
             FramingModel::pcie_gen4(),
         );
         let via_fp = image_via_path(&mut fp, &stores);
-        prop_assert!(reference.same_contents(&via_fp));
+        assert!(reference.same_contents(&via_fp));
     }
+}
 
-    #[test]
-    fn write_combining_is_transparent(raw in prop::collection::vec(store_strategy(), 1..200)) {
-        let stores: Vec<RemoteStore> =
-            raw.into_iter().map(|(l, o, n, v)| build_store(l, o, n, v)).collect();
+#[test]
+fn write_combining_is_transparent() {
+    let mut rng = DetRng::new(0x7A_0002, "wc-transparent");
+    for _ in 0..64 {
+        let stores = random_stores(&mut rng, 200);
         let reference = image_of_program_order(&stores);
-        let mut wc =
-            WriteCombiningEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 16);
+        let mut wc = WriteCombiningEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 16);
         let via_wc = image_via_path(&mut wc, &stores);
-        prop_assert!(reference.same_contents(&via_wc));
+        assert!(reference.same_contents(&via_wc));
     }
+}
 
-    #[test]
-    fn raw_p2p_is_transparent(raw in prop::collection::vec(store_strategy(), 1..100)) {
-        let stores: Vec<RemoteStore> =
-            raw.into_iter().map(|(l, o, n, v)| build_store(l, o, n, v)).collect();
+#[test]
+fn raw_p2p_is_transparent() {
+    let mut rng = DetRng::new(0x7A_0003, "p2p-transparent");
+    for _ in 0..64 {
+        let stores = random_stores(&mut rng, 100);
         let reference = image_of_program_order(&stores);
         let mut p2p = RawP2pEgress::new(FramingModel::pcie_gen4());
         let via = image_via_path(&mut p2p, &stores);
-        prop_assert!(reference.same_contents(&via));
+        assert!(reference.same_contents(&via));
     }
+}
 
-    /// The full wire path: queue -> packetize -> encode -> decode ->
-    /// de-packetize -> memory, for every Table II sub-header format.
-    #[test]
-    fn wire_roundtrip_is_transparent(
-        raw in prop::collection::vec(store_strategy(), 1..150),
-        subheader_bytes in 2u32..=6,
-    ) {
-        let stores: Vec<RemoteStore> =
-            raw.into_iter().map(|(l, o, n, v)| build_store(l, o, n, v)).collect();
+/// The full wire path: queue -> packetize -> encode -> decode ->
+/// de-packetize -> memory, for every Table II sub-header format.
+#[test]
+fn wire_roundtrip_is_transparent() {
+    let mut rng = DetRng::new(0x7A_0004, "wire-transparent");
+    for _ in 0..64 {
+        let stores = random_stores(&mut rng, 150);
+        let subheader_bytes = rng.next_in_range(2, 7) as u32;
         let reference = image_of_program_order(&stores);
 
         let cfg = FinePackConfig::paper(4)
@@ -123,10 +122,10 @@ proptest! {
                 let wire = pkt.encode();
                 let decoded = FinePackPacket::decode(&wire, cfg.subheader, pkt.src, pkt.dst)
                     .expect("well-formed wire");
-                prop_assert_eq!(&decoded, &pkt);
+                assert_eq!(&decoded, &pkt);
                 depk.deliver(&decoded, &mut image);
             }
         }
-        prop_assert!(reference.same_contents(&image));
+        assert!(reference.same_contents(&image));
     }
 }

@@ -7,23 +7,25 @@ use finepack::{
     RemoteWriteQueue, WriteCombiningEgress,
 };
 use gpu_model::{GpuId, RemoteStore};
-use proptest::prelude::*;
 use protocol::FramingModel;
-use sim_engine::SimTime;
+use sim_engine::{DetRng, SimTime};
 
-fn store_strategy() -> impl Strategy<Value = RemoteStore> {
-    (1u8..4, 0u64..512, 0u32..128, 1u32..=32, any::<u8>()).prop_map(
-        |(dst, line, off, len, v)| {
-            let off = off.min(127);
-            let len = len.min(128 - off);
+fn random_stores(rng: &mut DetRng, max: u64) -> Vec<RemoteStore> {
+    (0..rng.next_in_range(1, max))
+        .map(|_| {
+            let dst = rng.next_in_range(1, 4) as u8;
+            let line = rng.next_u64_below(512);
+            let off = (rng.next_u64_below(128) as u32).min(127);
+            let len = (rng.next_in_range(1, 33) as u32).min(128 - off);
+            let v = rng.next_u64() as u8;
             RemoteStore {
                 src: GpuId::new(0),
                 dst: GpuId::new(dst),
                 addr: 0x1000_0000 + line * 128 + u64::from(off),
                 data: vec![v; len as usize],
             }
-        },
-    )
+        })
+        .collect()
 }
 
 fn drain(path: &mut dyn EgressPath, stores: Vec<RemoteStore>) -> Vec<finepack::WirePacket> {
@@ -35,15 +37,13 @@ fn drain(path: &mut dyn EgressPath, stores: Vec<RemoteStore>) -> Vec<finepack::W
     packets
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// wire = data + protocol for every emitted packet, and the path's
-    /// cumulative metrics equal the sum over its packets.
-    #[test]
-    fn per_packet_and_cumulative_accounting_agree(
-        stores in prop::collection::vec(store_strategy(), 1..300),
-    ) {
+/// wire = data + protocol for every emitted packet, and the path's
+/// cumulative metrics equal the sum over its packets.
+#[test]
+fn per_packet_and_cumulative_accounting_agree() {
+    let mut rng = DetRng::new(0x3A_0001, "accounting");
+    for _ in 0..48 {
+        let stores = random_stores(&mut rng, 300);
         let framing = FramingModel::pcie_gen4();
         let paths: Vec<Box<dyn EgressPath>> = vec![
             Box::new(FinePackEgress::new(GpuId::new(0), FinePackConfig::paper(4), framing)),
@@ -56,24 +56,26 @@ proptest! {
             let mut wire = 0u64;
             let mut data = 0u64;
             for p in &packets {
-                prop_assert!(p.wire_bytes >= p.data_bytes, "{}", path.name());
-                prop_assert_eq!(p.wire_bytes, p.data_bytes + p.protocol_bytes());
+                assert!(p.wire_bytes >= p.data_bytes, "{}", path.name());
+                assert_eq!(p.wire_bytes, p.data_bytes + p.protocol_bytes());
                 wire += p.wire_bytes;
                 data += p.data_bytes;
             }
             let m = path.metrics();
-            prop_assert_eq!(m.wire_bytes, wire, "{} wire", path.name());
-            prop_assert_eq!(m.data_bytes, data, "{} data", path.name());
-            prop_assert_eq!(m.packets, packets.len() as u64, "{} packets", path.name());
+            assert_eq!(m.wire_bytes, wire, "{} wire", path.name());
+            assert_eq!(m.data_bytes, data, "{} data", path.name());
+            assert_eq!(m.packets, packets.len() as u64, "{} packets", path.name());
         }
     }
+}
 
-    /// No FinePack packet's payload exceeds the PCIe maximum, and data
-    /// conservation holds: bytes in = bytes on wire + bytes elided.
-    #[test]
-    fn finepack_payload_budget_and_conservation(
-        stores in prop::collection::vec(store_strategy(), 1..400),
-    ) {
+/// No FinePack packet's payload exceeds the PCIe maximum, and data
+/// conservation holds: bytes in = bytes on wire + bytes elided.
+#[test]
+fn finepack_payload_budget_and_conservation() {
+    let mut rng = DetRng::new(0x3A_0002, "budget");
+    for _ in 0..48 {
+        let stores = random_stores(&mut rng, 400);
         let framing = FramingModel::pcie_gen4();
         let cfg = FinePackConfig::paper(4);
         let mut fp = FinePackEgress::new(GpuId::new(0), cfg, framing);
@@ -82,44 +84,46 @@ proptest! {
         for p in &packets {
             // wire = overhead + DW-padded payload; payload <= max.
             let payload = p.wire_bytes - overhead;
-            prop_assert!(payload <= u64::from(cfg.max_payload) + 3, "payload {payload}");
+            assert!(payload <= u64::from(cfg.max_payload) + 3, "payload {payload}");
         }
         let m = fp.metrics();
-        prop_assert_eq!(m.bytes_in, m.data_bytes + m.overwritten_bytes);
+        assert_eq!(m.bytes_in, m.data_bytes + m.overwritten_bytes);
     }
+}
 
-    /// The queue's entry capacity is never exceeded, and the available-
-    /// payload-length register semantics hold: a released batch's
-    /// valid bytes plus per-entry sub-header costs fit the budget the
-    /// register tracked.
-    #[test]
-    fn rwq_capacity_and_budget(
-        stores in prop::collection::vec(store_strategy(), 1..400),
-    ) {
+/// The queue's entry capacity is never exceeded, and the available-
+/// payload-length register semantics hold: a released batch's
+/// valid bytes plus per-entry sub-header costs fit the budget the
+/// register tracked.
+#[test]
+fn rwq_capacity_and_budget() {
+    let mut rng = DetRng::new(0x3A_0003, "capacity");
+    for _ in 0..48 {
+        let stores = random_stores(&mut rng, 400);
         let cfg = FinePackConfig::paper(4);
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
         let mut batches = Vec::new();
         for s in stores {
-            prop_assert!(rwq.buffered_entries() <= 3 * cfg.entries_per_partition as usize);
+            assert!(rwq.buffered_entries() <= 3 * cfg.entries_per_partition as usize);
             if let Some(b) = rwq.insert(s).expect("valid") {
                 batches.push(b);
             }
         }
         batches.extend(rwq.flush_all(FlushReason::Release));
         for b in &batches {
-            prop_assert!(b.entries.len() <= cfg.entries_per_partition as usize);
+            assert!(b.entries.len() <= cfg.entries_per_partition as usize);
             // Budget as the register tracks it: merged bytes + one
             // sub-header per entry allocation.
             let budget = b.valid_bytes()
                 + u64::from(cfg.subheader.bytes()) * b.entries.len() as u64;
-            prop_assert!(budget <= u64::from(cfg.max_payload), "budget {budget}");
+            assert!(budget <= u64::from(cfg.max_payload), "budget {budget}");
             // Window containment: every entry's valid bytes lie inside
             // the batch window.
             for e in &b.entries {
                 for (off, len) in e.runs() {
                     let start = e.line_addr + u64::from(off);
-                    prop_assert!(start >= b.window_base);
-                    prop_assert!(
+                    assert!(start >= b.window_base);
+                    assert!(
                         start + u64::from(len)
                             <= b.window_base + cfg.subheader.addressable_range()
                     );

@@ -8,8 +8,8 @@ use protocol::{fig2_sizes, FramingModel, PcieGen};
 use sim_engine::Table;
 use sim_engine::SimTime;
 use system::{
-    fault_sweep, single_gpu_time, speedup_row, subheader_sweep, FaultProfile, Paradigm,
-    PreparedWorkload, SystemConfig,
+    fault_sweep, single_gpu_time, speedup_row, subheader_sweep, CreditConfig, FaultProfile,
+    FlowControlMode, Paradigm, PreparedWorkload, SystemConfig,
 };
 use workloads::{suite, RunSpec, Workload};
 
@@ -26,9 +26,11 @@ COMMANDS:
   run              simulate one app across paradigms
                    --app <name> [--gpus N] [--pcie 4|5|6]
                    [--iterations K] [--scale-down S] [--windows W]
+                   [--flow-control open|credited]
                    [--ber RATE] [--fault-profile clean|noisy|outage|degraded|stuck]
   suite            Fig 9 table for the whole application suite
                    [--gpus N] [--pcie 4|5|6] [--scale-down S]
+                   [--flow-control open|credited]
   goodput          goodput-vs-size curve (Fig 2)
                    [--framing pcie|cxl|nvlink]
   sweep-subheader  Table II / Fig 12 sub-header sweep
@@ -37,6 +39,7 @@ COMMANDS:
                    faulty data link layer
                    [--app <name>] [--gpus N] [--paradigm <name>]
                    [--scale-down S] [--iterations K]
+                   [--flow-control open|credited]
                    [--fault-profile clean|noisy|outage|degraded|stuck]
   area             FinePack SRAM footprint (§VI-B) [--gpus N]
   record           synthesize traces to disk
@@ -51,6 +54,11 @@ COMMANDS:
 
 APPS: jacobi pagerank sssp als ct eqwp diffusion hit
 PARADIGMS: bulk-dma p2p-stores finepack write-combining gps infinite-bw
+
+FLOW CONTROL: `credited` (default) simulates the closed loop — finite
+link credit pools backpressure the egress buffers and can stall the
+GPU store streams (reported in the `stall` column); `open` is the
+open-loop analytic model.
 "
     .to_string()
 }
@@ -92,11 +100,26 @@ fn system_from(args: &Args, spec: &RunSpec) -> Result<SystemConfig, ArgError> {
     let fp = FinePackConfig::paper(u32::from(spec.num_gpus)).with_windows(windows);
     let mut cfg = SystemConfig::paper(spec.num_gpus)
         .with_pcie_gen(gen)
-        .with_finepack(fp);
+        .with_finepack(fp)
+        .with_flow_control(flow_control_from(args)?);
     if let Some(profile) = fault_profile_from(args)? {
         cfg = cfg.with_faults(profile);
     }
     Ok(cfg)
+}
+
+/// Parses `--flow-control open|credited` (default: the paper-scale
+/// credited pool).
+fn flow_control_from(args: &Args) -> Result<FlowControlMode, ArgError> {
+    match args.get_or("flow-control", "credited") {
+        "open" => Ok(FlowControlMode::Open),
+        "credited" => Ok(FlowControlMode::Credited(CreditConfig::paper())),
+        other => Err(ArgError::Invalid {
+            key: "flow-control".into(),
+            value: other.to_string(),
+            expected: "open or credited",
+        }),
+    }
 }
 
 /// Builds a [`FaultProfile`] from `--ber` and `--fault-profile`, or
@@ -187,6 +210,7 @@ pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
         "scale-down",
         "seed",
         "windows",
+        "flow-control",
         "ber",
         "fault-profile",
     ])?;
@@ -203,7 +227,7 @@ pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
             cfg.pcie_gen,
             app.pattern()
         ),
-        &["paradigm", "speedup", "wire bytes", "stores/packet"],
+        &["paradigm", "speedup", "wire bytes", "stores/packet", "stall"],
     );
     for p in [
         Paradigm::BulkDma,
@@ -222,8 +246,19 @@ pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
                     .mean_stores_per_packet()
                     .map(|v| format!("{v:.1}"))
                     .unwrap_or_else(|| "-".into()),
+                if report.stall_time == SimTime::ZERO {
+                    "-".into()
+                } else {
+                    report.stall_time.to_string()
+                },
             ]),
-            Err(e) => t.row(&[p.to_string(), "dead".into(), "-".into(), e.to_string()]),
+            Err(e) => t.row(&[
+                p.to_string(),
+                "dead".into(),
+                "-".into(),
+                "-".into(),
+                e.to_string(),
+            ]),
         }
     }
     Ok(t.render())
@@ -256,12 +291,13 @@ pub(crate) fn faults(args: &Args) -> Result<String, ArgError> {
         "iterations",
         "scale-down",
         "seed",
+        "flow-control",
         "fault-profile",
     ])?;
     let app = find_app(args.get_or("app", "pagerank"))?;
     let spec = spec_from(args)?;
     let paradigm = find_paradigm(args.get_or("paradigm", "finepack"))?;
-    let mut cfg = SystemConfig::paper(spec.num_gpus);
+    let mut cfg = SystemConfig::paper(spec.num_gpus).with_flow_control(flow_control_from(args)?);
     if let Some(profile) = fault_profile_from(args)? {
         cfg = cfg.with_faults(profile);
     }
@@ -323,7 +359,7 @@ pub(crate) fn faults(args: &Args) -> Result<String, ArgError> {
 
 /// `suite ...`
 pub(crate) fn suite_table(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["gpus", "pcie", "iterations", "scale-down", "seed"])?;
+    args.expect_only(&["gpus", "pcie", "iterations", "scale-down", "seed", "flow-control"])?;
     let spec = spec_from(args)?;
     let cfg = system_from(args, &spec)?;
     let mut t = Table::new(
@@ -626,6 +662,29 @@ mod tests {
         .unwrap();
         assert!(out.contains("dead"), "{out}");
         assert!(out.contains("no forward progress"), "{out}");
+    }
+
+    #[test]
+    fn flow_control_flag_selects_regime() {
+        let base = [
+            "run",
+            "--app",
+            "jacobi",
+            "--gpus",
+            "2",
+            "--scale-down",
+            "16",
+            "--iterations",
+            "1",
+        ];
+        let credited = run_app(&Args::parse(base).unwrap()).unwrap();
+        assert!(credited.contains("stall"), "{credited}");
+        let mut open_args: Vec<&str> = base.to_vec();
+        open_args.extend(["--flow-control", "open"]);
+        let open = run_app(&Args::parse(open_args).unwrap()).unwrap();
+        assert!(open.contains("stall"), "{open}");
+        let bad = run_app(&Args::parse(["run", "--flow-control", "throttled"]).unwrap());
+        assert!(bad.is_err());
     }
 
     #[test]

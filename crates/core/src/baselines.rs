@@ -17,7 +17,7 @@ use protocol::FramingModel;
 use sim_engine::{DetRng, SimTime};
 
 use crate::config::FinePackError;
-use crate::egress::{EgressMetrics, EgressPath, WirePacket};
+use crate::egress::{EgressMetrics, EgressPath, OutputBuffer, PacketStores, PayloadMode, WirePacket};
 use crate::rwq::FlushedEntry;
 
 /// Per-destination cacheline combining buffer with FIFO eviction.
@@ -120,6 +120,8 @@ pub struct WriteCombiningEgress {
     capacity: usize,
     buffers: BTreeMap<GpuId, LineBuffer>,
     metrics: EgressMetrics,
+    out: OutputBuffer,
+    payload_mode: PayloadMode,
 }
 
 impl WriteCombiningEgress {
@@ -133,6 +135,8 @@ impl WriteCombiningEgress {
             capacity,
             buffers: BTreeMap::new(),
             metrics: new_metrics(),
+            out: OutputBuffer::default(),
+            payload_mode: PayloadMode::Full,
         }
     }
 
@@ -142,24 +146,29 @@ impl WriteCombiningEgress {
         runs.into_iter()
             .enumerate()
             .map(|(i, (off, len))| {
-                let data = entry.data[off as usize..(off + len) as usize].to_vec();
+                let addr = entry.line_addr + u64::from(off);
                 let wire = self.framing.wire_bytes(len);
                 self.metrics.packets += 1;
                 self.metrics.wire_bytes += wire;
                 self.metrics.data_bytes += u64::from(len);
                 let share = merged / n + u64::from((i as u64) < merged % n);
                 self.metrics.stores_per_packet.record(share);
+                let stores = match self.payload_mode {
+                    PayloadMode::Extents => PacketStores::Extents(vec![(addr, len)]),
+                    PayloadMode::Full => PacketStores::Full(vec![RemoteStore {
+                        src: self.src,
+                        dst,
+                        addr,
+                        data: entry.data[off as usize..(off + len) as usize].to_vec(),
+                    }]),
+                };
                 WirePacket {
                     dst,
                     wire_bytes: wire,
                     data_bytes: u64::from(len),
+                    payload_bytes: len,
                     reason: None,
-                    stores: vec![RemoteStore {
-                        src: self.src,
-                        dst,
-                        addr: entry.line_addr + u64::from(off),
-                        data,
-                    }],
+                    stores,
                 }
             })
             .collect()
@@ -213,6 +222,22 @@ impl EgressPath for WriteCombiningEgress {
     fn name(&self) -> &'static str {
         "write-combining"
     }
+
+    fn output(&mut self) -> &mut OutputBuffer {
+        &mut self.out
+    }
+
+    fn output_ref(&self) -> &OutputBuffer {
+        &self.out
+    }
+
+    fn record_stall(&mut self, stalled: SimTime) {
+        self.metrics.stall_time += stalled;
+    }
+
+    fn set_payload_mode(&mut self, mode: PayloadMode) {
+        self.payload_mode = mode;
+    }
 }
 
 /// GPS-like egress: cacheline write combining plus publish–subscribe
@@ -232,6 +257,8 @@ pub struct GpsEgress {
     rng: DetRng,
     buffers: BTreeMap<GpuId, LineBuffer>,
     metrics: EgressMetrics,
+    out: OutputBuffer,
+    payload_mode: PayloadMode,
     /// Stores filtered out by subscription.
     pub stores_filtered: u64,
 }
@@ -260,6 +287,8 @@ impl GpsEgress {
             rng: DetRng::new(seed, &format!("gps-{}", src.index())),
             buffers: BTreeMap::new(),
             metrics: new_metrics(),
+            out: OutputBuffer::default(),
+            payload_mode: PayloadMode::Full,
             stores_filtered: 0,
         }
     }
@@ -270,24 +299,29 @@ impl GpsEgress {
         runs.into_iter()
             .enumerate()
             .map(|(i, (off, len))| {
-                let data = entry.data[off as usize..(off + len) as usize].to_vec();
+                let addr = entry.line_addr + u64::from(off);
                 let wire = self.framing.wire_bytes(len);
                 self.metrics.packets += 1;
                 self.metrics.wire_bytes += wire;
                 self.metrics.data_bytes += u64::from(len);
                 let share = merged / n + u64::from((i as u64) < merged % n);
                 self.metrics.stores_per_packet.record(share);
+                let stores = match self.payload_mode {
+                    PayloadMode::Extents => PacketStores::Extents(vec![(addr, len)]),
+                    PayloadMode::Full => PacketStores::Full(vec![RemoteStore {
+                        src: self.src,
+                        dst,
+                        addr,
+                        data: entry.data[off as usize..(off + len) as usize].to_vec(),
+                    }]),
+                };
                 WirePacket {
                     dst,
                     wire_bytes: wire,
                     data_bytes: u64::from(len),
+                    payload_bytes: len,
                     reason: None,
-                    stores: vec![RemoteStore {
-                        src: self.src,
-                        dst,
-                        addr: entry.line_addr + u64::from(off),
-                        data,
-                    }],
+                    stores,
                 }
             })
             .collect()
@@ -339,6 +373,22 @@ impl EgressPath for GpsEgress {
     fn name(&self) -> &'static str {
         "gps"
     }
+
+    fn output(&mut self) -> &mut OutputBuffer {
+        &mut self.out
+    }
+
+    fn output_ref(&self) -> &OutputBuffer {
+        &self.out
+    }
+
+    fn record_stall(&mut self, stalled: SimTime) {
+        self.metrics.stall_time += stalled;
+    }
+
+    fn set_payload_mode(&mut self, mode: PayloadMode) {
+        self.payload_mode = mode;
+    }
 }
 
 #[cfg(test)]
@@ -381,7 +431,7 @@ mod tests {
         wc.push(store(1, 128, 4, 2), SimTime::ZERO).unwrap();
         let evicted = wc.push(store(1, 2 * 128, 4, 3), SimTime::ZERO).unwrap();
         assert_eq!(evicted.len(), 1);
-        assert_eq!(evicted[0].stores[0].addr, 0); // oldest line left first
+        assert_eq!(evicted[0].stores.full().unwrap()[0].addr, 0); // oldest line left first
     }
 
     #[test]
@@ -391,7 +441,7 @@ mod tests {
         wc.push(store(1, 0x1000, 8, 9), SimTime::ZERO).unwrap();
         let pkts = wc.release();
         assert_eq!(pkts[0].data_bytes, 8);
-        assert_eq!(pkts[0].stores[0].data, vec![9; 8]);
+        assert_eq!(pkts[0].stores.full().unwrap()[0].data, vec![9; 8]);
         assert_eq!(wc.metrics().overwritten_bytes, 8);
     }
 

@@ -12,6 +12,8 @@
 //! The DMA/memcpy paradigm does not flow through an egress path; it is
 //! modeled at the system level from workload buffer metadata.
 
+use std::collections::VecDeque;
+
 use gpu_model::{GpuId, RemoteStore};
 use protocol::FramingModel;
 use sim_engine::{Histogram, SimTime};
@@ -19,6 +21,77 @@ use sim_engine::{Histogram, SimTime};
 use crate::config::{FinePackConfig, FinePackError};
 use crate::packetizer::packetize;
 use crate::rwq::{FlushReason, RemoteWriteQueue};
+
+/// How much of each constituent store a [`WirePacket`] carries.
+///
+/// Timing-only runs never read the payload bytes back, so cloning them
+/// into every packet is pure allocation overhead; functional runs
+/// (`track_memory`) need the full data to build memory images.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadMode {
+    /// Carry only each store's `(addr, len)` extent.
+    Extents,
+    /// Carry the full store payloads.
+    Full,
+}
+
+/// The stores a [`WirePacket`] delivers, in order — either full payloads
+/// (functional runs) or bare `(addr, len)` extents (timing-only runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketStores {
+    /// `(addr, len)` per store; payload bytes were never copied.
+    Extents(Vec<(u64, u32)>),
+    /// Full store payloads for functional memory delivery.
+    Full(Vec<RemoteStore>),
+}
+
+impl PacketStores {
+    fn from_stores(stores: Vec<RemoteStore>, mode: PayloadMode) -> PacketStores {
+        match mode {
+            PayloadMode::Full => PacketStores::Full(stores),
+            PayloadMode::Extents => PacketStores::Extents(
+                stores.iter().map(|s| (s.addr, s.len())).collect(),
+            ),
+        }
+    }
+
+    /// Number of stores in the packet.
+    pub fn len(&self) -> usize {
+        match self {
+            PacketStores::Extents(v) => v.len(),
+            PacketStores::Full(v) => v.len(),
+        }
+    }
+
+    /// True if the packet carries no stores.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full stores, if this packet was built under
+    /// [`PayloadMode::Full`].
+    pub fn full(&self) -> Option<&[RemoteStore]> {
+        match self {
+            PacketStores::Full(v) => Some(v),
+            PacketStores::Extents(_) => None,
+        }
+    }
+
+    /// `(addr, len)` extents, available in either mode.
+    pub fn extents(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        let full = match self {
+            PacketStores::Full(v) => &v[..],
+            PacketStores::Extents(_) => &[],
+        };
+        let ext = match self {
+            PacketStores::Extents(v) => &v[..],
+            PacketStores::Full(_) => &[],
+        };
+        ext.iter()
+            .copied()
+            .chain(full.iter().map(|s| (s.addr, s.len())))
+    }
+}
 
 /// A packet handed to the interconnect: sizes for timing/accounting plus
 /// the disaggregated stores for functional delivery.
@@ -30,18 +103,105 @@ pub struct WirePacket {
     pub wire_bytes: u64,
     /// Data bytes carried (the stores' payloads).
     pub data_bytes: u64,
+    /// TLP payload bytes before DW padding — what the posted-data
+    /// credit cost is computed from (sub-headers included on the
+    /// FinePack path, sector padding included under quantization).
+    pub payload_bytes: u32,
     /// The flush that produced this packet, when it left a FinePack
     /// queue (`None` for uncoalesced paths and atomics). Lets the
     /// link layer attribute replay amplification to flush causes.
     pub reason: Option<crate::FlushReason>,
     /// The stores this packet delivers, in order.
-    pub stores: Vec<RemoteStore>,
+    pub stores: PacketStores,
 }
 
 impl WirePacket {
     /// Non-data bytes: protocol overhead including padding.
     pub fn protocol_bytes(&self) -> u64 {
         self.wire_bytes - self.data_bytes
+    }
+}
+
+/// Finite FIFO between an egress path and its PCIe port.
+///
+/// `capacity` is an *admission* threshold, not a hard cap: a single
+/// flush may emit several packets and transiently overshoot, but the SM
+/// must not offer new stores while [`OutputBuffer::has_room`] is false —
+/// that is the backpressure the closed-loop runner turns into stall
+/// time.
+#[derive(Debug, Clone)]
+pub struct OutputBuffer {
+    queue: VecDeque<WirePacket>,
+    capacity: usize,
+}
+
+impl Default for OutputBuffer {
+    fn default() -> Self {
+        OutputBuffer::new(OutputBuffer::DEFAULT_CAPACITY)
+    }
+}
+
+impl OutputBuffer {
+    /// Default admission threshold, packets.
+    pub const DEFAULT_CAPACITY: usize = 8;
+
+    /// Creates a buffer admitting new work while under `capacity`
+    /// packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "output buffer capacity must be positive");
+        OutputBuffer {
+            queue: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Changes the admission threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "output buffer capacity must be positive");
+        self.capacity = capacity;
+    }
+
+    /// The admission threshold, packets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True while the buffer admits new upstream work.
+    pub fn has_room(&self) -> bool {
+        self.queue.len() < self.capacity
+    }
+
+    /// Buffered packets.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Queues packets for transmission (never rejects; see type docs).
+    pub fn extend(&mut self, packets: impl IntoIterator<Item = WirePacket>) {
+        self.queue.extend(packets);
+    }
+
+    /// The packet next in line for the port.
+    pub fn front(&self) -> Option<&WirePacket> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the packet at the head of the queue.
+    pub fn pop_front(&mut self) -> Option<WirePacket> {
+        self.queue.pop_front()
     }
 }
 
@@ -63,9 +223,13 @@ pub struct EgressMetrics {
     /// Remote atomics sent (never coalesced, §IV-C).
     pub atomics_sent: u64,
     /// Flush counts by [`crate::FlushReason::ALL`] order (FinePack only).
-    pub flushes_by_reason: [u64; 7],
+    pub flushes_by_reason: [u64; FlushReason::ALL.len()],
     /// Distribution of GPU stores aggregated per emitted packet (Fig 11).
     pub stores_per_packet: Histogram,
+    /// Time this GPU's store stream spent stalled on backpressure (a
+    /// full output buffer or an out-of-credits link). Zero under
+    /// open-loop flow control.
+    pub stall_time: SimTime,
 }
 
 impl Default for EgressMetrics {
@@ -84,8 +248,9 @@ impl EgressMetrics {
             bytes_in: 0,
             overwritten_bytes: 0,
             atomics_sent: 0,
-            flushes_by_reason: [0; 7],
+            flushes_by_reason: [0; FlushReason::ALL.len()],
             stores_per_packet: Histogram::new("stores_per_packet"),
+            stall_time: SimTime::ZERO,
         }
     }
 
@@ -125,6 +290,7 @@ impl EgressMetrics {
             *a += b;
         }
         self.stores_per_packet.merge(&other.stores_per_packet);
+        self.stall_time += other.stall_time;
     }
 }
 
@@ -184,6 +350,31 @@ pub trait EgressPath: std::fmt::Debug + Send {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// The finite FIFO between this path and its PCIe port.
+    fn output(&mut self) -> &mut OutputBuffer;
+
+    /// Read-only view of the output FIFO.
+    fn output_ref(&self) -> &OutputBuffer;
+
+    /// True while the path admits new stores: backpressure starts when
+    /// the output buffer is at capacity.
+    fn can_accept(&self) -> bool {
+        self.output_ref().has_room()
+    }
+
+    /// Packets queued at the port, waiting for link credits.
+    fn occupancy(&self) -> usize {
+        self.output_ref().len()
+    }
+
+    /// Accounts time the upstream store stream spent blocked on this
+    /// path (accumulates [`EgressMetrics::stall_time`]).
+    fn record_stall(&mut self, stalled: SimTime);
+
+    /// Selects whether emitted packets carry full store payloads or
+    /// bare `(addr, len)` extents (see [`PayloadMode`]).
+    fn set_payload_mode(&mut self, mode: PayloadMode);
 }
 
 /// The FinePack egress path: remote write queue + packetizer.
@@ -199,6 +390,8 @@ pub struct FinePackEgress {
     flush_timeout: Option<SimTime>,
     /// Last insert time per destination, for timeout flushes.
     last_activity: std::collections::BTreeMap<GpuId, SimTime>,
+    out: OutputBuffer,
+    payload_mode: PayloadMode,
 }
 
 impl FinePackEgress {
@@ -212,6 +405,8 @@ impl FinePackEgress {
             metrics: EgressMetrics::new(),
             flush_timeout: None,
             last_activity: std::collections::BTreeMap::new(),
+            out: OutputBuffer::default(),
+            payload_mode: PayloadMode::Full,
         }
     }
 
@@ -254,12 +449,17 @@ impl FinePackEgress {
             let data = u64::from(p.data_bytes());
             self.metrics.wire_bytes += wire;
             self.metrics.data_bytes += data;
+            let stores = match self.payload_mode {
+                PayloadMode::Full => PacketStores::Full(p.to_stores()),
+                PayloadMode::Extents => PacketStores::Extents(p.store_extents()),
+            };
             out.push(WirePacket {
                 dst: p.dst,
                 wire_bytes: wire,
                 data_bytes: data,
+                payload_bytes: p.payload_bytes(),
                 reason: Some(batch.reason),
-                stores: p.to_stores(),
+                stores,
             });
         }
         out
@@ -308,12 +508,14 @@ impl EgressPath for FinePackEgress {
         self.metrics.wire_bytes += wire;
         self.metrics.data_bytes += data;
         self.metrics.stores_per_packet.record(1);
+        let payload = store.len();
         out.push(WirePacket {
             dst: store.dst,
             wire_bytes: wire,
             data_bytes: data,
+            payload_bytes: payload,
             reason: None,
-            stores: vec![store],
+            stores: PacketStores::from_stores(vec![store], self.payload_mode),
         });
         Ok(out)
     }
@@ -356,6 +558,22 @@ impl EgressPath for FinePackEgress {
     fn name(&self) -> &'static str {
         "finepack"
     }
+
+    fn output(&mut self) -> &mut OutputBuffer {
+        &mut self.out
+    }
+
+    fn output_ref(&self) -> &OutputBuffer {
+        &self.out
+    }
+
+    fn record_stall(&mut self, stalled: SimTime) {
+        self.metrics.stall_time += stalled;
+    }
+
+    fn set_payload_mode(&mut self, mode: PayloadMode) {
+        self.payload_mode = mode;
+    }
 }
 
 /// Today's hardware: every store leaves immediately as its own TLP.
@@ -367,6 +585,8 @@ pub struct RawP2pEgress {
     /// — hardware that transfers at sector granularity rather than using
     /// byte enables, producing Fig 1's "unread bytes at the receiver".
     sector_bytes: Option<u32>,
+    out: OutputBuffer,
+    payload_mode: PayloadMode,
 }
 
 impl RawP2pEgress {
@@ -377,6 +597,8 @@ impl RawP2pEgress {
             framing,
             metrics: EgressMetrics::new(),
             sector_bytes: None,
+            out: OutputBuffer::default(),
+            payload_mode: PayloadMode::Full,
         }
     }
 
@@ -433,8 +655,9 @@ impl EgressPath for RawP2pEgress {
             dst: store.dst,
             wire_bytes: wire,
             data_bytes: data,
+            payload_bytes: payload,
             reason: None,
-            stores: vec![store],
+            stores: PacketStores::from_stores(vec![store], self.payload_mode),
         }])
     }
 
@@ -448,6 +671,22 @@ impl EgressPath for RawP2pEgress {
 
     fn name(&self) -> &'static str {
         "p2p"
+    }
+
+    fn output(&mut self) -> &mut OutputBuffer {
+        &mut self.out
+    }
+
+    fn output_ref(&self) -> &OutputBuffer {
+        &self.out
+    }
+
+    fn record_stall(&mut self, stalled: SimTime) {
+        self.metrics.stall_time += stalled;
+    }
+
+    fn set_payload_mode(&mut self, mode: PayloadMode) {
+        self.payload_mode = mode;
     }
 }
 
@@ -561,11 +800,60 @@ mod tests {
         }
         emitted.extend(fp.release());
         for p in &emitted {
-            for s in &p.stores {
+            for s in p.stores.full().expect("default mode carries payloads") {
                 via_finepack.write(s.addr, &s.data);
             }
         }
         assert!(program_order.same_contents(&via_finepack));
+    }
+
+    #[test]
+    fn extents_mode_skips_payload_clones_but_keeps_extents() {
+        let mut fp = FinePackEgress::new(
+            GpuId::new(0),
+            FinePackConfig::paper(4),
+            FramingModel::pcie_gen4(),
+        );
+        fp.set_payload_mode(PayloadMode::Extents);
+        fp.push(store(1, 0x1000, 8), SimTime::ZERO).unwrap();
+        fp.push(store(1, 0x1010, 4), SimTime::ZERO).unwrap();
+        let pkts = fp.release();
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].stores.full().is_none(), "no payload bytes carried");
+        let extents: Vec<_> = pkts[0].stores.extents().collect();
+        assert_eq!(extents, vec![(0x1000, 8), (0x1010, 4)]);
+        // Accounting is identical to full mode.
+        let mut full = FinePackEgress::new(
+            GpuId::new(0),
+            FinePackConfig::paper(4),
+            FramingModel::pcie_gen4(),
+        );
+        full.push(store(1, 0x1000, 8), SimTime::ZERO).unwrap();
+        full.push(store(1, 0x1010, 4), SimTime::ZERO).unwrap();
+        let full_pkts = full.release();
+        assert_eq!(full_pkts[0].wire_bytes, pkts[0].wire_bytes);
+        assert_eq!(full_pkts[0].data_bytes, pkts[0].data_bytes);
+        assert_eq!(full_pkts[0].payload_bytes, pkts[0].payload_bytes);
+    }
+
+    #[test]
+    fn output_buffer_admission_threshold() {
+        let mut buf = OutputBuffer::new(2);
+        assert!(buf.has_room() && buf.is_empty());
+        let mut p2p = RawP2pEgress::new(FramingModel::pcie_gen4());
+        let pkts = p2p.push(store(1, 0x40, 4), SimTime::ZERO).unwrap();
+        buf.extend(pkts.clone());
+        assert!(buf.has_room());
+        buf.extend(pkts.clone());
+        assert!(!buf.has_room(), "at capacity: upstream must stall");
+        // Overshoot is tolerated (a flush may emit several packets)...
+        buf.extend(pkts);
+        assert_eq!(buf.len(), 3);
+        // ...and draining restores admission.
+        while buf.pop_front().is_some() {}
+        assert!(buf.has_room());
+        assert!(p2p.can_accept());
+        assert_eq!(p2p.occupancy(), 0);
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub use area::AreaModel;
 pub use baselines::{GpsEgress, WriteCombiningEgress};
 pub use config::{AllocationPolicy, FinePackConfig, FinePackError, SubheaderFormat, LENGTH_FIELD_BITS};
 pub use depacketizer::Depacketizer;
-pub use egress::{EgressMetrics, EgressPath, FinePackEgress, RawP2pEgress, WirePacket};
+pub use egress::{
+    EgressMetrics, EgressPath, FinePackEgress, OutputBuffer, PacketStores, PayloadMode,
+    RawP2pEgress, WirePacket,
+};
 pub use packet::{FinePackPacket, SubPacket};
 pub use packetizer::packetize;
 pub use replay_stats::ReplayAmplification;

@@ -7,6 +7,12 @@
 //! credits in 16-byte units, consumed per TLP and released as the
 //! receiver drains its buffer.
 
+use std::collections::VecDeque;
+
+use sim_engine::SimTime;
+
+use crate::dllp::{Dllp, DLLP_WIRE_BYTES};
+
 /// PCIe posted-data credit granularity, bytes.
 pub const PD_UNIT_BYTES: u32 = 16;
 
@@ -87,6 +93,16 @@ impl CreditAccount {
     /// protocol violation).
     pub fn release(&mut self, payload: u32) {
         let (ph, pd) = Self::cost(payload);
+        self.release_units(ph, pd);
+    }
+
+    /// Releases raw credit units, as carried by an `UpdateFC` DLLP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more credits are released than were consumed (a
+    /// protocol violation).
+    pub fn release_units(&mut self, ph: u32, pd: u32) {
         assert!(
             self.ph_used >= ph && self.pd_used >= pd,
             "credit release underflow"
@@ -103,6 +119,164 @@ impl CreditAccount {
     /// Outstanding data credits (16B units).
     pub fn data_units_in_flight(&self) -> u32 {
         self.pd_used
+    }
+}
+
+/// Sender-side view of one link direction's posted-write flow control:
+/// a [`CreditAccount`] plus the in-flight `UpdateFC` DLLPs that will
+/// return credits at known future times.
+///
+/// Each completed TLP schedules an encoded [`Dllp::UpdateFcPosted`] for
+/// arrival one credit-return latency after the receiver drained it; the
+/// sender decodes and applies every update whose arrival time has
+/// passed before checking admission.
+///
+/// # Examples
+///
+/// ```
+/// use protocol::{CreditAccount, CreditTimeline};
+/// use sim_engine::SimTime;
+///
+/// let mut tl = CreditTimeline::new(CreditAccount::new(1, 256), SimTime::from_ns(100));
+/// let t0 = SimTime::ZERO;
+/// assert_eq!(tl.admit(t0, 64), Ok(()));
+/// // The single header credit is in flight: a second write must wait
+/// // until the UpdateFC lands at drain + return latency.
+/// tl.complete(64, SimTime::from_ns(50));
+/// assert_eq!(tl.admit(t0, 64), Err(SimTime::from_ns(150)));
+/// assert_eq!(tl.admit(SimTime::from_ns(150), 64), Ok(()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CreditTimeline {
+    account: CreditAccount,
+    /// Encoded `UpdateFcPosted` DLLPs keyed by arrival time, sorted.
+    pending: VecDeque<(SimTime, [u8; DLLP_WIRE_BYTES as usize])>,
+    return_latency: SimTime,
+    updates_received: u64,
+    blocked_attempts: u64,
+}
+
+impl CreditTimeline {
+    /// Wraps `account` with a modeled `UpdateFC` round-trip latency.
+    pub fn new(account: CreditAccount, return_latency: SimTime) -> Self {
+        CreditTimeline {
+            account,
+            pending: VecDeque::new(),
+            return_latency,
+            updates_received: 0,
+            blocked_attempts: 0,
+        }
+    }
+
+    /// Applies every pending `UpdateFC` that has arrived by `at`.
+    fn apply_updates(&mut self, at: SimTime) {
+        while let Some((when, wire)) = self.pending.front() {
+            if *when > at {
+                break;
+            }
+            let wire = *wire;
+            self.pending.pop_front();
+            match Dllp::decode(&wire).expect("self-encoded UpdateFC decodes") {
+                Dllp::UpdateFcPosted {
+                    header_credits,
+                    data_credits,
+                } => self
+                    .account
+                    .release_units(u32::from(header_credits), u32::from(data_credits)),
+                other => unreachable!("pending queue only holds UpdateFcPosted, got {other:?}"),
+            }
+            self.updates_received += 1;
+        }
+    }
+
+    /// Earliest time at or after `at` when a posted write of `payload`
+    /// bytes fits the pool, given the scheduled credit returns. Returns
+    /// [`SimTime::MAX`] if the pool can never cover it (a config error —
+    /// the pool is smaller than one TLP).
+    pub fn earliest_admission(&mut self, at: SimTime, payload: u32) -> SimTime {
+        self.apply_updates(at);
+        if self.account.can_send(payload) {
+            return at;
+        }
+        self.blocked_attempts += 1;
+        let mut probe = self.account;
+        for (when, wire) in &self.pending {
+            if let Ok(Dllp::UpdateFcPosted {
+                header_credits,
+                data_credits,
+            }) = Dllp::decode(wire)
+            {
+                probe.release_units(u32::from(header_credits), u32::from(data_credits));
+            }
+            if probe.can_send(payload) {
+                return *when;
+            }
+        }
+        SimTime::MAX
+    }
+
+    /// Consumes credits for a posted write at `at`, or reports the
+    /// earliest retry time if the pool is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the earliest admission time when credits are exhausted.
+    pub fn admit(&mut self, at: SimTime, payload: u32) -> Result<(), SimTime> {
+        let earliest = self.earliest_admission(at, payload);
+        if earliest > at {
+            return Err(earliest);
+        }
+        assert!(self.account.try_consume(payload), "admission was checked");
+        Ok(())
+    }
+
+    /// Records that the receiver drained a posted write of `payload`
+    /// bytes at `drained_at`: its credits travel back as an `UpdateFC`
+    /// arriving one return latency later.
+    pub fn complete(&mut self, payload: u32, drained_at: SimTime) {
+        let (ph, pd) = CreditAccount::cost(payload);
+        let dllp = Dllp::UpdateFcPosted {
+            header_credits: u8::try_from(ph).expect("one header per TLP"),
+            data_credits: u16::try_from(pd).expect("12-bit data credits cover max payload"),
+        };
+        let arrival = drained_at + self.return_latency;
+        // Per-link drain times are non-decreasing, but hop floors can
+        // reorder completions across calls: keep the queue sorted.
+        let pos = self
+            .pending
+            .iter()
+            .rposition(|(when, _)| *when <= arrival)
+            .map_or(0, |i| i + 1);
+        self.pending.insert(pos, (arrival, dllp.encode()));
+    }
+
+    /// Applies every scheduled credit return immediately (barrier /
+    /// iteration reset: the link quiesces and all buffers drain).
+    pub fn quiesce(&mut self) {
+        self.apply_updates(SimTime::MAX);
+        debug_assert_eq!(self.account.headers_in_flight(), 0, "credits leaked");
+    }
+
+    /// The underlying sender-side credit account.
+    pub fn account(&self) -> &CreditAccount {
+        &self.account
+    }
+
+    /// `UpdateFC` DLLPs decoded and applied so far.
+    pub fn updates_received(&self) -> u64 {
+        self.updates_received
+    }
+
+    /// Wire bytes of `UpdateFC` DLLP traffic received so far. Kept out
+    /// of the TLP traffic breakdown: DLLPs ride the opposite direction
+    /// and would skew the paper's wire-byte accounting.
+    pub fn dllp_bytes_received(&self) -> u64 {
+        self.updates_received * u64::from(DLLP_WIRE_BYTES)
+    }
+
+    /// Admission attempts that found the pool exhausted.
+    pub fn blocked_attempts(&self) -> u64 {
+        self.blocked_attempts
     }
 }
 
@@ -172,5 +346,43 @@ mod tests {
     fn over_release_panics() {
         let mut fc = CreditAccount::new(1, 1);
         fc.release(16);
+    }
+
+    #[test]
+    fn timeline_blocks_until_update_fc_arrives() {
+        let mut tl = CreditTimeline::new(CreditAccount::new(2, 8), SimTime::from_ns(10));
+        let t0 = SimTime::ZERO;
+        assert_eq!(tl.admit(t0, 64), Ok(())); // 1 PH, 4 PD
+        assert_eq!(tl.admit(t0, 64), Ok(())); // 2 PH, 8 PD
+        tl.complete(64, SimTime::from_ns(5)); // UpdateFC lands at 15ns
+        tl.complete(64, SimTime::from_ns(20)); // UpdateFC lands at 30ns
+        // A 128B write needs both completions' data credits back.
+        assert_eq!(tl.admit(t0, 128), Err(SimTime::from_ns(30)));
+        // A 64B write only needs the first.
+        assert_eq!(tl.admit(SimTime::from_ns(2), 64), Err(SimTime::from_ns(15)));
+        assert_eq!(tl.blocked_attempts(), 2);
+        assert_eq!(tl.admit(SimTime::from_ns(15), 64), Ok(()));
+        assert_eq!(tl.updates_received(), 1);
+        assert_eq!(tl.dllp_bytes_received(), u64::from(DLLP_WIRE_BYTES));
+    }
+
+    #[test]
+    fn timeline_quiesce_returns_all_credits() {
+        let mut tl = CreditTimeline::new(CreditAccount::paper_ingress(), SimTime::from_ns(500));
+        for i in 0..64 {
+            assert_eq!(tl.admit(SimTime::ZERO, 8), Ok(()));
+            tl.complete(8, SimTime::from_ns(i));
+        }
+        assert_eq!(tl.account().headers_in_flight(), 64);
+        tl.quiesce();
+        assert_eq!(tl.account().headers_in_flight(), 0);
+        assert_eq!(tl.account().data_units_in_flight(), 0);
+        assert_eq!(tl.updates_received(), 64);
+    }
+
+    #[test]
+    fn timeline_pool_smaller_than_tlp_never_admits() {
+        let mut tl = CreditTimeline::new(CreditAccount::new(1, 4), SimTime::ZERO);
+        assert_eq!(tl.earliest_admission(SimTime::ZERO, 4096), SimTime::MAX);
     }
 }

@@ -183,4 +183,41 @@ mod tests {
     fn oversized_seq_panics() {
         let _ = Dllp::Ack { seq: 1 << 12 }.encode();
     }
+
+    #[test]
+    fn update_fc_roundtrips_at_header_credit_boundaries() {
+        // The header-credit field is a full 8 bits: both rails must
+        // survive the wire unchanged.
+        for header_credits in [0u8, 1, 0x7F, 0xFF] {
+            let d = Dllp::UpdateFcPosted {
+                header_credits,
+                data_credits: 256,
+            };
+            assert_eq!(Dllp::decode(&d.encode()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn update_fc_roundtrips_at_data_credit_boundaries() {
+        // Data credits are 12 bits packed across two body bytes; the
+        // byte-boundary values 0xFF/0x100 and the 12-bit rail 0xFFF are
+        // the cases a shift bug would corrupt.
+        for data_credits in [0u16, 1, 0xFF, 0x100, 0x7FF, 0x800, 0xFFF] {
+            let d = Dllp::UpdateFcPosted {
+                header_credits: 64,
+                data_credits,
+            };
+            assert_eq!(Dllp::decode(&d.encode()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data credits are 12 bits")]
+    fn oversized_data_credits_panic() {
+        let _ = Dllp::UpdateFcPosted {
+            header_credits: 0,
+            data_credits: 1 << 12,
+        }
+        .encode();
+    }
 }

@@ -34,7 +34,7 @@ mod replay;
 
 use std::fmt;
 
-pub use credits::{CreditAccount, PD_UNIT_BYTES};
+pub use credits::{CreditAccount, CreditTimeline, PD_UNIT_BYTES};
 pub use dllp::{Dllp, DLLP_WIRE_BYTES};
 pub use goodput::{fig2_sizes, goodput_curve, pcie_efficiency, GoodputPoint};
 pub use nvlink::{NvlinkModel, FLIT_BYTES};

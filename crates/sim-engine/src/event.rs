@@ -164,6 +164,36 @@ mod tests {
     }
 
     #[test]
+    fn ties_scheduled_mid_drain_fire_after_earlier_insertions() {
+        // A retry scheduled *while draining* timestamp t (the credited
+        // runner's blocked-output pattern) must fire after the events
+        // already queued at t: its sequence number is strictly higher.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(7);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        q.schedule(t, "retry");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["b", "retry"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order_across_interleaved_times() {
+        // Insertion-order tie-breaking holds per timestamp even when
+        // the insertions at each timestamp are interleaved.
+        let mut q = EventQueue::new();
+        let (t1, t2) = (SimTime::from_ns(1), SimTime::from_ns(2));
+        q.schedule(t2, 10u32);
+        q.schedule(t1, 0u32);
+        q.schedule(t2, 11u32);
+        q.schedule(t1, 1u32);
+        q.schedule(t2, 12u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![0, 1, 10, 11, 12]);
+    }
+
+    #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_ns(10), ());

@@ -6,8 +6,86 @@ use gpu_model::GpuConfig;
 use protocol::{FramingModel, PcieGen};
 use sim_engine::SimTime;
 
+use protocol::{CreditAccount, MAX_PAYLOAD_BYTES};
+
 use crate::fault::FaultProfile;
 use crate::topology::Topology;
+
+/// Posted-write credit provisioning for one link direction under
+/// [`FlowControlMode::Credited`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditConfig {
+    /// Posted-header credits (TLPs in flight per link direction).
+    pub ph: u32,
+    /// Posted-data credits, 16-byte units.
+    pub pd: u32,
+    /// Modeled `UpdateFC` round trip: time from the receiver draining a
+    /// TLP to the sender seeing its credits again.
+    pub return_latency: SimTime,
+    /// Egress output-buffer admission threshold, packets: the SM stalls
+    /// while a path has this many packets waiting for link credits.
+    pub buffer_packets: usize,
+}
+
+impl CreditConfig {
+    /// A realistically provisioned PCIe switch ingress port for the
+    /// paper's Gen4 system: the pool must cover the credit round trip's
+    /// bandwidth-delay product (~500ns hop + serialization + UpdateFC
+    /// return at 32GB/s ≈ 30KB) or steady-state streams throttle on
+    /// credits rather than wire bandwidth. 256 headers / 32KB of data
+    /// (2048 × 16B units) clears that bar for both FinePack's 4KB TLPs
+    /// and raw P2P's 128B TLPs, so sustained flows run at link rate
+    /// while bursts beyond the receiver's buffering still backpressure.
+    pub fn paper() -> Self {
+        CreditConfig {
+            ph: 256,
+            pd: 2048,
+            return_latency: SimTime::from_ns(250),
+            buffer_packets: 8,
+        }
+    }
+
+    /// A pool large enough that no realistic workload ever blocks —
+    /// the provisioning under which credited mode must reproduce
+    /// open-loop timing bit-for-bit.
+    pub fn generous() -> Self {
+        CreditConfig {
+            ph: 1 << 20,
+            pd: 1 << 26,
+            return_latency: SimTime::from_ns(500),
+            buffer_packets: 1 << 20,
+        }
+    }
+
+    /// The sender-side account this pool advertises.
+    pub fn account(&self) -> CreditAccount {
+        CreditAccount::new(self.ph, self.pd)
+    }
+}
+
+/// Whether the fabric applies credit-based flow control to peer-to-peer
+/// store traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowControlMode {
+    /// Open-loop analytic delivery: every packet lands regardless of
+    /// link occupancy (the original model; reproduces the paper's
+    /// figure numbers exactly).
+    Open,
+    /// Closed-loop: each link direction holds a finite credit pool;
+    /// exhaustion backpressures the egress path and ultimately stalls
+    /// the issuing GPU's store stream.
+    Credited(CreditConfig),
+}
+
+impl FlowControlMode {
+    /// The credit pool, when credited.
+    pub fn credits(&self) -> Option<CreditConfig> {
+        match self {
+            FlowControlMode::Open => None,
+            FlowControlMode::Credited(c) => Some(*c),
+        }
+    }
+}
 
 /// Complete configuration of a simulated multi-GPU node.
 ///
@@ -53,6 +131,8 @@ pub struct SystemConfig {
     /// Optional link fault injection; `None` runs the fabric without a
     /// data link layer (the paper's idealized evaluation).
     pub fault: Option<FaultProfile>,
+    /// Flow-control regime for peer-to-peer store traffic.
+    pub flow_control: FlowControlMode,
 }
 
 impl SystemConfig {
@@ -77,6 +157,7 @@ impl SystemConfig {
             finepack_flush_timeout: None,
             seed: 0xF14E_9ACC,
             fault: None,
+            flow_control: FlowControlMode::Credited(CreditConfig::paper()),
         }
     }
 
@@ -110,6 +191,17 @@ impl SystemConfig {
         self
     }
 
+    /// Selects the flow-control regime for store traffic.
+    pub fn with_flow_control(mut self, mode: FlowControlMode) -> Self {
+        self.flow_control = mode;
+        self
+    }
+
+    /// Convenience: the original open-loop analytic timing model.
+    pub fn open_loop(self) -> Self {
+        self.with_flow_control(FlowControlMode::Open)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -129,12 +221,24 @@ impl SystemConfig {
                 "leaf size must divide GPU count"
             );
         }
+        if let FlowControlMode::Credited(credits) = self.flow_control {
+            assert!(credits.buffer_packets > 0, "output buffer needs capacity");
+            // The pool must cover the largest single TLP the system can
+            // emit, or that TLP would retry forever.
+            let largest = self.finepack.max_payload.max(MAX_PAYLOAD_BYTES);
+            let (ph, pd) = CreditAccount::cost(largest);
+            assert!(
+                credits.ph >= ph && credits.pd >= pd,
+                "credit pool smaller than one maximum-size TLP ({largest}B)"
+            );
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use protocol::PD_UNIT_BYTES;
 
     #[test]
     fn paper_config_is_valid() {
@@ -157,5 +261,32 @@ mod tests {
         let mut cfg = SystemConfig::paper(4);
         cfg.num_gpus = 1;
         cfg.validate();
+    }
+
+    #[test]
+    fn default_flow_control_is_credited_paper_pool() {
+        let cfg = SystemConfig::paper(4);
+        let credits = cfg.flow_control.credits().expect("credited by default");
+        assert_eq!(credits, CreditConfig::paper());
+        // Pool covers the credit round trip's bandwidth-delay product.
+        assert!(u64::from(credits.pd) * PD_UNIT_BYTES as u64 >= 30 << 10);
+        cfg.validate();
+        cfg.open_loop().validate();
+        cfg.with_flow_control(FlowControlMode::Credited(CreditConfig::generous()))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one maximum-size TLP")]
+    fn credit_pool_below_one_tlp_invalid() {
+        let tiny = CreditConfig {
+            ph: 1,
+            pd: 4, // 64B: cannot carry a 4096B TLP
+            return_latency: SimTime::ZERO,
+            buffer_packets: 1,
+        };
+        SystemConfig::paper(4)
+            .with_flow_control(FlowControlMode::Credited(tiny))
+            .validate();
     }
 }

@@ -38,14 +38,14 @@ mod report;
 mod runner;
 mod topology;
 
-pub use config::SystemConfig;
+pub use config::{CreditConfig, FlowControlMode, SystemConfig};
 pub use experiment::{
     bandwidth_sweep, dma_plan, fault_sweep, geomean_speedup, single_gpu_time, speedup_row,
     subheader_sweep, FaultSweepPoint, PreparedWorkload, SpeedupRow,
 };
 pub use fault::{FabricFault, FaultProfile, Outage, RunError};
-pub use link::{Fabric, Link, LinkDelivery};
+pub use link::{Fabric, FcStats, Link, LinkDelivery};
 pub use paradigm::Paradigm;
 pub use report::{RunReport, TrafficBreakdown, UniqueTracker};
 pub use runner::{DmaPlan, Runner};
-pub use topology::{RoutedFabric, Topology};
+pub use topology::{RoutedFabric, SendOutcome, Topology};

@@ -4,8 +4,20 @@
 //! GPU, which is where all-to-all patterns contend.
 
 use gpu_model::GpuId;
-use protocol::{DataLinkEndpoint, ReplayError, ReplayStats};
+use protocol::{CreditTimeline, DataLinkEndpoint, ReplayError, ReplayStats};
 use sim_engine::{Bandwidth, SimTime};
+
+/// Cumulative flow-control statistics for one link direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FcStats {
+    /// `UpdateFC` DLLPs received (one per drained TLP).
+    pub update_dllps: u64,
+    /// Wire bytes of those DLLPs. Kept separate from TLP traffic so the
+    /// paper's wire-byte accounting is unchanged by flow control.
+    pub dllp_bytes: u64,
+    /// Admission attempts that found the pool exhausted.
+    pub blocked_attempts: u64,
+}
 
 /// The outcome of one delivery on a (possibly fault-injected) link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +44,8 @@ pub struct Link {
     /// Post-retrain bandwidth factor (applied once, on first retrain).
     degrade: Option<f64>,
     degraded: bool,
+    /// Posted-write credit flow control, when the system runs credited.
+    fc: Option<CreditTimeline>,
 }
 
 impl Link {
@@ -44,7 +58,56 @@ impl Link {
             dll: None,
             degrade: None,
             degraded: false,
+            fc: None,
         }
+    }
+
+    /// Attaches posted-write credit flow control; subsequent credited
+    /// sends consume from this pool and block on exhaustion.
+    pub fn attach_flow_control(&mut self, timeline: CreditTimeline) {
+        self.fc = Some(timeline);
+    }
+
+    /// Earliest time at or after `at` when a TLP with `payload` data
+    /// bytes has credits, honoring scheduled `UpdateFC` returns. `at`
+    /// itself when no flow control is attached.
+    pub fn fc_earliest(&mut self, at: SimTime, payload: u32) -> SimTime {
+        match &mut self.fc {
+            Some(fc) => fc.earliest_admission(at, payload),
+            None => at,
+        }
+    }
+
+    /// Consumes credits for a TLP admitted at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if credits are insufficient — callers must check
+    /// [`Link::fc_earliest`] first.
+    pub fn fc_consume(&mut self, at: SimTime, payload: u32) {
+        if let Some(fc) = &mut self.fc {
+            fc.admit(at, payload)
+                .expect("caller checked fc_earliest before consuming");
+        }
+    }
+
+    /// Schedules this TLP's credit return: the receiver drained it at
+    /// `drained_at` (replay penalties included), so its `UpdateFC`
+    /// arrives one return latency later. Replayed TLPs therefore hold
+    /// their credits until acked.
+    pub fn fc_complete(&mut self, payload: u32, drained_at: SimTime) {
+        if let Some(fc) = &mut self.fc {
+            fc.complete(payload, drained_at);
+        }
+    }
+
+    /// Flow-control statistics, when credit flow control is attached.
+    pub fn fc_stats(&self) -> Option<FcStats> {
+        self.fc.as_ref().map(|fc| FcStats {
+            update_dllps: fc.updates_received(),
+            dllp_bytes: fc.dllp_bytes_received(),
+            blocked_attempts: fc.blocked_attempts(),
+        })
     }
 
     /// Attaches a data link layer; subsequent [`Link::try_transmit`]
@@ -140,9 +203,13 @@ impl Link {
     }
 
     /// Resets the busy horizon (used at iteration barriers, when the
-    /// fabric is quiescent) without clearing byte counters.
+    /// fabric is quiescent) without clearing byte counters. A quiescent
+    /// fabric has drained every buffer, so all in-flight credits return.
     pub fn reset_time(&mut self) {
         self.busy_until = SimTime::ZERO;
+        if let Some(fc) = &mut self.fc {
+            fc.quiesce();
+        }
     }
 }
 

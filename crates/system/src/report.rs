@@ -92,6 +92,15 @@ pub struct RunReport {
     pub drain_tail: SimTime,
     /// Barrier/launch overhead (summed over iterations).
     pub barrier_time: SimTime,
+    /// Time GPU store streams spent stalled on egress backpressure
+    /// (summed over GPUs and iterations); always zero under
+    /// [`crate::FlowControlMode::Open`].
+    pub stall_time: SimTime,
+    /// Flow-control `UpdateFC` DLLPs received by senders across all
+    /// link directions (zero in open-loop mode).
+    pub fc_update_dllps: u64,
+    /// Admission attempts that found a link out of credits.
+    pub fc_blocked_attempts: u64,
     /// Wire-traffic classification (zero for the infinite-BW oracle).
     pub traffic: TrafficBreakdown,
     /// Merged egress metrics (empty for DMA / infinite-BW).

@@ -2,13 +2,13 @@
 //! streams through a paradigm's egress paths and the switched fabric,
 //! producing execution times and wire-traffic accounting.
 
-use finepack::{EgressMetrics, EgressPath, ReplayAmplification, WirePacket};
+use finepack::{EgressMetrics, EgressPath, PayloadMode, ReplayAmplification, WirePacket};
 use gpu_model::{GpuId, KernelRun, MemoryImage};
 use sim_engine::{Bandwidth, EventQueue, SimTime};
 
 use crate::config::SystemConfig;
 use crate::fault::RunError;
-use crate::topology::RoutedFabric;
+use crate::topology::{RoutedFabric, SendOutcome};
 use crate::paradigm::Paradigm;
 use crate::report::{RunReport, TrafficBreakdown, UniqueTracker};
 
@@ -22,6 +22,19 @@ enum Ev {
     Probe { gpu: usize, idx: usize },
     Fence { gpu: usize },
     KernelEnd { gpu: usize },
+    /// Credited mode only: the GPU's output buffer was blocked on link
+    /// credits; retry draining when the earliest `UpdateFC` lands.
+    Retry { gpu: usize },
+}
+
+/// What one output-buffer drain pass achieved.
+struct PumpOutcome {
+    /// Latest local-memory drain time among delivered packets
+    /// (`SimTime::ZERO` when nothing was delivered).
+    last_drained: SimTime,
+    /// Set when the head packet found a link out of credits: the
+    /// earliest time it can be admitted.
+    blocked_until: Option<SimTime>,
 }
 
 /// Simulates a (workload, paradigm) combination iteration by iteration.
@@ -94,6 +107,23 @@ impl Runner {
         if let Some(profile) = cfg.fault {
             fabric = fabric.with_faults(profile, cfg.seed);
         }
+        let mut paths: Vec<Option<Box<dyn EgressPath>>> = paths;
+        let mode = if track_memory {
+            PayloadMode::Full
+        } else {
+            // Without memory images nothing reads the payloads: carry
+            // (addr, len) extents only and skip the data clones.
+            PayloadMode::Extents
+        };
+        for path in paths.iter_mut().flatten() {
+            path.set_payload_mode(mode);
+        }
+        if let Some(credits) = cfg.flow_control.credits() {
+            fabric = fabric.with_flow_control(credits);
+            for path in paths.iter_mut().flatten() {
+                path.output().set_capacity(credits.buffer_packets);
+            }
+        }
         Runner {
             cfg,
             paradigm,
@@ -156,12 +186,72 @@ impl Runner {
             let drained = landed + self.hbm.transfer_time(p.data_bytes);
             last = last.max(drained);
             if let Some(images) = &mut self.images {
-                for s in &p.stores {
+                let stores = p.stores.full().expect("track_memory runs carry payloads");
+                for s in stores {
                     images[p.dst.index()].write(s.addr, &s.data);
                 }
             }
         }
         Ok(last)
+    }
+
+    /// Drains `gpu`'s output buffer head-first through the credited
+    /// fabric, stopping at the first packet blocked on link credits.
+    fn pump(&mut self, gpu: usize, at: SimTime) -> Result<PumpOutcome, RunError> {
+        let src = GpuId::new(gpu as u8);
+        let stall_limit = self.cfg.fault.map(|f| f.max_stall);
+        let mut last = SimTime::ZERO;
+        let mut blocked_until = None;
+        loop {
+            let path = self.paths[gpu].as_ref().expect("store paradigm");
+            let Some(head) = path.output_ref().front() else {
+                break;
+            };
+            let (dst, wire_bytes, payload_bytes) = (head.dst, head.wire_bytes, head.payload_bytes);
+            let replayed_before = self.fabric.replayed_bytes_total();
+            let outcome = self
+                .fabric
+                .try_send_credited(at, src, dst, wire_bytes, payload_bytes)
+                .map_err(RunError::LinkDown)?;
+            let landed = match outcome {
+                SendOutcome::Delivered(landed) => landed,
+                SendOutcome::Blocked { until } => {
+                    debug_assert!(until > at, "blocked admission must make progress");
+                    blocked_until = Some(until);
+                    break;
+                }
+            };
+            let p = self.paths[gpu]
+                .as_mut()
+                .expect("store paradigm")
+                .output()
+                .pop_front()
+                .expect("head just observed");
+            let replayed = self.fabric.replayed_bytes_total() - replayed_before;
+            self.replay_amp.record(p.reason, p.wire_bytes, replayed);
+            if let Some(limit) = stall_limit {
+                if landed.saturating_sub(at) > limit {
+                    return Err(RunError::Stalled {
+                        gpu: src.index() as u8,
+                        at,
+                        landed,
+                        limit,
+                    });
+                }
+            }
+            let drained = landed + self.hbm.transfer_time(p.data_bytes);
+            last = last.max(drained);
+            if let Some(images) = &mut self.images {
+                let stores = p.stores.full().expect("track_memory runs carry payloads");
+                for s in stores {
+                    images[p.dst.index()].write(s.addr, &s.data);
+                }
+            }
+        }
+        Ok(PumpOutcome {
+            last_drained: last,
+            blocked_until,
+        })
     }
 
     /// Simulates one bulk-synchronous iteration. `runs` holds each GPU's
@@ -205,7 +295,7 @@ impl Runner {
             }
         }
 
-        let kernel_end = runs
+        let mut kernel_end = runs
             .iter()
             .map(|r| r.kernel_time)
             .max()
@@ -240,6 +330,14 @@ impl Runner {
             }
             _ => {
                 // Store-transport paradigms: event-driven replay.
+                let credited = self.cfg.flow_control.credits().is_some();
+                // Cumulative SM stall per GPU (credited mode). Every
+                // pre-scheduled event for a GPU shifts right by its
+                // accumulated stall, preserving program order; with
+                // zero stalls the replay — event order, timestamps,
+                // fabric call sequence — is identical to open loop.
+                let mut stall = vec![SimTime::ZERO; runs.len()];
+                let mut retry_at: Vec<Option<SimTime>> = vec![None; runs.len()];
                 let mut queue: EventQueue<Ev> = EventQueue::new();
                 for (g, run) in runs.iter().enumerate() {
                     for (idx, t) in run.egress.iter().enumerate() {
@@ -258,36 +356,112 @@ impl Runner {
                 }
                 while let Some(ev) = queue.pop() {
                     let now = ev.time;
-                    let (gpu, mut packets) = match ev.payload {
+                    if let Ev::Retry { gpu } = ev.payload {
+                        retry_at[gpu] = None;
+                        let out = self.pump(gpu, now)?;
+                        last_delivery = last_delivery.max(out.last_drained);
+                        if let Some(until) = out.blocked_until {
+                            if retry_at[gpu].is_none_or(|r| until < r) {
+                                retry_at[gpu] = Some(until);
+                                queue.schedule(until, Ev::Retry { gpu });
+                            }
+                        }
+                        continue;
+                    }
+                    let gpu = match ev.payload {
+                        Ev::Store { gpu, .. }
+                        | Ev::Atomic { gpu, .. }
+                        | Ev::Probe { gpu, .. }
+                        | Ev::Fence { gpu }
+                        | Ev::KernelEnd { gpu } => gpu,
+                        Ev::Retry { .. } => unreachable!("handled above"),
+                    };
+                    // The operation issues at its nominal time shifted
+                    // by everything this GPU has already stalled.
+                    let mut eff = now + stall[gpu];
+                    // Closed loop: an SM memory operation that finds
+                    // the egress output buffer at its admission
+                    // threshold stalls the stream until draining —
+                    // gated on link credits — frees a slot.
+                    let is_mem_op = matches!(
+                        ev.payload,
+                        Ev::Store { .. } | Ev::Atomic { .. } | Ev::Probe { .. }
+                    );
+                    if credited && is_mem_op {
+                        loop {
+                            if self.paths[gpu].as_ref().expect("store paradigm").can_accept() {
+                                break;
+                            }
+                            let out = self.pump(gpu, eff)?;
+                            last_delivery = last_delivery.max(out.last_drained);
+                            if self.paths[gpu].as_ref().expect("store paradigm").can_accept() {
+                                break;
+                            }
+                            let until = out
+                                .blocked_until
+                                .expect("a still-full buffer implies a blocked head");
+                            let waited = until.saturating_sub(eff);
+                            let path = self.paths[gpu].as_mut().expect("store paradigm");
+                            path.record_stall(waited);
+                            stall[gpu] += waited;
+                            eff = until;
+                        }
+                    }
+                    let mut packets = match ev.payload {
                         Ev::Store { gpu, idx } => {
                             let store = runs[gpu].egress[idx].store.clone();
                             let path = self.paths[gpu].as_mut().expect("store paradigm");
-                            (gpu, path.push(store, now).expect("valid L1-coalesced store"))
+                            path.push(store, eff).expect("valid L1-coalesced store")
                         }
                         Ev::Atomic { gpu, idx } => {
                             let store = runs[gpu].atomics[idx].store.clone();
                             let path = self.paths[gpu].as_mut().expect("store paradigm");
-                            (gpu, path.push_atomic(store, now).expect("valid atomic"))
+                            path.push_atomic(store, eff).expect("valid atomic")
                         }
                         Ev::Probe { gpu, idx } => {
                             let p = runs[gpu].probes[idx];
                             let path = self.paths[gpu].as_mut().expect("store paradigm");
-                            (gpu, path.load_probe(p.dst, p.addr, p.len, now))
+                            path.load_probe(p.dst, p.addr, p.len, eff)
                         }
                         Ev::Fence { gpu } | Ev::KernelEnd { gpu } => {
                             let path = self.paths[gpu].as_mut().expect("store paradigm");
-                            (gpu, path.release())
+                            path.release()
                         }
+                        Ev::Retry { .. } => unreachable!("handled above"),
                     };
+                    if matches!(ev.payload, Ev::KernelEnd { .. }) {
+                        // The kernel is not done until its last
+                        // operation has issued: stalls push it out.
+                        kernel_end = kernel_end.max(eff);
+                    }
                     // Inactivity-timeout flushes piggyback on event
                     // processing for the same GPU.
                     let path = self.paths[gpu].as_mut().expect("store paradigm");
-                    packets.extend(path.advance(now));
-                    if !packets.is_empty() {
-                        let done = self.deliver(now, GpuId::new(gpu as u8), packets)?;
+                    packets.extend(path.advance(eff));
+                    if credited {
+                        if !packets.is_empty() {
+                            path.output().extend(packets);
+                        }
+                        let out = self.pump(gpu, eff)?;
+                        last_delivery = last_delivery.max(out.last_drained);
+                        if let Some(until) = out.blocked_until {
+                            if retry_at[gpu].is_none_or(|r| until < r) {
+                                retry_at[gpu] = Some(until);
+                                queue.schedule(until, Ev::Retry { gpu });
+                            }
+                        }
+                    } else if !packets.is_empty() {
+                        let done = self.deliver(eff, GpuId::new(gpu as u8), packets)?;
                         last_delivery = last_delivery.max(done);
                     }
                 }
+                debug_assert!(
+                    self.paths
+                        .iter()
+                        .flatten()
+                        .all(|p| p.output_ref().is_empty()),
+                    "event queue drained with packets stranded in an output buffer"
+                );
             }
         }
 
@@ -337,6 +511,7 @@ impl Runner {
         if self.paradigm != Paradigm::InfiniteBw {
             traffic.protocol += replayed_bytes;
         }
+        let fc = self.fabric.fc_stats_total();
         RunReport {
             workload: workload.to_string(),
             paradigm: self.paradigm,
@@ -345,6 +520,9 @@ impl Runner {
             compute_time: self.compute_time,
             drain_tail: self.drain_tail,
             barrier_time: self.barrier_time,
+            stall_time: egress.stall_time,
+            fc_update_dllps: fc.update_dllps,
+            fc_blocked_attempts: fc.blocked_attempts,
             traffic,
             egress,
             unique_bytes: unique,

@@ -7,9 +7,35 @@
 use gpu_model::GpuId;
 use sim_engine::{Bandwidth, SimTime};
 
-use protocol::DataLinkEndpoint;
+use protocol::{CreditTimeline, DataLinkEndpoint};
 
-use crate::link::Link;
+use crate::config::CreditConfig;
+use crate::link::{FcStats, Link};
+
+/// The outcome of a credited send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Credits were available on every traversed link; the TLP lands at
+    /// this time (identical to what [`RoutedFabric::try_send`] returns).
+    Delivered(SimTime),
+    /// Some traversed link is out of posted credits; nothing was
+    /// consumed or transmitted. Retry at `until`, when the earliest
+    /// sufficient `UpdateFC` returns are scheduled to land.
+    Blocked {
+        /// Earliest time every traversed link can admit the TLP.
+        until: SimTime,
+    },
+}
+
+/// Per-segment completion times of one routed transfer: when each
+/// traversed link's receiver drained the TLP (replay penalties
+/// included), which is what schedules that link's credit return.
+struct RouteDone {
+    delivered: SimTime,
+    egress_done: SimTime,
+    up_done: Option<SimTime>,
+    down_done: Option<SimTime>,
+}
 
 /// The switch arrangement connecting the GPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +211,18 @@ impl RoutedFabric {
         dst: GpuId,
         bytes: u64,
     ) -> Result<SimTime, Box<crate::FabricFault>> {
+        self.route_transmit(at, src, dst, bytes).map(|r| r.delivered)
+    }
+
+    /// The timed traversal shared by open and credited sends, reporting
+    /// per-segment completion times for credit-return scheduling.
+    fn route_transmit(
+        &mut self,
+        at: SimTime,
+        src: GpuId,
+        dst: GpuId,
+        bytes: u64,
+    ) -> Result<RouteDone, Box<crate::FabricFault>> {
         assert_ne!(src, dst, "local traffic must not enter the fabric");
         let fault = |link: &Link, name: String, error| {
             Box::new(crate::FabricFault {
@@ -208,6 +246,8 @@ impl RoutedFabric {
         // the ones after it).
         let mut floor = out.done + self.hop_latency;
         let (src_leaf, dst_leaf) = (self.leaf_of(src), self.leaf_of(dst));
+        let mut up_done = None;
+        let mut down_done = None;
         if matches!(self.topology, Topology::TwoLevel { .. }) && src_leaf != dst_leaf {
             let up_start = head.max(self.up[src_leaf].busy_until());
             let up_out = match self.up[src_leaf].try_transmit(head, bytes) {
@@ -216,6 +256,7 @@ impl RoutedFabric {
             };
             head = up_start + self.hop_latency + up_out.penalty;
             floor = floor.max(up_out.done) + self.hop_latency;
+            up_done = Some(up_out.done);
             let down_start = head.max(self.down[dst_leaf].busy_until());
             let down_out = match self.down[dst_leaf].try_transmit(head, bytes) {
                 Ok(d) => d,
@@ -223,14 +264,112 @@ impl RoutedFabric {
             };
             head = down_start + self.hop_latency + down_out.penalty;
             floor = floor.max(down_out.done) + self.hop_latency;
+            down_done = Some(down_out.done);
         }
         match self.ingress[dst.index()].try_transmit(head, bytes) {
-            Ok(d) => Ok(d.done.max(floor)),
+            Ok(d) => {
+                let delivered = d.done.max(floor);
+                Ok(RouteDone {
+                    delivered,
+                    egress_done: out.done,
+                    up_done,
+                    down_done,
+                })
+            }
             Err(e) => {
                 let l = &self.ingress[dst.index()];
                 Err(fault(l, format!("ingress{}", dst.index()), e))
             }
         }
+    }
+
+    /// Attaches posted-write credit flow control to every link
+    /// direction; subsequent [`RoutedFabric::try_send_credited`] calls
+    /// consume from the per-direction pools.
+    pub fn with_flow_control(mut self, credits: CreditConfig) -> Self {
+        for link in self
+            .egress
+            .iter_mut()
+            .chain(self.ingress.iter_mut())
+            .chain(self.up.iter_mut())
+            .chain(self.down.iter_mut())
+        {
+            link.attach_flow_control(CreditTimeline::new(
+                credits.account(),
+                credits.return_latency,
+            ));
+        }
+        self
+    }
+
+    /// Credit-gated [`RoutedFabric::try_send`]: the TLP is admitted
+    /// only when *every* traversed link direction has credits for its
+    /// `payload` data bytes. On exhaustion nothing is consumed and the
+    /// caller gets the earliest retry time; on admission the delivery
+    /// time is exactly what `try_send` would return, and each link
+    /// schedules its credit return one `UpdateFC` round trip after the
+    /// TLP cleared it — so replayed TLPs hold credits until acked.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::FabricFault`] when any traversed link declares itself
+    /// down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn try_send_credited(
+        &mut self,
+        at: SimTime,
+        src: GpuId,
+        dst: GpuId,
+        bytes: u64,
+        payload: u32,
+    ) -> Result<SendOutcome, Box<crate::FabricFault>> {
+        assert_ne!(src, dst, "local traffic must not enter the fabric");
+        let (src_leaf, dst_leaf) = (self.leaf_of(src), self.leaf_of(dst));
+        let crosses_spine =
+            matches!(self.topology, Topology::TwoLevel { .. }) && src_leaf != dst_leaf;
+        // Phase 1: admission on every traversed direction. Nothing is
+        // consumed yet, so a partial route never strands credits.
+        let mut until = self.egress[src.index()].fc_earliest(at, payload);
+        if crosses_spine {
+            until = until.max(self.up[src_leaf].fc_earliest(at, payload));
+            until = until.max(self.down[dst_leaf].fc_earliest(at, payload));
+        }
+        until = until.max(self.ingress[dst.index()].fc_earliest(at, payload));
+        if until > at {
+            return Ok(SendOutcome::Blocked { until });
+        }
+        // Phase 2: consume everywhere, then run the shared traversal.
+        self.egress[src.index()].fc_consume(at, payload);
+        if crosses_spine {
+            self.up[src_leaf].fc_consume(at, payload);
+            self.down[dst_leaf].fc_consume(at, payload);
+        }
+        self.ingress[dst.index()].fc_consume(at, payload);
+        let route = self.route_transmit(at, src, dst, bytes)?;
+        self.egress[src.index()].fc_complete(payload, route.egress_done);
+        if let Some(done) = route.up_done {
+            self.up[src_leaf].fc_complete(payload, done);
+        }
+        if let Some(done) = route.down_done {
+            self.down[dst_leaf].fc_complete(payload, done);
+        }
+        self.ingress[dst.index()].fc_complete(payload, route.delivered);
+        Ok(SendOutcome::Delivered(route.delivered))
+    }
+
+    /// Aggregate flow-control statistics across all link directions
+    /// (zeroed when flow control is not attached).
+    pub fn fc_stats_total(&self) -> FcStats {
+        let mut total = FcStats::default();
+        for s in self.all_links().filter_map(Link::fc_stats) {
+            total.update_dllps += s.update_dllps;
+            total.dllp_bytes += s.dllp_bytes;
+            total.blocked_attempts += s.blocked_attempts;
+        }
+        total
     }
 
     fn all_links(&self) -> impl Iterator<Item = &Link> {
@@ -345,6 +484,67 @@ mod tests {
     #[should_panic(expected = "must divide")]
     fn bad_leaf_size_panics() {
         let _ = RoutedFabric::new(Topology::TwoLevel { gpus_per_leaf: 3 }, 8, bw(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn credited_send_with_generous_pool_matches_open_send() {
+        let mut open = RoutedFabric::new(Topology::SingleSwitch, 4, bw(), SimTime::from_ns(500));
+        let mut credited = RoutedFabric::new(Topology::SingleSwitch, 4, bw(), SimTime::from_ns(500))
+            .with_flow_control(CreditConfig::generous());
+        for i in 0..8u64 {
+            let at = SimTime::from_ns(i * 40);
+            let a = open
+                .try_send(at, GpuId::new(0), GpuId::new(1), 4120)
+                .unwrap();
+            let b = credited
+                .try_send_credited(at, GpuId::new(0), GpuId::new(1), 4120, 4096)
+                .unwrap();
+            assert_eq!(b, SendOutcome::Delivered(a), "transfer {i}");
+        }
+        assert_eq!(credited.fc_stats_total().blocked_attempts, 0);
+        // Quiescing (the iteration barrier) applies the in-flight
+        // UpdateFC DLLPs the eight TLPs generated.
+        credited.reset_time();
+        assert!(credited.fc_stats_total().update_dllps > 0);
+    }
+
+    #[test]
+    fn exhausted_pool_blocks_then_admits_after_credit_return() {
+        // One header credit: the second TLP must wait for the first's
+        // UpdateFC, which arrives at (delivery + return latency).
+        let pool = CreditConfig {
+            ph: 1,
+            pd: 256,
+            return_latency: SimTime::from_ns(100),
+            buffer_packets: 8,
+        };
+        let mut f = RoutedFabric::new(Topology::SingleSwitch, 2, bw(), SimTime::ZERO)
+            .with_flow_control(pool);
+        let first = match f
+            .try_send_credited(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000, 4096)
+            .unwrap()
+        {
+            SendOutcome::Delivered(t) => t,
+            SendOutcome::Blocked { .. } => panic!("first TLP must be admitted"),
+        };
+        let blocked = f
+            .try_send_credited(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 32_000, 4096)
+            .unwrap();
+        // The egress link drained at 1us, the ingress at the delivery
+        // time; the pinch is the ingress credit returning at +100ns.
+        assert_eq!(
+            blocked,
+            SendOutcome::Blocked {
+                until: first + SimTime::from_ns(100)
+            }
+        );
+        let retry_at = first + SimTime::from_ns(100);
+        assert!(matches!(
+            f.try_send_credited(retry_at, GpuId::new(0), GpuId::new(1), 32_000, 4096)
+                .unwrap(),
+            SendOutcome::Delivered(_)
+        ));
+        assert!(f.fc_stats_total().blocked_attempts > 0);
     }
 
     #[test]

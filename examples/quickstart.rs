@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut p2p_image = MemoryImage::new();
     let deliver = |packets: Vec<finepack::WirePacket>, image: &mut MemoryImage| {
         for p in packets {
-            for s in &p.stores {
+            let stores = p.stores.full().expect("paths default to full payloads");
+            for s in stores {
                 image.write(s.addr, &s.data);
             }
         }

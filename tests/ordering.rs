@@ -35,7 +35,8 @@ fn emit_all(stores: &[RemoteStore]) -> Vec<WirePacket> {
 fn apply(packets: &[&WirePacket]) -> Vec<MemoryImage> {
     let mut images: Vec<MemoryImage> = (0..4).map(|_| MemoryImage::new()).collect();
     for p in packets {
-        for s in &p.stores {
+        let stores = p.stores.full().expect("paths default to full payloads");
+        for s in stores {
             images[p.dst.index()].write(s.addr, &s.data);
         }
     }
@@ -112,7 +113,8 @@ fn load_probe_observes_latest_value() {
         let mut image = MemoryImage::new();
         let apply_pkts = |pkts: Vec<WirePacket>, image: &mut MemoryImage| {
             for p in pkts {
-                for s in &p.stores {
+                let stores = p.stores.full().expect("paths default to full payloads");
+                for s in stores {
                     image.write(s.addr, &s.data);
                 }
             }

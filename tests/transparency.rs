@@ -42,7 +42,8 @@ fn image_via_path(path: &mut dyn EgressPath, stores: &[RemoteStore]) -> MemoryIm
     let mut image = MemoryImage::new();
     let deliver = |packets: Vec<finepack::WirePacket>, image: &mut MemoryImage| {
         for p in packets {
-            for s in &p.stores {
+            let stores = p.stores.full().expect("paths default to full payloads");
+            for s in stores {
                 image.write(s.addr, &s.data);
             }
         }

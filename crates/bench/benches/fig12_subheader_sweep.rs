@@ -6,7 +6,7 @@
 
 use bench::{paper_spec, paper_system, x2};
 use finepack::SubheaderFormat;
-use sim_engine::Table;
+use sim_engine::{Table, WorkerPool};
 use system::subheader_sweep;
 use workloads::suite;
 
@@ -14,7 +14,7 @@ fn main() {
     let cfg = paper_system();
     let spec = paper_spec();
     let apps = suite();
-    let sweep = subheader_sweep(&apps, &cfg, &spec);
+    let sweep = subheader_sweep(&apps, &cfg, &spec, &WorkerPool::default_parallel());
     let mut table = Table::new(
         "Fig 12: FinePack geomean speedup vs sub-header bytes",
         &["subheader", "offset bits", "window", "geomean speedup"],

@@ -4,7 +4,7 @@
 //! FinePack until bandwidth is unlimited.
 
 use bench::{paper_spec, paper_system, x2};
-use sim_engine::Table;
+use sim_engine::{Table, WorkerPool};
 use system::{bandwidth_sweep, Paradigm};
 use workloads::suite;
 
@@ -18,7 +18,7 @@ fn main() {
         Paradigm::FinePack,
         Paradigm::InfiniteBw,
     ];
-    let sweep = bandwidth_sweep(&apps, &cfg, &spec, &paradigms);
+    let sweep = bandwidth_sweep(&apps, &cfg, &spec, &paradigms, &WorkerPool::default_parallel());
     let mut table = Table::new(
         "Fig 13: geomean speedup vs interconnect bandwidth",
         &["interconnect", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],

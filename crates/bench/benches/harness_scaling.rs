@@ -1,0 +1,73 @@
+//! Harness self-benchmark: how the experiment driver itself scales over
+//! the deterministic worker pool. Runs the full Fig 9 suite at 1, 2,
+//! and 4 workers, reports wall clock, simulator throughput, and
+//! parallel efficiency, and asserts the outputs never diverge — the
+//! speedup is free, the results are the same bytes.
+
+use bench::{paper_spec, paper_system};
+use sim_engine::{Table, ThroughputReport, WallClock, WorkerPool};
+use system::{run_suite, Paradigm, SuiteResult};
+use workloads::{suite, Workload};
+
+fn timed(
+    apps: &[Box<dyn Workload>],
+    pool: &WorkerPool,
+) -> (SuiteResult, ThroughputReport) {
+    let cfg = paper_system();
+    let spec = paper_spec();
+    let clock = WallClock::start();
+    let result = run_suite(apps, &cfg, &spec, &Paradigm::FIG9, pool);
+    let perf = ThroughputReport::new(clock.elapsed(), result.sim_events, result.sim_time);
+    (result, perf)
+}
+
+fn main() {
+    let apps = suite();
+
+    // Warm-up so the first timed pass doesn't pay one-time costs.
+    let _ = timed(&apps, &WorkerPool::serial());
+
+    let (baseline, serial_perf) = timed(&apps, &WorkerPool::serial());
+    let baseline_rows = format!("{:?}", baseline.rows);
+
+    let mut table = Table::new(
+        "harness scaling: full suite wall clock vs worker count",
+        &["workers", "wall (ms)", "events/s", "speedup", "efficiency"],
+    );
+    table.row(&[
+        "1".into(),
+        format!("{:.1}", 1e3 * serial_perf.wall.as_secs_f64()),
+        format!("{:.0}", serial_perf.events_per_sec()),
+        "1.00x".into(),
+        "100%".into(),
+    ]);
+
+    let mut best = 1.0f64;
+    for workers in [2usize, 4] {
+        let (result, perf) = timed(&apps, &WorkerPool::new(workers));
+        assert_eq!(
+            baseline_rows,
+            format!("{:?}", result.rows),
+            "{workers}-worker suite diverged from serial"
+        );
+        assert_eq!(baseline.sim_events, result.sim_events);
+        let speedup = perf.speedup_over(&serial_perf);
+        best = best.max(speedup);
+        table.row(&[
+            workers.to_string(),
+            format!("{:.1}", 1e3 * perf.wall.as_secs_f64()),
+            format!("{:.0}", perf.events_per_sec()),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", 100.0 * speedup / workers as f64),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "headline: {best:.2}x best speedup, outputs byte-identical at \
+         every worker count ({} apps x {} paradigms per pass)",
+        apps.len(),
+        Paradigm::FIG9.len()
+    );
+}

@@ -54,7 +54,7 @@ fn main() {
         let batch = stores(1024, stride, len);
         let ns = time_per_elem(21, batch.len() as u64, || {
             let mut rwq = RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4));
-            for s in batch.clone() {
+            for s in &batch {
                 let _ = rwq.insert(s).expect("valid store");
             }
             rwq.flush_all(FlushReason::Release)
@@ -66,7 +66,7 @@ fn main() {
     let cfg = FinePackConfig::paper(4);
     let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
     for s in stores(60, 192, 8) {
-        rwq.insert(s).expect("valid store");
+        rwq.insert(&s).expect("valid store");
     }
     let batch = rwq.flush_all(FlushReason::Release).remove(0);
     row(
@@ -122,7 +122,7 @@ fn main() {
             FramingModel::pcie_gen4(),
         );
         let mut packets = Vec::new();
-        for s in batch.clone() {
+        for s in &batch {
             packets.extend(fp.push(s, SimTime::ZERO).expect("valid store"));
         }
         packets.extend(fp.release());

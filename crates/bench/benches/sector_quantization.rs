@@ -24,8 +24,8 @@ fn main() {
         for iter_runs in prep.runs() {
             for run in iter_runs {
                 for t in &run.egress {
-                    exact.push(t.store.clone(), SimTime::ZERO).expect("valid");
-                    quant.push(t.store.clone(), SimTime::ZERO).expect("valid");
+                    exact.push(&t.store, SimTime::ZERO).expect("valid");
+                    quant.push(&t.store, SimTime::ZERO).expect("valid");
                 }
             }
         }

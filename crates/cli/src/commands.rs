@@ -6,9 +6,9 @@ use finepack::{AreaModel, FinePackConfig, SubheaderFormat};
 use gpu_model::{profile_run, read_trace, write_trace, AddressMap, Gpu, GpuId};
 use protocol::{fig2_sizes, FramingModel, PcieGen};
 use sim_engine::Table;
-use sim_engine::SimTime;
+use sim_engine::{SimTime, ThroughputReport, WallClock, WorkerPool};
 use system::{
-    fault_sweep, single_gpu_time, speedup_row, subheader_sweep, CreditConfig, FaultProfile,
+    fault_sweep, run_suite, single_gpu_time, subheader_sweep, CreditConfig, FaultProfile,
     FlowControlMode, Paradigm, PreparedWorkload, SystemConfig,
 };
 use workloads::{suite, RunSpec, Workload};
@@ -30,17 +30,23 @@ COMMANDS:
                    [--ber RATE] [--fault-profile clean|noisy|outage|degraded|stuck]
   suite            Fig 9 table for the whole application suite
                    [--gpus N] [--pcie 4|5|6] [--scale-down S]
-                   [--flow-control open|credited]
+                   [--flow-control open|credited] [--jobs N]
   goodput          goodput-vs-size curve (Fig 2)
                    [--framing pcie|cxl|nvlink]
   sweep-subheader  Table II / Fig 12 sub-header sweep
-                   [--app <name>] [--gpus N] [--scale-down S]
+                   [--app <name>] [--gpus N] [--scale-down S] [--jobs N]
   faults           bit-error-rate sweep: replay amplification under a
                    faulty data link layer
                    [--app <name>] [--gpus N] [--paradigm <name>]
-                   [--scale-down S] [--iterations K]
+                   [--scale-down S] [--iterations K] [--jobs N]
                    [--flow-control open|credited]
                    [--fault-profile clean|noisy|outage|degraded|stuck]
+  bench            harness self-benchmark: serial vs parallel suite wall
+                   clock, written as JSON
+                   [--gpus N] [--pcie 4|5|6] [--scale-down S]
+                   [--iterations K] [--seed S] [--jobs N]
+                   [--flow-control open|credited]
+                   [--out FILE (default BENCH_harness.json)]
   area             FinePack SRAM footprint (§VI-B) [--gpus N]
   record           synthesize traces to disk
                    --app <name> --out <dir> [--gpus N] [--iterations K]
@@ -59,6 +65,11 @@ FLOW CONTROL: `credited` (default) simulates the closed loop — finite
 link credit pools backpressure the egress buffers and can stall the
 GPU store streams (reported in the `stall` column); `open` is the
 open-loop analytic model.
+
+JOBS: `--jobs N` fans sweeps out over N worker threads (default: the
+machine's available parallelism; `--jobs 1` forces the serial path).
+Output is byte-identical for every N — parallelism never changes
+results, only wall-clock time.
 "
     .to_string()
 }
@@ -106,6 +117,29 @@ fn system_from(args: &Args, spec: &RunSpec) -> Result<SystemConfig, ArgError> {
         cfg = cfg.with_faults(profile);
     }
     Ok(cfg)
+}
+
+/// Parses `--jobs N` into a [`WorkerPool`] (default: the machine's
+/// available parallelism; `--jobs 1` selects the serial path).
+fn pool_from(args: &Args) -> Result<WorkerPool, ArgError> {
+    match args.get("jobs") {
+        None => Ok(WorkerPool::default_parallel()),
+        Some(v) => {
+            let jobs: usize = v.parse().map_err(|_| ArgError::Invalid {
+                key: "jobs".into(),
+                value: v.to_string(),
+                expected: "positive worker count",
+            })?;
+            if jobs == 0 {
+                return Err(ArgError::Invalid {
+                    key: "jobs".into(),
+                    value: v.to_string(),
+                    expected: "positive worker count",
+                });
+            }
+            Ok(WorkerPool::new(jobs))
+        }
+    }
 }
 
 /// Parses `--flow-control open|credited` (default: the paper-scale
@@ -291,18 +325,20 @@ pub(crate) fn faults(args: &Args) -> Result<String, ArgError> {
         "iterations",
         "scale-down",
         "seed",
+        "jobs",
         "flow-control",
         "fault-profile",
     ])?;
     let app = find_app(args.get_or("app", "pagerank"))?;
     let spec = spec_from(args)?;
+    let pool = pool_from(args)?;
     let paradigm = find_paradigm(args.get_or("paradigm", "finepack"))?;
     let mut cfg = SystemConfig::paper(spec.num_gpus).with_flow_control(flow_control_from(args)?);
     if let Some(profile) = fault_profile_from(args)? {
         cfg = cfg.with_faults(profile);
     }
     let bers = [0.0, 1e-8, 1e-7, 1e-6, 1e-5];
-    let points = fault_sweep(app.as_ref(), &cfg, &spec, paradigm, &bers);
+    let points = fault_sweep(app.as_ref(), &cfg, &spec, paradigm, &bers, &pool);
     let mut t = Table::new(
         format!(
             "{} under link faults ({paradigm}, {} GPUs)",
@@ -359,15 +395,24 @@ pub(crate) fn faults(args: &Args) -> Result<String, ArgError> {
 
 /// `suite ...`
 pub(crate) fn suite_table(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["gpus", "pcie", "iterations", "scale-down", "seed", "flow-control"])?;
+    args.expect_only(&[
+        "gpus",
+        "pcie",
+        "iterations",
+        "scale-down",
+        "seed",
+        "jobs",
+        "flow-control",
+    ])?;
     let spec = spec_from(args)?;
     let cfg = system_from(args, &spec)?;
+    let pool = pool_from(args)?;
+    let result = run_suite(&suite(), &cfg, &spec, &Paradigm::FIG9, &pool);
     let mut t = Table::new(
         format!("suite speedups on {} GPUs, {}", spec.num_gpus, cfg.pcie_gen),
         &["app", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
     );
-    for app in suite() {
-        let row = speedup_row(app.as_ref(), &cfg, &spec, &Paradigm::FIG9);
+    for row in &result.rows {
         let cell = |p| format!("{:.2}x", row.speedup(p).expect("measured"));
         t.row(&[
             row.app.clone(),
@@ -382,14 +427,15 @@ pub(crate) fn suite_table(args: &Args) -> Result<String, ArgError> {
 
 /// `sweep-subheader ...`
 pub(crate) fn sweep_subheader(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["app", "gpus", "scale-down", "iterations", "seed"])?;
+    args.expect_only(&["app", "gpus", "scale-down", "iterations", "seed", "jobs"])?;
     let spec = spec_from(args)?;
     let cfg = SystemConfig::paper(spec.num_gpus);
+    let pool = pool_from(args)?;
     let apps: Vec<Box<dyn Workload>> = match args.get("app") {
         Some(name) => vec![find_app(name)?],
         None => suite(),
     };
-    let sweep = subheader_sweep(&apps, &cfg, &spec);
+    let sweep = subheader_sweep(&apps, &cfg, &spec, &pool);
     let mut t = Table::new(
         "FinePack sub-header sweep (geomean speedup)",
         &["subheader", "window", "speedup"],
@@ -431,6 +477,114 @@ pub(crate) fn area(args: &Args) -> Result<String, ArgError> {
         100.0 * model.fraction_of_cache(AreaModel::GV100_CACHE_BYTES),
         100.0 * model.fraction_of_cache(AreaModel::GA100_CACHE_BYTES)
     );
+    Ok(out)
+}
+
+/// One timed `run_suite` pass, reduced to a throughput report plus the
+/// `Debug`-rendered rows used for the determinism cross-check.
+fn timed_suite(
+    apps: &[Box<dyn Workload>],
+    cfg: &SystemConfig,
+    spec: &workloads::RunSpec,
+    pool: &WorkerPool,
+) -> (ThroughputReport, String) {
+    let clock = WallClock::start();
+    let result = run_suite(apps, cfg, spec, &Paradigm::FIG9, pool);
+    let report = ThroughputReport::new(clock.elapsed(), result.sim_events, result.sim_time);
+    (report, format!("{:?}", result.rows))
+}
+
+/// `bench ...`: times the full suite serially and under the worker
+/// pool, checks the outputs match, and writes the comparison as JSON.
+pub(crate) fn bench(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "gpus",
+        "pcie",
+        "iterations",
+        "scale-down",
+        "seed",
+        "jobs",
+        "flow-control",
+        "out",
+    ])
+    .map_err(|e| e.to_string())?;
+    let spec = spec_from(args).map_err(|e| e.to_string())?;
+    let cfg = system_from(args, &spec).map_err(|e| e.to_string())?;
+    let pool = pool_from(args).map_err(|e| e.to_string())?;
+    let out_path = args.get_or("out", "BENCH_harness.json");
+    let apps = suite();
+
+    // Warm-up pass so neither timed pass pays first-touch costs
+    // (page faults, lazy allocator growth) the other does not.
+    let _ = run_suite(&apps, &cfg, &spec, &Paradigm::FIG9, &WorkerPool::serial());
+
+    let (serial, serial_rows) = timed_suite(&apps, &cfg, &spec, &WorkerPool::serial());
+    let (parallel, parallel_rows) = timed_suite(&apps, &cfg, &spec, &pool);
+    let deterministic = serial_rows == parallel_rows;
+    let speedup = parallel.speedup_over(&serial);
+
+    let json = format!(
+        "{{\n  \"bench\": \"harness\",\n  \"gpus\": {},\n  \"pcie\": \"{}\",\n  \
+         \"iterations\": {},\n  \"scale_down\": {},\n  \"seed\": {},\n  \"apps\": {},\n  \
+         \"jobs\": {},\n  \"sim_events\": {},\n  \"sim_time_ps\": {},\n  \
+         \"serial\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \
+         \"sim_ps_per_wall_sec\": {:.1} }},\n  \
+         \"parallel\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \
+         \"sim_ps_per_wall_sec\": {:.1} }},\n  \"speedup\": {:.3},\n  \
+         \"parallel_efficiency\": {:.3},\n  \"deterministic\": {}\n}}\n",
+        spec.num_gpus,
+        cfg.pcie_gen,
+        spec.iterations,
+        spec.scale_down,
+        spec.seed,
+        apps.len(),
+        pool.jobs(),
+        serial.events,
+        serial.sim_time.as_ps(),
+        serial.wall.as_secs_f64(),
+        serial.events_per_sec(),
+        serial.sim_ps_per_wall_sec(),
+        parallel.wall.as_secs_f64(),
+        parallel.events_per_sec(),
+        parallel.sim_ps_per_wall_sec(),
+        speedup,
+        speedup / pool.jobs() as f64,
+        deterministic,
+    );
+    std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "harness bench: {} apps x {} paradigms, {} GPUs, scale-down {}",
+        apps.len(),
+        Paradigm::FIG9.len(),
+        spec.num_gpus,
+        spec.scale_down
+    );
+    let _ = writeln!(
+        out,
+        "  serial   (1 job):  {:>9.2} ms, {:.0} events/s",
+        1e3 * serial.wall.as_secs_f64(),
+        serial.events_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "  parallel ({} jobs): {:>8.2} ms, {:.0} events/s",
+        pool.jobs(),
+        1e3 * parallel.wall.as_secs_f64(),
+        parallel.events_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "  speedup: {speedup:.2}x  deterministic: {deterministic}  -> {out_path}"
+    );
+    if !deterministic {
+        return Err(format!(
+            "parallel suite output diverged from serial (jobs = {})",
+            pool.jobs()
+        ));
+    }
     Ok(out)
 }
 
@@ -697,6 +851,68 @@ mod tests {
         assert!(bad_ber.is_err());
         let unparsed = run_app(&Args::parse(["run", "--ber", "lots"]).unwrap());
         assert!(unparsed.is_err());
+    }
+
+    #[test]
+    fn suite_jobs_flag_is_output_invariant() {
+        let base = ["suite", "--gpus", "2", "--scale-down", "16", "--iterations", "1"];
+        let serial = {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend(["--jobs", "1"]);
+            suite_table(&Args::parse(a).unwrap()).unwrap()
+        };
+        let parallel = {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend(["--jobs", "3"]);
+            suite_table(&Args::parse(a).unwrap()).unwrap()
+        };
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn jobs_zero_is_rejected() {
+        let a = Args::parse(["suite", "--jobs", "0"]).unwrap();
+        assert!(suite_table(&a).is_err());
+        let a = Args::parse(["suite", "--jobs", "many"]).unwrap();
+        assert!(suite_table(&a).is_err());
+    }
+
+    #[test]
+    fn bench_writes_json_and_reports_speedup() {
+        let out_file = std::env::temp_dir().join("finepack-bench-test.json");
+        let out_s = out_file.to_str().expect("utf-8 temp path");
+        let rendered = bench(
+            &Args::parse([
+                "bench",
+                "--gpus",
+                "2",
+                "--scale-down",
+                "16",
+                "--iterations",
+                "1",
+                "--jobs",
+                "2",
+                "--out",
+                out_s,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(rendered.contains("speedup"), "{rendered}");
+        assert!(rendered.contains("deterministic: true"), "{rendered}");
+        let json = std::fs::read_to_string(out_s).unwrap();
+        for key in [
+            "\"bench\": \"harness\"",
+            "\"jobs\": 2",
+            "\"sim_events\"",
+            "\"serial\"",
+            "\"parallel\"",
+            "\"speedup\"",
+            "\"deterministic\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let _ = std::fs::remove_file(&out_file);
     }
 
     #[test]

@@ -7,13 +7,18 @@
 //!
 //! ```text
 //! finepack-sim run --app pagerank --gpus 4 --pcie 4
-//! finepack-sim suite
+//! finepack-sim suite --jobs 4
 //! finepack-sim goodput --framing nvlink
 //! finepack-sim sweep-subheader --app sssp
 //! finepack-sim record --app jacobi --out /tmp/traces
 //! finepack-sim replay --trace /tmp/traces/jacobi.g0.i0.fpkt
 //! finepack-sim area --gpus 16
+//! finepack-sim bench --jobs 4 --out BENCH_harness.json
 //! ```
+//!
+//! Sweep commands take `--jobs N` to fan out over a worker pool; the
+//! output is byte-identical for every `N` (parallelism changes only
+//! wall-clock time, never results).
 //!
 //! The library surface exists so the dispatcher is unit-testable; the
 //! binary (`src/main.rs`) is a thin wrapper around [`run`].
@@ -52,6 +57,7 @@ where
         Some("suite") => commands::suite_table(&args).map_err(|e| e.to_string()),
         Some("sweep-subheader") => commands::sweep_subheader(&args).map_err(|e| e.to_string()),
         Some("faults") => commands::faults(&args).map_err(|e| e.to_string()),
+        Some("bench") => commands::bench(&args),
         Some("area") => commands::area(&args).map_err(|e| e.to_string()),
         Some("record") => commands::record(&args),
         Some("replay") => commands::replay(&args),

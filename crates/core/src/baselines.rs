@@ -184,10 +184,10 @@ fn new_metrics() -> EgressMetrics {
 impl EgressPath for WriteCombiningEgress {
     fn push(
         &mut self,
-        store: RemoteStore,
+        store: &RemoteStore,
         _now: SimTime,
     ) -> Result<Vec<WirePacket>, FinePackError> {
-        validate(&store)?;
+        validate(store)?;
         self.metrics.stores_in += 1;
         self.metrics.bytes_in += u64::from(store.len());
         let mut overwritten = 0u64;
@@ -331,10 +331,10 @@ impl GpsEgress {
 impl EgressPath for GpsEgress {
     fn push(
         &mut self,
-        store: RemoteStore,
+        store: &RemoteStore,
         _now: SimTime,
     ) -> Result<Vec<WirePacket>, FinePackError> {
-        validate(&store)?;
+        validate(store)?;
         self.metrics.stores_in += 1;
         self.metrics.bytes_in += u64::from(store.len());
         if self.rng.chance(self.unsubscribed_fraction) {
@@ -407,8 +407,8 @@ mod tests {
     #[test]
     fn wc_combines_within_a_line_only() {
         let mut wc = WriteCombiningEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 64);
-        wc.push(store(1, 0x1000, 8, 1), SimTime::ZERO).unwrap();
-        wc.push(store(1, 0x1008, 8, 2), SimTime::ZERO).unwrap();
+        wc.push(&store(1, 0x1000, 8, 1), SimTime::ZERO).unwrap();
+        wc.push(&store(1, 0x1008, 8, 2), SimTime::ZERO).unwrap();
         let pkts = wc.release();
         // Contiguous within the line: one run, one packet.
         assert_eq!(pkts.len(), 1);
@@ -418,8 +418,8 @@ mod tests {
     #[test]
     fn wc_fragmented_line_emits_multiple_tlps() {
         let mut wc = WriteCombiningEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 64);
-        wc.push(store(1, 0x1000, 4, 1), SimTime::ZERO).unwrap();
-        wc.push(store(1, 0x1020, 4, 2), SimTime::ZERO).unwrap();
+        wc.push(&store(1, 0x1000, 4, 1), SimTime::ZERO).unwrap();
+        wc.push(&store(1, 0x1020, 4, 2), SimTime::ZERO).unwrap();
         let pkts = wc.release();
         assert_eq!(pkts.len(), 2);
     }
@@ -427,9 +427,9 @@ mod tests {
     #[test]
     fn wc_fifo_eviction() {
         let mut wc = WriteCombiningEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 2);
-        wc.push(store(1, 0, 4, 1), SimTime::ZERO).unwrap();
-        wc.push(store(1, 128, 4, 2), SimTime::ZERO).unwrap();
-        let evicted = wc.push(store(1, 2 * 128, 4, 3), SimTime::ZERO).unwrap();
+        wc.push(&store(1, 0, 4, 1), SimTime::ZERO).unwrap();
+        wc.push(&store(1, 128, 4, 2), SimTime::ZERO).unwrap();
+        let evicted = wc.push(&store(1, 2 * 128, 4, 3), SimTime::ZERO).unwrap();
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].stores.full().unwrap()[0].addr, 0); // oldest line left first
     }
@@ -437,8 +437,8 @@ mod tests {
     #[test]
     fn wc_overwrites_are_elided() {
         let mut wc = WriteCombiningEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 64);
-        wc.push(store(1, 0x1000, 8, 1), SimTime::ZERO).unwrap();
-        wc.push(store(1, 0x1000, 8, 9), SimTime::ZERO).unwrap();
+        wc.push(&store(1, 0x1000, 8, 1), SimTime::ZERO).unwrap();
+        wc.push(&store(1, 0x1000, 8, 9), SimTime::ZERO).unwrap();
         let pkts = wc.release();
         assert_eq!(pkts[0].data_bytes, 8);
         assert_eq!(pkts[0].stores.full().unwrap()[0].data, vec![9; 8]);
@@ -448,7 +448,7 @@ mod tests {
     #[test]
     fn gps_ships_dirty_runs_without_subscription_loss() {
         let mut gps = GpsEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 64, 0.0, 1);
-        gps.push(store(1, 0x1000, 4, 1), SimTime::ZERO).unwrap();
+        gps.push(&store(1, 0x1000, 4, 1), SimTime::ZERO).unwrap();
         let pkts = gps.release();
         assert_eq!(pkts.len(), 1);
         // One 4B dirty run: 4B payload + 24B overhead.
@@ -459,7 +459,7 @@ mod tests {
     #[test]
     fn gps_subscription_drops_stores() {
         let mut gps = GpsEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 64, 1.0, 1);
-        gps.push(store(1, 0x1000, 4, 1), SimTime::ZERO).unwrap();
+        gps.push(&store(1, 0x1000, 4, 1), SimTime::ZERO).unwrap();
         assert!(gps.release().is_empty());
         assert_eq!(gps.stores_filtered, 1);
     }
@@ -475,9 +475,9 @@ mod tests {
         // Scattered 8B stores, two per line.
         for i in 0..200u64 {
             let s = store(1, 0x1_0000 + (i / 2) * 128 + (i % 2) * 8, 8, i as u8);
-            fp.push(s.clone(), SimTime::ZERO).unwrap();
-            wc.push(s.clone(), SimTime::ZERO).unwrap();
-            p2p.push(s, SimTime::ZERO).unwrap();
+            fp.push(&s, SimTime::ZERO).unwrap();
+            wc.push(&s, SimTime::ZERO).unwrap();
+            p2p.push(&s, SimTime::ZERO).unwrap();
         }
         fp.release();
         wc.release();
@@ -493,8 +493,8 @@ mod tests {
     #[test]
     fn invalid_stores_rejected() {
         let mut wc = WriteCombiningEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 64);
-        assert!(wc.push(store(1, 0x7c, 8, 0), SimTime::ZERO).is_err()); // crosses block
+        assert!(wc.push(&store(1, 0x7c, 8, 0), SimTime::ZERO).is_err()); // crosses block
         let mut gps = GpsEgress::new(GpuId::new(0), FramingModel::pcie_gen4(), 64, 0.0, 1);
-        assert!(gps.push(store(1, 0, 129, 0), SimTime::ZERO).is_err());
+        assert!(gps.push(&store(1, 0, 129, 0), SimTime::ZERO).is_err());
     }
 }

@@ -46,12 +46,13 @@ pub enum PacketStores {
 }
 
 impl PacketStores {
-    fn from_stores(stores: Vec<RemoteStore>, mode: PayloadMode) -> PacketStores {
+    /// Wraps a single borrowed store: clones the payload only under
+    /// [`PayloadMode::Full`] — extents-mode packets cost zero payload
+    /// allocation.
+    fn from_store_ref(store: &RemoteStore, mode: PayloadMode) -> PacketStores {
         match mode {
-            PayloadMode::Full => PacketStores::Full(stores),
-            PayloadMode::Extents => PacketStores::Extents(
-                stores.iter().map(|s| (s.addr, s.len())).collect(),
-            ),
+            PayloadMode::Full => PacketStores::Full(vec![store.clone()]),
+            PayloadMode::Extents => PacketStores::Extents(vec![(store.addr, store.len())]),
         }
     }
 
@@ -305,11 +306,15 @@ pub trait EgressPath: std::fmt::Debug + Send {
     /// Offers one remote store issued at time `now`; returns any packets
     /// this forced out.
     ///
+    /// The store is borrowed: paths copy what they buffer (or, under
+    /// [`PayloadMode::Extents`], nothing at all), so the caller's trace
+    /// can be replayed without per-store payload clones.
+    ///
     /// # Errors
     ///
     /// Returns an error for malformed stores (empty, larger than a cache
     /// block, or block-crossing).
-    fn push(&mut self, store: RemoteStore, now: SimTime)
+    fn push(&mut self, store: &RemoteStore, now: SimTime)
         -> Result<Vec<WirePacket>, FinePackError>;
 
     /// Offers a remote atomic. Atomics are never coalesced (§IV-C): any
@@ -323,7 +328,7 @@ pub trait EgressPath: std::fmt::Debug + Send {
     /// As for [`EgressPath::push`].
     fn push_atomic(
         &mut self,
-        store: RemoteStore,
+        store: &RemoteStore,
         now: SimTime,
     ) -> Result<Vec<WirePacket>, FinePackError> {
         self.push(store, now)
@@ -469,7 +474,7 @@ impl FinePackEgress {
 impl EgressPath for FinePackEgress {
     fn push(
         &mut self,
-        store: RemoteStore,
+        store: &RemoteStore,
         now: SimTime,
     ) -> Result<Vec<WirePacket>, FinePackError> {
         self.metrics.stores_in += 1;
@@ -483,7 +488,7 @@ impl EgressPath for FinePackEgress {
 
     fn push_atomic(
         &mut self,
-        store: RemoteStore,
+        store: &RemoteStore,
         _now: SimTime,
     ) -> Result<Vec<WirePacket>, FinePackError> {
         if store.is_empty() || store.len() > self.config.entry_bytes {
@@ -515,7 +520,7 @@ impl EgressPath for FinePackEgress {
             data_bytes: data,
             payload_bytes: payload,
             reason: None,
-            stores: PacketStores::from_stores(vec![store], self.payload_mode),
+            stores: PacketStores::from_store_ref(store, self.payload_mode),
         });
         Ok(out)
     }
@@ -636,7 +641,7 @@ impl RawP2pEgress {
 impl EgressPath for RawP2pEgress {
     fn push(
         &mut self,
-        store: RemoteStore,
+        store: &RemoteStore,
         _now: SimTime,
     ) -> Result<Vec<WirePacket>, FinePackError> {
         if store.is_empty() {
@@ -657,7 +662,7 @@ impl EgressPath for RawP2pEgress {
             data_bytes: data,
             payload_bytes: payload,
             reason: None,
-            stores: PacketStores::from_stores(vec![store], self.payload_mode),
+            stores: PacketStores::from_store_ref(store, self.payload_mode),
         }])
     }
 
@@ -711,7 +716,7 @@ mod tests {
             FramingModel::pcie_gen4(),
         );
         for i in 0..40u64 {
-            let pkts = fp.push(store(1, 0x1_0000 + i * 200, 8), SimTime::ZERO).unwrap();
+            let pkts = fp.push(&store(1, 0x1_0000 + i * 200, 8), SimTime::ZERO).unwrap();
             assert!(pkts.is_empty());
         }
         let pkts = fp.release();
@@ -727,8 +732,8 @@ mod tests {
         let mut p2p = RawP2pEgress::new(framing);
         for i in 0..100u64 {
             let s = store(1, 0x1_0000 + i * 160, 8);
-            fp.push(s.clone(), SimTime::ZERO).unwrap();
-            p2p.push(s, SimTime::ZERO).unwrap();
+            fp.push(&s, SimTime::ZERO).unwrap();
+            p2p.push(&s, SimTime::ZERO).unwrap();
         }
         fp.release();
         // 100 stores x 8B: p2p pays 100x(24+8), finepack ~1x24 + 100x(5+8).
@@ -743,7 +748,7 @@ mod tests {
     #[test]
     fn raw_p2p_emits_one_packet_per_store() {
         let mut p2p = RawP2pEgress::new(FramingModel::pcie_gen4());
-        let pkts = p2p.push(store(2, 0x40, 4), SimTime::ZERO).unwrap();
+        let pkts = p2p.push(&store(2, 0x40, 4), SimTime::ZERO).unwrap();
         assert_eq!(pkts.len(), 1);
         assert_eq!(pkts[0].wire_bytes, 28); // 24 + 4
         assert_eq!(pkts[0].protocol_bytes(), 24);
@@ -757,8 +762,8 @@ mod tests {
             RawP2pEgress::new(FramingModel::pcie_gen4()).with_sector_quantization(32);
         // An 8B store straddling a 32B sector boundary: 2 sectors move.
         let s = store(1, 0x101c, 8);
-        let a = exact.push(s.clone(), SimTime::ZERO).unwrap();
-        let b = quant.push(s, SimTime::ZERO).unwrap();
+        let a = exact.push(&s, SimTime::ZERO).unwrap();
+        let b = quant.push(&s, SimTime::ZERO).unwrap();
         assert_eq!(a[0].wire_bytes, 24 + 8);
         assert_eq!(b[0].wire_bytes, 24 + 64);
         assert_eq!(b[0].data_bytes, 8); // useful bytes unchanged
@@ -767,7 +772,7 @@ mod tests {
     #[test]
     fn raw_p2p_counts_dw_padding_as_protocol() {
         let mut p2p = RawP2pEgress::new(FramingModel::pcie_gen4());
-        let pkts = p2p.push(store(1, 0x40, 5), SimTime::ZERO).unwrap();
+        let pkts = p2p.push(&store(1, 0x40, 5), SimTime::ZERO).unwrap();
         // 5B payload -> 8B padded + 24B overhead.
         assert_eq!(pkts[0].wire_bytes, 32);
         assert_eq!(pkts[0].protocol_bytes(), 27);
@@ -796,7 +801,7 @@ mod tests {
         let mut emitted = Vec::new();
         for s in &stores {
             program_order.write(s.addr, &s.data);
-            emitted.extend(fp.push(s.clone(), SimTime::ZERO).unwrap());
+            emitted.extend(fp.push(s, SimTime::ZERO).unwrap());
         }
         emitted.extend(fp.release());
         for p in &emitted {
@@ -815,8 +820,8 @@ mod tests {
             FramingModel::pcie_gen4(),
         );
         fp.set_payload_mode(PayloadMode::Extents);
-        fp.push(store(1, 0x1000, 8), SimTime::ZERO).unwrap();
-        fp.push(store(1, 0x1010, 4), SimTime::ZERO).unwrap();
+        fp.push(&store(1, 0x1000, 8), SimTime::ZERO).unwrap();
+        fp.push(&store(1, 0x1010, 4), SimTime::ZERO).unwrap();
         let pkts = fp.release();
         assert_eq!(pkts.len(), 1);
         assert!(pkts[0].stores.full().is_none(), "no payload bytes carried");
@@ -828,8 +833,8 @@ mod tests {
             FinePackConfig::paper(4),
             FramingModel::pcie_gen4(),
         );
-        full.push(store(1, 0x1000, 8), SimTime::ZERO).unwrap();
-        full.push(store(1, 0x1010, 4), SimTime::ZERO).unwrap();
+        full.push(&store(1, 0x1000, 8), SimTime::ZERO).unwrap();
+        full.push(&store(1, 0x1010, 4), SimTime::ZERO).unwrap();
         let full_pkts = full.release();
         assert_eq!(full_pkts[0].wire_bytes, pkts[0].wire_bytes);
         assert_eq!(full_pkts[0].data_bytes, pkts[0].data_bytes);
@@ -841,7 +846,7 @@ mod tests {
         let mut buf = OutputBuffer::new(2);
         assert!(buf.has_room() && buf.is_empty());
         let mut p2p = RawP2pEgress::new(FramingModel::pcie_gen4());
-        let pkts = p2p.push(store(1, 0x40, 4), SimTime::ZERO).unwrap();
+        let pkts = p2p.push(&store(1, 0x40, 4), SimTime::ZERO).unwrap();
         buf.extend(pkts.clone());
         assert!(buf.has_room());
         buf.extend(pkts.clone());
@@ -864,7 +869,7 @@ mod tests {
             FramingModel::pcie_gen4(),
         )
         .with_flush_timeout(SimTime::from_us(1));
-        fp.push(store(1, 0x1000, 8), SimTime::from_ns(100)).unwrap();
+        fp.push(&store(1, 0x1000, 8), SimTime::from_ns(100)).unwrap();
         // Not yet idle long enough.
         assert!(fp.advance(SimTime::from_ns(600)).is_empty());
         // Past the timeout: the buffered store leaves.
@@ -880,7 +885,7 @@ mod tests {
             FinePackConfig::paper(4),
             FramingModel::pcie_gen4(),
         );
-        plain.push(store(1, 0x1000, 8), SimTime::ZERO).unwrap();
+        plain.push(&store(1, 0x1000, 8), SimTime::ZERO).unwrap();
         assert!(plain.advance(SimTime::from_ms(10)).is_empty());
     }
 
@@ -891,9 +896,9 @@ mod tests {
             FinePackConfig::paper(4),
             FramingModel::pcie_gen4(),
         );
-        fp.push(store(1, 0x1000, 8), SimTime::ZERO).unwrap();
-        fp.push(store(1, 0x2000, 8), SimTime::ZERO).unwrap();
-        let pkts = fp.push_atomic(store(1, 0x1004, 4), SimTime::ZERO).unwrap();
+        fp.push(&store(1, 0x1000, 8), SimTime::ZERO).unwrap();
+        fp.push(&store(1, 0x2000, 8), SimTime::ZERO).unwrap();
+        let pkts = fp.push_atomic(&store(1, 0x1004, 4), SimTime::ZERO).unwrap();
         // One flush batch (same-address ordering) + the atomic itself.
         assert_eq!(pkts.len(), 2);
         assert_eq!(pkts[1].stores.len(), 1);
@@ -901,7 +906,7 @@ mod tests {
         assert_eq!(fp.metrics().atomics_sent, 1);
         assert_eq!(fp.metrics().flushes_for(crate::FlushReason::AtomicHit), 1);
         // An atomic to an untouched address does not flush anything.
-        let pkts = fp.push_atomic(store(1, 0x9000, 4), SimTime::ZERO).unwrap();
+        let pkts = fp.push_atomic(&store(1, 0x9000, 4), SimTime::ZERO).unwrap();
         assert_eq!(pkts.len(), 1);
     }
 
@@ -912,7 +917,7 @@ mod tests {
             FinePackConfig::paper(4),
             FramingModel::pcie_gen4(),
         );
-        fp.push(store(1, 0x1000, 8), SimTime::ZERO).unwrap();
+        fp.push(&store(1, 0x1000, 8), SimTime::ZERO).unwrap();
         assert!(fp
             .load_probe(GpuId::new(1), 0x5000, 8, SimTime::ZERO)
             .is_empty());

@@ -47,8 +47,8 @@
 //!         addr: 0x10_0000 + i * 192,
 //!         data: vec![1; 8], // 8-byte scattered stores
 //!     };
-//!     fp.push(store.clone(), SimTime::ZERO)?;
-//!     p2p.push(store, SimTime::ZERO)?;
+//!     fp.push(&store, SimTime::ZERO)?;
+//!     p2p.push(&store, SimTime::ZERO)?;
 //! }
 //! fp.release();
 //! // FinePack moves the same data in far fewer wire bytes.

@@ -26,7 +26,7 @@ use crate::rwq::FlushedBatch;
 /// let cfg = FinePackConfig::paper(4);
 /// let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
 /// for i in 0..10u64 {
-///     rwq.insert(RemoteStore {
+///     rwq.insert(&RemoteStore {
 ///         src: GpuId::new(0),
 ///         dst: GpuId::new(1),
 ///         addr: 0x1_0000 + i * 256,
@@ -117,8 +117,8 @@ mod tests {
     fn fragmented_entry_splits_into_subpackets() {
         let cfg = FinePackConfig::paper(4);
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
-        rwq.insert(store(0x1000, vec![1; 4])).unwrap();
-        rwq.insert(store(0x1010, vec![2; 4])).unwrap(); // gap within line
+        rwq.insert(&store(0x1000, vec![1; 4])).unwrap();
+        rwq.insert(&store(0x1010, vec![2; 4])).unwrap(); // gap within line
         let batches = rwq.flush_all(FlushReason::Release);
         let pkts = packetize(&batches[0], &cfg, GpuId::new(0));
         assert_eq!(pkts.len(), 1);
@@ -134,7 +134,7 @@ mod tests {
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
         // Insert full 128B lines so the budget math is simple.
         for i in 0..2u64 {
-            rwq.insert(store(0x1000 + i * 128, vec![i as u8; 128])).unwrap();
+            rwq.insert(&store(0x1000 + i * 128, vec![i as u8; 128])).unwrap();
         }
         let mut batches = rwq.flush_all(FlushReason::Release);
         // Force a third entry into the same batch artificially to make the
@@ -173,7 +173,7 @@ mod tests {
             .map(|i| store(0x2_0000 + i * 96, vec![(i % 251) as u8; 12]))
             .collect();
         for s in &stores {
-            rwq.insert(s.clone()).unwrap();
+            rwq.insert(s).unwrap();
         }
         let batches = rwq.flush_all(FlushReason::Release);
         let mut unpacked = Vec::new();

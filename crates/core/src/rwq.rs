@@ -253,7 +253,7 @@ impl RwqStats {
 ///     addr: 1 << 34, // inside GPU1's window in a 16GB/GPU map
 ///     data: vec![7; 8],
 /// };
-/// assert!(rwq.insert(store)?.is_none()); // buffered, no flush yet
+/// assert!(rwq.insert(&store)?.is_none()); // buffered, no flush yet
 /// let batches = rwq.flush_all(finepack::FlushReason::Release);
 /// assert_eq!(batches.len(), 1);
 /// assert_eq!(batches[0].valid_bytes(), 8);
@@ -313,13 +313,17 @@ impl RemoteWriteQueue {
     /// buffered as the first store of a fresh window, exactly as §IV-B
     /// specifies.
     ///
+    /// Takes the store by reference: the queue copies the payload bytes
+    /// it buffers into its own entry slots, so callers replaying a
+    /// recorded trace never clone a `RemoteStore` per insert.
+    ///
     /// # Errors
     ///
     /// Returns an error if the store is larger than a queue entry,
     /// crosses a cache-block boundary (the L1 coalescer never emits
     /// either), or is addressed back to the issuing GPU (a routing bug
     /// upstream — local traffic never enters the remote write queue).
-    pub fn insert(&mut self, store: RemoteStore) -> Result<Option<FlushedBatch>, FinePackError> {
+    pub fn insert(&mut self, store: &RemoteStore) -> Result<Option<FlushedBatch>, FinePackError> {
         let entry_bytes = self.config.entry_bytes;
         let len = store.len();
         if len == 0 || len > entry_bytes {
@@ -620,7 +624,7 @@ mod tests {
     #[test]
     fn self_routed_store_is_rejected() {
         let mut q = rwq();
-        let err = q.insert(store(0, 0x1000, vec![1; 4])).unwrap_err();
+        let err = q.insert(&store(0, 0x1000, vec![1; 4])).unwrap_err();
         assert!(matches!(
             err,
             FinePackError::SelfRoute { gpu: 0, addr: 0x1000 }
@@ -632,7 +636,7 @@ mod tests {
     #[test]
     fn first_store_sets_window() {
         let mut q = rwq();
-        assert!(q.insert(store(1, 0x1234_5678, vec![1; 4])).unwrap().is_none());
+        assert!(q.insert(&store(1, 0x1234_5678, vec![1; 4])).unwrap().is_none());
         assert_eq!(q.buffered_entries(), 1);
         assert_eq!(q.stats().entry_misses, 1);
     }
@@ -640,8 +644,8 @@ mod tests {
     #[test]
     fn same_line_stores_merge() {
         let mut q = rwq();
-        q.insert(store(1, 0x1000, vec![1; 8])).unwrap();
-        q.insert(store(1, 0x1008, vec![2; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
+        q.insert(&store(1, 0x1008, vec![2; 8])).unwrap();
         assert_eq!(q.buffered_entries(), 1);
         assert_eq!(q.stats().entry_hits, 1);
         let b = q.flush_all(FlushReason::Release);
@@ -653,8 +657,8 @@ mod tests {
     #[test]
     fn same_address_overwrite_is_elided() {
         let mut q = rwq();
-        q.insert(store(1, 0x1000, vec![1; 8])).unwrap();
-        q.insert(store(1, 0x1000, vec![2; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![2; 8])).unwrap();
         let b = q.flush_all(FlushReason::Release);
         // Only 8 valid bytes on the wire, holding the *final* value.
         assert_eq!(b[0].valid_bytes(), 8);
@@ -667,8 +671,8 @@ mod tests {
     fn window_miss_flushes_and_rebuffers() {
         let mut q = rwq();
         // Paper config: 1GB window.
-        q.insert(store(1, 0x1000, vec![1; 4])).unwrap();
-        let flushed = q.insert(store(1, (2u64 << 30) + 0x1000, vec![2; 4])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 4])).unwrap();
+        let flushed = q.insert(&store(1, (2u64 << 30) + 0x1000, vec![2; 4])).unwrap();
         let batch = flushed.expect("window miss must flush");
         assert_eq!(batch.reason, FlushReason::WindowMiss);
         assert_eq!(batch.valid_bytes(), 4);
@@ -682,9 +686,9 @@ mod tests {
         let mut cfg = FinePackConfig::paper(4);
         cfg.entries_per_partition = 2;
         let mut q = RemoteWriteQueue::new(GpuId::new(0), cfg);
-        q.insert(store(1, 0, vec![1; 4])).unwrap();
-        q.insert(store(1, 128, vec![1; 4])).unwrap();
-        let f = q.insert(store(1, 256, vec![1; 4])).unwrap();
+        q.insert(&store(1, 0, vec![1; 4])).unwrap();
+        q.insert(&store(1, 128, vec![1; 4])).unwrap();
+        let f = q.insert(&store(1, 256, vec![1; 4])).unwrap();
         assert_eq!(f.unwrap().reason, FlushReason::EntriesFull);
         assert_eq!(q.buffered_entries(), 1);
     }
@@ -695,17 +699,17 @@ mod tests {
         cfg.max_payload = 128; // fits one 123B store + 5B subheader
         cfg.entry_bytes = 128;
         let mut q = RemoteWriteQueue::new(GpuId::new(0), cfg);
-        q.insert(store(1, 0, vec![1; 123])).unwrap();
-        let f = q.insert(store(1, 256, vec![1; 8])).unwrap();
+        q.insert(&store(1, 0, vec![1; 123])).unwrap();
+        let f = q.insert(&store(1, 256, vec![1; 8])).unwrap();
         assert_eq!(f.unwrap().reason, FlushReason::PayloadFull);
     }
 
     #[test]
     fn partitions_are_independent() {
         let mut q = rwq();
-        q.insert(store(1, 0x1000, vec![1; 4])).unwrap();
-        q.insert(store(2, 0x2000, vec![2; 4])).unwrap();
-        q.insert(store(3, 0x3000, vec![3; 4])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 4])).unwrap();
+        q.insert(&store(2, 0x2000, vec![2; 4])).unwrap();
+        q.insert(&store(3, 0x3000, vec![3; 4])).unwrap();
         assert_eq!(q.buffered_entries(), 3);
         let b = q.flush_all(FlushReason::Release);
         assert_eq!(b.len(), 3);
@@ -716,8 +720,8 @@ mod tests {
     #[test]
     fn flush_dst_only_touches_one_partition() {
         let mut q = rwq();
-        q.insert(store(1, 0x1000, vec![1; 4])).unwrap();
-        q.insert(store(2, 0x2000, vec![2; 4])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 4])).unwrap();
+        q.insert(&store(2, 0x2000, vec![2; 4])).unwrap();
         let b = q.flush_dst(GpuId::new(1), FlushReason::LoadHit).unwrap();
         assert_eq!(b.dst, GpuId::new(1));
         assert_eq!(q.buffered_entries(), 1);
@@ -727,7 +731,7 @@ mod tests {
     #[test]
     fn load_probe_flushes_only_on_overlap() {
         let mut q = rwq();
-        q.insert(store(1, 0x1000, vec![1; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
         assert!(q.load_probe(GpuId::new(1), 0x2000, 8).is_none());
         assert!(q.load_probe(GpuId::new(1), 0x1004, 2).is_some());
         assert_eq!(q.buffered_entries(), 0);
@@ -736,7 +740,7 @@ mod tests {
     #[test]
     fn load_probe_ignores_unmasked_bytes_of_same_line() {
         let mut q = rwq();
-        q.insert(store(1, 0x1000, vec![1; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
         // Same 128B line, but bytes 0x40.. are not buffered.
         assert!(q.load_probe(GpuId::new(1), 0x1040, 8).is_none());
     }
@@ -744,7 +748,7 @@ mod tests {
     #[test]
     fn atomic_probe_flushes_with_atomic_reason() {
         let mut q = rwq();
-        q.insert(store(1, 0x1000, vec![1; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
         let b = q.atomic_probe(GpuId::new(1), 0x1004, 4).unwrap();
         assert_eq!(b.reason, FlushReason::AtomicHit);
         assert_eq!(q.stats().flushes_for(FlushReason::AtomicHit), 1);
@@ -755,8 +759,8 @@ mod tests {
     fn non_empty_dsts_tracks_partitions() {
         let mut q = rwq();
         assert!(q.non_empty_dsts().is_empty());
-        q.insert(store(1, 0x1000, vec![1; 8])).unwrap();
-        q.insert(store(3, 0x1000, vec![1; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
+        q.insert(&store(3, 0x1000, vec![1; 8])).unwrap();
         let dsts = q.non_empty_dsts();
         assert_eq!(dsts, vec![GpuId::new(1), GpuId::new(3)]);
         q.flush_dst(GpuId::new(1), FlushReason::Timeout);
@@ -766,23 +770,23 @@ mod tests {
     #[test]
     fn oversized_store_rejected() {
         let mut q = rwq();
-        let err = q.insert(store(1, 0, vec![0; 129])).unwrap_err();
+        let err = q.insert(&store(1, 0, vec![0; 129])).unwrap_err();
         assert!(matches!(err, FinePackError::StoreTooLarge { .. }));
     }
 
     #[test]
     fn block_crossing_store_rejected() {
         let mut q = rwq();
-        let err = q.insert(store(1, 120, vec![0; 16])).unwrap_err();
+        let err = q.insert(&store(1, 120, vec![0; 16])).unwrap_err();
         assert!(matches!(err, FinePackError::StoreCrossesBlock { .. }));
     }
 
     #[test]
     fn batch_entries_ascend_by_address() {
         let mut q = rwq();
-        q.insert(store(1, 0x3000, vec![1; 4])).unwrap();
-        q.insert(store(1, 0x1000, vec![1; 4])).unwrap();
-        q.insert(store(1, 0x2000, vec![1; 4])).unwrap();
+        q.insert(&store(1, 0x3000, vec![1; 4])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 4])).unwrap();
+        q.insert(&store(1, 0x2000, vec![1; 4])).unwrap();
         let b = q.flush_all(FlushReason::Release);
         let addrs: Vec<u64> = b[0].entries.iter().map(|e| e.line_addr).collect();
         assert_eq!(addrs, vec![0x1000, 0x2000, 0x3000]);
@@ -804,7 +808,7 @@ mod tests {
             for i in 0..64u64 {
                 let side = i % 2; // alternate across the boundary
                 let addr = boundary - (4 << 20) + side * (8 << 20) + (i / 2) * 256;
-                if q.insert(store(1, addr, vec![1; 8])).unwrap().is_some() {
+                if q.insert(&store(1, addr, vec![1; 8])).unwrap().is_some() {
                     flushes += 1;
                 }
             }
@@ -826,10 +830,10 @@ mod tests {
         let w = 4u64 << 20;
         // Open windows A, B, then touch A again; a third region must
         // evict B (least recently used).
-        q.insert(store(1, 0, vec![1; 8])).unwrap(); // A (window base 0)
-        q.insert(store(1, 10 * w, vec![2; 8])).unwrap(); // B
-        q.insert(store(1, 256, vec![3; 8])).unwrap(); // A again
-        let flushed = q.insert(store(1, 20 * w, vec![4; 8])).unwrap().unwrap();
+        q.insert(&store(1, 0, vec![1; 8])).unwrap(); // A (window base 0)
+        q.insert(&store(1, 10 * w, vec![2; 8])).unwrap(); // B
+        q.insert(&store(1, 256, vec![3; 8])).unwrap(); // A again
+        let flushed = q.insert(&store(1, 20 * w, vec![4; 8])).unwrap().unwrap();
         assert_eq!(flushed.window_base, 10 * w, "B evicted, not A");
         assert_eq!(flushed.reason, FlushReason::WindowMiss);
     }
@@ -845,7 +849,7 @@ mod tests {
             // 150 distinct lines to one destination: beyond the 64-entry
             // static share, within the 192-entry pool.
             for i in 0..150u64 {
-                if q.insert(store(1, i * 128, vec![1; 8])).unwrap().is_some() {
+                if q.insert(&store(1, i * 128, vec![1; 8])).unwrap().is_some() {
                     flushes += 1;
                 }
             }
@@ -862,13 +866,13 @@ mod tests {
         let mut q = RemoteWriteQueue::new(GpuId::new(0), cfg);
         // Fill the pool: 191 lines to dst 1, then 1 to dst 2 (the newest).
         for i in 0..191u64 {
-            assert!(q.insert(store(1, i * 128, vec![1; 8])).unwrap().is_none());
+            assert!(q.insert(&store(1, i * 128, vec![1; 8])).unwrap().is_none());
         }
-        assert!(q.insert(store(2, 0x5000, vec![2; 8])).unwrap().is_none());
+        assert!(q.insert(&store(2, 0x5000, vec![2; 8])).unwrap().is_none());
         assert_eq!(q.buffered_entries(), 192);
         // Pool full; touching dst 3 must evict dst 1's window (global
         // LRU), not dst 2's.
-        let flushed = q.insert(store(3, 0x9000, vec![3; 8])).unwrap().unwrap();
+        let flushed = q.insert(&store(3, 0x9000, vec![3; 8])).unwrap().unwrap();
         assert_eq!(flushed.dst, GpuId::new(1));
         assert_eq!(flushed.reason, FlushReason::EntriesFull);
     }
@@ -878,8 +882,8 @@ mod tests {
         let cfg = FinePackConfig::paper(4)
             .with_allocation(crate::AllocationPolicy::DynamicShared);
         let mut q = RemoteWriteQueue::new(GpuId::new(0), cfg);
-        q.insert(store(1, 0x1000, vec![1; 8])).unwrap();
-        q.insert(store(1, 0x1000, vec![9; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
+        q.insert(&store(1, 0x1000, vec![9; 8])).unwrap();
         let b = q.flush_all(FlushReason::Release);
         assert_eq!(b[0].valid_bytes(), 8);
         assert_eq!(&b[0].entries[0].data[0..8], &[9u8; 8]);
@@ -902,8 +906,8 @@ mod tests {
     #[test]
     fn noncontiguous_runs_reported() {
         let mut q = rwq();
-        q.insert(store(1, 0x1000, vec![1; 4])).unwrap();
-        q.insert(store(1, 0x1010, vec![2; 4])).unwrap();
+        q.insert(&store(1, 0x1000, vec![1; 4])).unwrap();
+        q.insert(&store(1, 0x1010, vec![2; 4])).unwrap();
         let b = q.flush_all(FlushReason::Release);
         assert_eq!(b[0].entries[0].runs(), vec![(0, 4), (16, 4)]);
     }

@@ -65,7 +65,7 @@ fn rwq_flush_is_last_writer_wins() {
             for (i, byte) in s.data.iter().enumerate() {
                 expected.insert((d, s.addr + i as u64), *byte);
             }
-            let flushed = rwq.insert(s).expect("valid store");
+            let flushed = rwq.insert(&s).expect("valid store");
             absorb(flushed.into_iter().collect(), &mut emitted);
         }
         absorb(rwq.flush_all(FlushReason::Release), &mut emitted);
@@ -85,7 +85,7 @@ fn rwq_counters_are_consistent() {
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4));
         let n = raw.len() as u64;
         for (d, l, o, len, v) in raw {
-            rwq.insert(build(d, l, o, len, v)).expect("valid");
+            rwq.insert(&build(d, l, o, len, v)).expect("valid");
         }
         let stats = rwq.stats();
         assert_eq!(stats.stores_received, n);
@@ -109,7 +109,7 @@ fn packetizer_respects_format() {
         let mut batches = Vec::new();
         for _ in 0..rng.next_in_range(1, 200) {
             let (d, l, o, n, v) = store_params(&mut rng);
-            if let Some(b) = rwq.insert(build(d, l, o, n, v)).expect("valid") {
+            if let Some(b) = rwq.insert(&build(d, l, o, n, v)).expect("valid") {
                 batches.push(b);
             }
         }

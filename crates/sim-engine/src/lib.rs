@@ -13,6 +13,10 @@
 //!   figures are built from.
 //! - [`DetRng`]: labeled deterministic random streams so every experiment
 //!   is exactly reproducible.
+//! - [`WorkerPool`] / [`par_map_deterministic`]: deterministic parallel
+//!   sweep execution — ordered results, index-derived task seeds.
+//! - [`WallClock`] / [`ThroughputReport`]: harness self-measurement
+//!   (events per wall second, simulated time per wall second).
 //! - [`Table`] / [`geomean`]: plain-text result reporting for the
 //!   benchmark harness.
 //!
@@ -35,6 +39,8 @@
 mod bandwidth;
 mod chart;
 mod event;
+mod par;
+mod perf;
 mod report;
 mod rng;
 mod stats;
@@ -43,6 +49,8 @@ mod time;
 pub use bandwidth::Bandwidth;
 pub use chart::BarChart;
 pub use event::{Event, EventQueue};
+pub use par::{derive_task_seed, par_map_deterministic, TaskCtx, WorkerPool};
+pub use perf::{ThroughputReport, WallClock};
 pub use report::{geomean, Table};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, Running};

@@ -1,0 +1,121 @@
+//! Harness self-measurement: wall-clock timing and simulator-throughput
+//! reporting.
+//!
+//! The ROADMAP's north star ("as fast as the hardware allows") needs
+//! data, not vibes: every sweep can wrap itself in a [`WallClock`] and
+//! publish a [`ThroughputReport`] — events per wall second and simulated
+//! picoseconds per wall second — so perf regressions in the harness
+//! itself show up in `BENCH_harness.json` trajectories.
+
+use std::time::{Duration, Instant};
+
+use crate::time::SimTime;
+
+/// A started wall-clock stopwatch.
+///
+/// # Examples
+///
+/// ```
+/// use sim_engine::WallClock;
+///
+/// let clock = WallClock::start();
+/// let elapsed = clock.elapsed();
+/// assert!(elapsed >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    started: Instant,
+}
+
+impl WallClock {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        WallClock {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall time since [`WallClock::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Simulator throughput over one measured region: how much simulation
+/// happened per second of wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputReport {
+    /// Wall time the region took.
+    pub wall: Duration,
+    /// Discrete events the simulator processed in the region.
+    pub events: u64,
+    /// Simulated time covered by the region.
+    pub sim_time: SimTime,
+}
+
+impl ThroughputReport {
+    /// Builds a report from a finished [`WallClock`] region.
+    pub fn new(wall: Duration, events: u64, sim_time: SimTime) -> Self {
+        ThroughputReport {
+            wall,
+            events,
+            sim_time,
+        }
+    }
+
+    /// Denominator floor: clocks can't resolve below a nanosecond, and
+    /// flooring there keeps every ratio finite even for `Duration::ZERO`.
+    fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Events processed per wall second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs()
+    }
+
+    /// Simulated picoseconds advanced per wall second.
+    pub fn sim_ps_per_wall_sec(&self) -> f64 {
+        self.sim_time.as_ps() as f64 / self.wall_secs()
+    }
+
+    /// Wall-clock speedup of `self` over `baseline` (how many times
+    /// faster this region ran).
+    pub fn speedup_over(&self, baseline: &ThroughputReport) -> f64 {
+        baseline.wall.as_secs_f64() / self.wall_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_arithmetic() {
+        let r = ThroughputReport::new(Duration::from_secs(2), 1000, SimTime::from_ns(4));
+        assert!((r.events_per_sec() - 500.0).abs() < 1e-9);
+        assert!((r.sim_ps_per_wall_sec() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_relative_wall_time() {
+        let slow = ThroughputReport::new(Duration::from_secs(4), 10, SimTime::ZERO);
+        let fast = ThroughputReport::new(Duration::from_secs(1), 10, SimTime::ZERO);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_does_not_divide_by_zero() {
+        let r = ThroughputReport::new(Duration::ZERO, 10, SimTime::from_ns(1));
+        assert!(r.events_per_sec().is_finite());
+        assert!(r.sim_ps_per_wall_sec().is_finite());
+    }
+
+    #[test]
+    fn wall_clock_monotone() {
+        let c = WallClock::start();
+        let a = c.elapsed();
+        let b = c.elapsed();
+        assert!(b >= a);
+    }
+}

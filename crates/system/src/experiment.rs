@@ -1,10 +1,19 @@
 //! High-level experiment drivers: everything the paper's figures need,
 //! expressed as reusable functions over (workload, system, paradigm).
+//!
+//! Every sweep point — one (workload, paradigm, parameter) simulation —
+//! is an independent deterministic computation, so the drivers here fan
+//! out over a [`WorkerPool`] and return results in input order: output
+//! is byte-identical for any worker count. Kernel traces are replayed
+//! once per app into a [`PreparedWorkload`] and shared (by `Arc` in
+//! [`PreparedApp`]) across paradigms and sweep points.
+
+use std::sync::Arc;
 
 use finepack::{FinePackConfig, SubheaderFormat};
 use gpu_model::{AddressMap, Gpu, GpuId, KernelRun, KernelStats};
 use protocol::PcieGen;
-use sim_engine::{geomean, SimTime};
+use sim_engine::{geomean, SimTime, WorkerPool};
 use workloads::{CommPattern, RunSpec, Workload};
 
 use crate::config::SystemConfig;
@@ -26,6 +35,9 @@ pub struct PreparedWorkload {
     /// `[iteration][gpu]`.
     runs: Vec<Vec<KernelRun>>,
     dma_plan: DmaPlan,
+    /// Stats merged across GPUs and iterations, computed once at
+    /// preparation time (sweeps used to re-merge on every call).
+    merged: KernelStats,
 }
 
 impl PreparedWorkload {
@@ -41,19 +53,21 @@ impl PreparedWorkload {
         let gpus: Vec<Gpu> = (0..cfg.num_gpus)
             .map(|g| Gpu::new(cfg.gpu, GpuId::new(g), map))
             .collect();
-        let runs = (0..spec.iterations)
+        let runs: Vec<Vec<KernelRun>> = (0..spec.iterations)
             .map(|iter| {
                 gpus.iter()
                     .map(|gpu| gpu.execute_kernel(&app.trace(spec, iter, gpu.id())))
                     .collect()
             })
             .collect();
+        let merged = merge_stats(&runs);
         PreparedWorkload {
             name: app.name().to_string(),
             read_fraction: app.read_fraction(),
             gps_unsubscribed: app.gps_unsubscribed_fraction(),
             runs,
             dma_plan: dma_plan(app, spec),
+            merged,
         }
     }
 
@@ -67,25 +81,10 @@ impl PreparedWorkload {
         &self.runs
     }
 
-    /// Merged replay statistics across GPUs and iterations (Fig 4 data).
-    pub fn merged_stats(&self) -> KernelStats {
-        let mut merged: Option<KernelStats> = None;
-        for iter in &self.runs {
-            for run in iter {
-                match &mut merged {
-                    None => merged = Some(run.stats.clone()),
-                    Some(m) => {
-                        m.remote_size_hist.merge(&run.stats.remote_size_hist);
-                        m.remote_bytes += run.stats.remote_bytes;
-                        m.remote_stores += run.stats.remote_stores;
-                        m.local_bytes += run.stats.local_bytes;
-                        m.local_stores += run.stats.local_stores;
-                        m.compute_cycles += run.stats.compute_cycles;
-                    }
-                }
-            }
-        }
-        merged.expect("at least one kernel run")
+    /// Merged replay statistics across GPUs and iterations (Fig 4 data),
+    /// cached at preparation time.
+    pub fn merged_stats(&self) -> &KernelStats {
+        &self.merged
     }
 
     /// Simulates this workload under `paradigm` on `cfg`.
@@ -114,6 +113,27 @@ impl PreparedWorkload {
     }
 }
 
+/// Merges replay statistics across `[iteration][gpu]` kernel runs.
+fn merge_stats(runs: &[Vec<KernelRun>]) -> KernelStats {
+    let mut merged: Option<KernelStats> = None;
+    for iter in runs {
+        for run in iter {
+            match &mut merged {
+                None => merged = Some(run.stats.clone()),
+                Some(m) => {
+                    m.remote_size_hist.merge(&run.stats.remote_size_hist);
+                    m.remote_bytes += run.stats.remote_bytes;
+                    m.remote_stores += run.stats.remote_stores;
+                    m.local_bytes += run.stats.local_bytes;
+                    m.local_stores += run.stats.local_stores;
+                    m.compute_cycles += run.stats.compute_cycles;
+                }
+            }
+        }
+    }
+    merged.expect("at least one kernel run")
+}
+
 /// One point of a bit-error-rate sweep: how fault injection at `ber`
 /// changed the run relative to the fault-free baseline.
 #[derive(Debug, Clone)]
@@ -131,12 +151,17 @@ pub struct FaultSweepPoint {
 /// the fault-free run at index 0 as the slowdown baseline. Replay
 /// parameters beyond BER (outages, degradation) come from `base_cfg`'s
 /// profile when set, else [`crate::FaultProfile::new`] defaults.
+///
+/// The traces replay once; the per-BER runs fan out over `pool` (each
+/// run's fault RNG is seeded from its own config, so results are
+/// identical for any worker count).
 pub fn fault_sweep(
     app: &dyn Workload,
     base_cfg: &SystemConfig,
     spec: &RunSpec,
     paradigm: Paradigm,
     bers: &[f64],
+    pool: &WorkerPool,
 ) -> Vec<FaultSweepPoint> {
     let prepared = PreparedWorkload::new(app, base_cfg, spec);
     let mut clean_cfg = *base_cfg;
@@ -145,23 +170,21 @@ pub fn fault_sweep(
         .run(&clean_cfg, paradigm)
         .total_time
         .as_secs_f64();
-    bers.iter()
-        .map(|&ber| {
-            let mut profile = base_cfg.fault.unwrap_or_else(|| crate::FaultProfile::new(ber));
-            profile.ber = ber;
-            let cfg = base_cfg.with_faults(profile);
-            let outcome = prepared.try_run(&cfg, paradigm);
-            let slowdown = outcome
-                .as_ref()
-                .ok()
-                .map(|r| r.total_time.as_secs_f64() / baseline.max(f64::MIN_POSITIVE));
-            FaultSweepPoint {
-                ber,
-                outcome,
-                slowdown,
-            }
-        })
-        .collect()
+    pool.map(bers.to_vec(), |ber| {
+        let mut profile = base_cfg.fault.unwrap_or_else(|| crate::FaultProfile::new(ber));
+        profile.ber = ber;
+        let cfg = base_cfg.with_faults(profile);
+        let outcome = prepared.try_run(&cfg, paradigm);
+        let slowdown = outcome
+            .as_ref()
+            .ok()
+            .map(|r| r.total_time.as_secs_f64() / baseline.max(f64::MIN_POSITIVE));
+        FaultSweepPoint {
+            ber,
+            outcome,
+            slowdown,
+        }
+    })
 }
 
 /// The memcpy paradigm's transfer legs for one iteration: each GPU ships
@@ -254,6 +277,113 @@ pub fn speedup_row(
     }
 }
 
+/// A workload prepared for sweeping: its traces (shared, replayed once)
+/// plus its single-GPU baseline time. Both are independent of the
+/// sweep parameters — sub-header format, PCIe generation, paradigm —
+/// so one `PreparedApp` serves every point of a sweep.
+#[derive(Debug, Clone)]
+pub struct PreparedApp {
+    /// The replayed traces, shared across sweep points.
+    pub prepared: Arc<PreparedWorkload>,
+    /// Simulated single-GPU baseline time (speedup denominator).
+    pub single_gpu: SimTime,
+}
+
+/// Prepares every app exactly once (trace replay + single-GPU baseline),
+/// fanning the preparation itself out over `pool`.
+pub fn prepare_apps(
+    apps: &[Box<dyn Workload>],
+    cfg: &SystemConfig,
+    spec: &RunSpec,
+    pool: &WorkerPool,
+) -> Vec<PreparedApp> {
+    pool.map((0..apps.len()).collect(), |i| {
+        let app = apps[i].as_ref();
+        PreparedApp {
+            prepared: Arc::new(PreparedWorkload::new(app, cfg, spec)),
+            single_gpu: single_gpu_time(app, cfg, spec),
+        }
+    })
+}
+
+/// [`speedup_row`] over an already-prepared app: no trace replay, no
+/// baseline re-simulation.
+pub fn speedup_row_prepared(
+    app: &PreparedApp,
+    cfg: &SystemConfig,
+    paradigms: &[Paradigm],
+) -> SpeedupRow {
+    let t1 = app.single_gpu;
+    let speedups = paradigms
+        .iter()
+        .map(|p| {
+            let tn = app.prepared.run(cfg, *p).total_time;
+            (*p, t1.as_secs_f64() / tn.as_secs_f64())
+        })
+        .collect();
+    SpeedupRow {
+        app: app.prepared.name().to_string(),
+        speedups,
+    }
+}
+
+/// The Fig 9 suite's result: per-app speedup rows plus harness
+/// self-measurement inputs (total events processed, total simulated
+/// time) for throughput reporting.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// One speedup row per app, in input order.
+    pub rows: Vec<SpeedupRow>,
+    /// Discrete events processed across every run of the suite.
+    pub sim_events: u64,
+    /// Simulated time covered across every run of the suite.
+    pub sim_time: SimTime,
+}
+
+/// Runs the Fig 9 suite — every app under every paradigm — fanning one
+/// task per app (preparation + baseline + all paradigm runs) over
+/// `pool`. Rows come back in app order regardless of worker count.
+pub fn run_suite(
+    apps: &[Box<dyn Workload>],
+    cfg: &SystemConfig,
+    spec: &RunSpec,
+    paradigms: &[Paradigm],
+    pool: &WorkerPool,
+) -> SuiteResult {
+    let results = pool.map((0..apps.len()).collect(), |i| {
+        let app = apps[i].as_ref();
+        let t1 = single_gpu_time(app, cfg, spec);
+        let prepared = PreparedWorkload::new(app, cfg, spec);
+        let mut events = 0u64;
+        let mut sim_time = SimTime::ZERO;
+        let speedups = paradigms
+            .iter()
+            .map(|p| {
+                let report = prepared.run(cfg, *p);
+                events += report.sim_events;
+                sim_time += report.total_time;
+                (*p, t1.as_secs_f64() / report.total_time.as_secs_f64())
+            })
+            .collect();
+        let row = SpeedupRow {
+            app: app.name().to_string(),
+            speedups,
+        };
+        (row, events, sim_time)
+    });
+    let mut suite = SuiteResult {
+        rows: Vec::with_capacity(results.len()),
+        sim_events: 0,
+        sim_time: SimTime::ZERO,
+    };
+    for (row, events, sim_time) in results {
+        suite.rows.push(row);
+        suite.sim_events += events;
+        suite.sim_time += sim_time;
+    }
+    suite
+}
+
 /// Geometric-mean speedup across rows for `paradigm`.
 pub fn geomean_speedup(rows: &[SpeedupRow], paradigm: Paradigm) -> Option<f64> {
     let vals: Vec<f64> = rows.iter().filter_map(|r| r.speedup(paradigm)).collect();
@@ -261,23 +391,38 @@ pub fn geomean_speedup(rows: &[SpeedupRow], paradigm: Paradigm) -> Option<f64> {
 }
 
 /// Fig 12: geomean FinePack speedup for each sub-header size (2–6 bytes).
+///
+/// Trace replay is sub-header-independent, so each app is prepared once
+/// and every (sub-header, app) run fans out over `pool`.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty.
 pub fn subheader_sweep(
     apps: &[Box<dyn Workload>],
     base_cfg: &SystemConfig,
     spec: &RunSpec,
+    pool: &WorkerPool,
 ) -> Vec<(u32, f64)> {
-    (2..=6u32)
-        .map(|bytes| {
-            let sub = SubheaderFormat::new(bytes).expect("2..=6 valid");
-            let fp = FinePackConfig::paper(u32::from(base_cfg.num_gpus)).with_subheader(sub);
-            let cfg = base_cfg.with_finepack(fp);
-            let rows: Vec<SpeedupRow> = apps
-                .iter()
-                .map(|a| speedup_row(a.as_ref(), &cfg, spec, &[Paradigm::FinePack]))
-                .collect();
+    assert!(!apps.is_empty(), "subheader sweep needs at least one app");
+    let prepared = prepare_apps(apps, base_cfg, spec, pool);
+    let sizes: Vec<u32> = (2..=6).collect();
+    let tasks: Vec<(u32, usize)> = sizes
+        .iter()
+        .flat_map(|b| (0..prepared.len()).map(move |i| (*b, i)))
+        .collect();
+    let rows = pool.map(tasks, |(bytes, i)| {
+        let sub = SubheaderFormat::new(bytes).expect("2..=6 valid");
+        let fp = FinePackConfig::paper(u32::from(base_cfg.num_gpus)).with_subheader(sub);
+        let cfg = base_cfg.with_finepack(fp);
+        speedup_row_prepared(&prepared[i], &cfg, &[Paradigm::FinePack])
+    });
+    rows.chunks(prepared.len())
+        .zip(sizes)
+        .map(|(rows, bytes)| {
             (
                 bytes,
-                geomean_speedup(&rows, Paradigm::FinePack).expect("non-empty"),
+                geomean_speedup(rows, Paradigm::FinePack).expect("non-empty"),
             )
         })
         .collect()
@@ -285,23 +430,37 @@ pub fn subheader_sweep(
 
 /// Fig 13: geomean speedups per interconnect generation for the given
 /// paradigms.
+///
+/// Trace replay and the single-GPU baseline are PCIe-generation-
+/// independent, so each app is prepared once and every (generation,
+/// app) run fans out over `pool`.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty.
 pub fn bandwidth_sweep(
     apps: &[Box<dyn Workload>],
     base_cfg: &SystemConfig,
     spec: &RunSpec,
     paradigms: &[Paradigm],
+    pool: &WorkerPool,
 ) -> Vec<(PcieGen, Vec<(Paradigm, f64)>)> {
-    PcieGen::ALL
+    assert!(!apps.is_empty(), "bandwidth sweep needs at least one app");
+    let prepared = prepare_apps(apps, base_cfg, spec, pool);
+    let tasks: Vec<(PcieGen, usize)> = PcieGen::ALL
         .into_iter()
-        .map(|gen| {
-            let cfg = base_cfg.with_pcie_gen(gen);
-            let rows: Vec<SpeedupRow> = apps
-                .iter()
-                .map(|a| speedup_row(a.as_ref(), &cfg, spec, paradigms))
-                .collect();
+        .flat_map(|gen| (0..prepared.len()).map(move |i| (gen, i)))
+        .collect();
+    let rows = pool.map(tasks, |(gen, i)| {
+        let cfg = base_cfg.with_pcie_gen(gen);
+        speedup_row_prepared(&prepared[i], &cfg, paradigms)
+    });
+    rows.chunks(prepared.len())
+        .zip(PcieGen::ALL)
+        .map(|(rows, gen)| {
             let means = paradigms
                 .iter()
-                .map(|p| (*p, geomean_speedup(&rows, *p).expect("non-empty")))
+                .map(|p| (*p, geomean_speedup(rows, *p).expect("non-empty")))
                 .collect();
             (gen, means)
         })
@@ -368,5 +527,70 @@ mod tests {
         let stats = prep.merged_stats();
         assert!(stats.remote_stores > 0);
         assert_eq!(stats.mean_remote_size(), Some(128.0));
+    }
+
+    fn two_apps() -> Vec<Box<dyn Workload>> {
+        vec![Box::new(Jacobi::default()), Box::new(Pagerank::default())]
+    }
+
+    #[test]
+    fn run_suite_is_pool_invariant() {
+        let (cfg, spec) = tiny_cfg();
+        let paradigms = [Paradigm::FinePack, Paradigm::P2pStores];
+        let serial = run_suite(&two_apps(), &cfg, &spec, &paradigms, &WorkerPool::serial());
+        let par = run_suite(&two_apps(), &cfg, &spec, &paradigms, &WorkerPool::new(4));
+        assert_eq!(serial.sim_events, par.sim_events);
+        assert_eq!(serial.sim_time, par.sim_time);
+        for (a, b) in serial.rows.iter().zip(&par.rows) {
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.speedups, b.speedups);
+        }
+        assert!(serial.sim_events > 0);
+    }
+
+    #[test]
+    fn subheader_sweep_is_pool_invariant() {
+        let (cfg, spec) = tiny_cfg();
+        let serial = subheader_sweep(&two_apps(), &cfg, &spec, &WorkerPool::serial());
+        let par = subheader_sweep(&two_apps(), &cfg, &spec, &WorkerPool::new(4));
+        assert_eq!(serial, par);
+        assert_eq!(serial.len(), 5);
+    }
+
+    #[test]
+    fn fault_sweep_is_pool_invariant() {
+        let (mut cfg, spec) = tiny_cfg();
+        cfg = cfg.with_faults(crate::FaultProfile::new(1e-9));
+        let bers = [0.0, 1e-10, 1e-9];
+        let sweep = |pool: &WorkerPool| {
+            fault_sweep(
+                &Jacobi::default(),
+                &cfg,
+                &spec,
+                Paradigm::FinePack,
+                &bers,
+                pool,
+            )
+        };
+        let serial = sweep(&WorkerPool::serial());
+        let par = sweep(&WorkerPool::new(4));
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.ber, b.ber);
+            assert_eq!(a.slowdown, b.slowdown);
+            assert_eq!(a.outcome.is_ok(), b.outcome.is_ok());
+        }
+    }
+
+    #[test]
+    fn prepared_apps_share_traces_across_sweep_points() {
+        let (cfg, spec) = tiny_cfg();
+        let apps = two_apps();
+        let prepared = prepare_apps(&apps, &cfg, &spec, &WorkerPool::serial());
+        let direct = speedup_row(apps[0].as_ref(), &cfg, &spec, &[Paradigm::FinePack]);
+        let shared = speedup_row_prepared(&prepared[0], &cfg, &[Paradigm::FinePack]);
+        assert_eq!(direct.app, shared.app);
+        assert_eq!(direct.speedups, shared.speedups);
+        // The Arc really is shared, not recloned per use.
+        assert_eq!(Arc::strong_count(&prepared[0].prepared), 1);
     }
 }

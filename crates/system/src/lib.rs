@@ -40,8 +40,9 @@ mod topology;
 
 pub use config::{CreditConfig, FlowControlMode, SystemConfig};
 pub use experiment::{
-    bandwidth_sweep, dma_plan, fault_sweep, geomean_speedup, single_gpu_time, speedup_row,
-    subheader_sweep, FaultSweepPoint, PreparedWorkload, SpeedupRow,
+    bandwidth_sweep, dma_plan, fault_sweep, geomean_speedup, prepare_apps, run_suite,
+    single_gpu_time, speedup_row, speedup_row_prepared, subheader_sweep, FaultSweepPoint,
+    PreparedApp, PreparedWorkload, SpeedupRow, SuiteResult,
 };
 pub use fault::{FabricFault, FaultProfile, Outage, RunError};
 pub use link::{Fabric, FcStats, Link, LinkDelivery};

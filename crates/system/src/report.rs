@@ -114,6 +114,9 @@ pub struct RunReport {
     pub link_retrains: u64,
     /// Replayed-byte attribution by flush reason and packet size.
     pub replay_amplification: ReplayAmplification,
+    /// Discrete events the runner processed (event-queue pops plus DMA
+    /// legs) — the numerator of harness-throughput reporting.
+    pub sim_events: u64,
 }
 
 impl RunReport {

@@ -78,6 +78,7 @@ pub struct Runner {
     barrier_time: SimTime,
     iterations: u32,
     replay_amp: ReplayAmplification,
+    sim_events: u64,
 }
 
 impl Runner {
@@ -141,6 +142,7 @@ impl Runner {
             barrier_time: SimTime::ZERO,
             iterations: 0,
             replay_amp: ReplayAmplification::new(),
+            sim_events: 0,
         }
     }
 
@@ -308,6 +310,7 @@ impl Runner {
             }
             Paradigm::BulkDma => {
                 for (src, dst, bytes) in dma_plan {
+                    self.sim_events += 1;
                     let start = runs[src.index()].kernel_time + self.cfg.dma_sw_overhead;
                     let wire = self.cfg.framing.bulk_wire_bytes(*bytes);
                     let landed = self
@@ -338,7 +341,14 @@ impl Runner {
                 // fabric call sequence — is identical to open loop.
                 let mut stall = vec![SimTime::ZERO; runs.len()];
                 let mut retry_at: Vec<Option<SimTime>> = vec![None; runs.len()];
-                let mut queue: EventQueue<Ev> = EventQueue::new();
+                // Pre-size for the whole trace (plus a Retry slot per
+                // GPU) so schedule/pop never reallocate in the hot loop.
+                let trace_events: usize = runs
+                    .iter()
+                    .map(|r| r.egress.len() + r.atomics.len() + r.probes.len() + r.fences.len() + 1)
+                    .sum();
+                let mut queue: EventQueue<Ev> =
+                    EventQueue::with_capacity(trace_events + runs.len());
                 for (g, run) in runs.iter().enumerate() {
                     for (idx, t) in run.egress.iter().enumerate() {
                         queue.schedule(t.time, Ev::Store { gpu: g, idx });
@@ -355,6 +365,7 @@ impl Runner {
                     queue.schedule(run.kernel_time, Ev::KernelEnd { gpu: g });
                 }
                 while let Some(ev) = queue.pop() {
+                    self.sim_events += 1;
                     let now = ev.time;
                     if let Ev::Retry { gpu } = ev.payload {
                         retry_at[gpu] = None;
@@ -409,12 +420,14 @@ impl Runner {
                     }
                     let mut packets = match ev.payload {
                         Ev::Store { gpu, idx } => {
-                            let store = runs[gpu].egress[idx].store.clone();
+                            // Borrow straight from the run's egress
+                            // stream: zero payload allocation per event.
+                            let store = &runs[gpu].egress[idx].store;
                             let path = self.paths[gpu].as_mut().expect("store paradigm");
                             path.push(store, eff).expect("valid L1-coalesced store")
                         }
                         Ev::Atomic { gpu, idx } => {
-                            let store = runs[gpu].atomics[idx].store.clone();
+                            let store = &runs[gpu].atomics[idx].store;
                             let path = self.paths[gpu].as_mut().expect("store paradigm");
                             path.push_atomic(store, eff).expect("valid atomic")
                         }
@@ -529,6 +542,7 @@ impl Runner {
             replayed_bytes,
             link_retrains: self.fabric.retrains_total(),
             replay_amplification: self.replay_amp,
+            sim_events: self.sim_events,
         }
     }
 }

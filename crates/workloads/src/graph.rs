@@ -312,8 +312,8 @@ mod tests {
         let mut fp = FinePackEgress::new(GpuId::new(0), FinePackConfig::paper(2), framing);
         let mut p2p = RawP2pEgress::new(framing);
         for t in &run.egress {
-            fp.push(t.store.clone(), SimTime::ZERO).unwrap();
-            p2p.push(t.store.clone(), SimTime::ZERO).unwrap();
+            fp.push(&t.store, SimTime::ZERO).unwrap();
+            p2p.push(&t.store, SimTime::ZERO).unwrap();
         }
         fp.release();
         assert!(fp.metrics().wire_bytes * 2 < p2p.metrics().wire_bytes);

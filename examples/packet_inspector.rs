@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("inserting {} stores into the remote write queue:", stores.len());
     for (addr, data) in &stores {
         println!("  store {:>2}B @ {addr:#x}", data.len());
-        rwq.insert(RemoteStore {
+        rwq.insert(&RemoteStore {
             src: GpuId::new(0),
             dst: GpuId::new(1),
             addr: *addr,

@@ -1,13 +1,12 @@
 //! Parallel parameter sweeps: `Workload` is `Send + Sync` and the whole
-//! simulation stack is value-oriented, so scaling studies fan out across
-//! OS threads with no shared mutable state — each thread owns its own
-//! runner.
+//! simulation stack is value-oriented, so scaling studies fan out over a
+//! [`sim_engine::WorkerPool`] with no shared mutable state — and the
+//! results come back in input order, byte-identical to the serial path.
 //!
 //! Run with: `cargo run --release --example parallel_sweep`
 
-use std::time::Instant;
-
-use system::{speedup_row, Paradigm, SystemConfig};
+use sim_engine::{ThroughputReport, WallClock, WorkerPool};
+use system::{run_suite, Paradigm, SystemConfig};
 use workloads::{suite, RunSpec};
 
 fn main() {
@@ -17,39 +16,36 @@ fn main() {
         iterations: 1,
         ..RunSpec::paper(4)
     };
+    let apps = suite();
 
-    // Sequential baseline.
-    let t0 = Instant::now();
-    let sequential: Vec<_> = suite()
-        .iter()
-        .map(|a| speedup_row(a.as_ref(), &cfg, &spec, &Paradigm::FIG9))
-        .collect();
-    let seq_elapsed = t0.elapsed();
+    // Serial baseline.
+    let clock = WallClock::start();
+    let serial = run_suite(&apps, &cfg, &spec, &Paradigm::FIG9, &WorkerPool::serial());
+    let serial_perf = ThroughputReport::new(clock.elapsed(), serial.sim_events, serial.sim_time);
 
-    // The same sweep, one thread per application.
-    let t1 = Instant::now();
-    let parallel: Vec<_> = std::thread::scope(|s| {
-        suite()
-            .into_iter()
-            .map(|app| s.spawn(move || speedup_row(app.as_ref(), &cfg, &spec, &Paradigm::FIG9)))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|h| h.join().expect("worker thread"))
-            .collect()
-    });
-    let par_elapsed = t1.elapsed();
+    // The same sweep over every available core.
+    let pool = WorkerPool::default_parallel();
+    let clock = WallClock::start();
+    let parallel = run_suite(&apps, &cfg, &spec, &Paradigm::FIG9, &pool);
+    let parallel_perf =
+        ThroughputReport::new(clock.elapsed(), parallel.sim_events, parallel.sim_time);
 
-    println!("app        finepack speedup (sequential == parallel)");
-    for (a, b) in sequential.iter().zip(parallel.iter()) {
+    println!("app        finepack speedup (serial == parallel)");
+    for (a, b) in serial.rows.iter().zip(parallel.rows.iter()) {
         let sa = a.speedup(Paradigm::FinePack).expect("measured");
         let sb = b.speedup(Paradigm::FinePack).expect("measured");
         assert!((sa - sb).abs() < 1e-12, "parallel run must be identical");
         println!("{:<10} {sa:.2}x", a.app);
     }
+    assert_eq!(serial.sim_events, parallel.sim_events);
+    assert_eq!(serial.sim_time, parallel.sim_time);
     println!(
-        "\nsweep wall time: sequential {seq_elapsed:?}, {} threads {par_elapsed:?} \
-         ({:.1}x) — determinism preserved bit-for-bit",
-        sequential.len(),
-        seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(1e-9)
+        "\nsweep wall time: serial {:?} ({:.0} events/s), {} workers {:?} \
+         ({:.2}x) — determinism preserved bit-for-bit",
+        serial_perf.wall,
+        serial_perf.events_per_sec(),
+        pool.jobs(),
+        parallel_perf.wall,
+        parallel_perf.speedup_over(&serial_perf),
     );
 }

@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     for s in &stores {
-        deliver(finepack.push(s.clone(), SimTime::ZERO)?, &mut fp_image);
-        deliver(raw_p2p.push(s.clone(), SimTime::ZERO)?, &mut p2p_image);
+        deliver(finepack.push(s, SimTime::ZERO)?, &mut fp_image);
+        deliver(raw_p2p.push(s, SimTime::ZERO)?, &mut p2p_image);
     }
     // Kernel end = system-scope release: the remote write queue flushes.
     deliver(finepack.release(), &mut fp_image);

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FramingModel::pcie_gen4(),
     );
     for t in &run.egress {
-        fp.push(t.store.clone(), t.time)?;
+        fp.push(&t.store, t.time)?;
     }
     fp.release();
     let m = fp.metrics();

@@ -74,3 +74,83 @@ fn speedup_rows_are_reproducible() {
         assert!((pa.1 - pb.1).abs() < 1e-12, "{:?} vs {:?}", pa, pb);
     }
 }
+
+/// The determinism contract at the CLI boundary: for any worker count,
+/// the rendered output must be byte-identical to `--jobs 1`.
+fn assert_jobs_invariant(base: &[&str]) {
+    let serial = {
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--jobs", "1"]);
+        cli::run(argv).expect("serial run succeeds")
+    };
+    for jobs in ["2", "4"] {
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--jobs", jobs]);
+        let parallel = cli::run(argv).expect("parallel run succeeds");
+        assert_eq!(serial, parallel, "--jobs {jobs} diverged on {base:?}");
+    }
+}
+
+#[test]
+fn cli_suite_is_jobs_invariant() {
+    for seed in ["7", "999"] {
+        assert_jobs_invariant(&[
+            "suite",
+            "--gpus",
+            "2",
+            "--scale-down",
+            "16",
+            "--iterations",
+            "1",
+            "--seed",
+            seed,
+        ]);
+    }
+}
+
+#[test]
+fn cli_subheader_sweep_is_jobs_invariant() {
+    for seed in ["7", "999"] {
+        assert_jobs_invariant(&[
+            "sweep-subheader",
+            "--gpus",
+            "2",
+            "--scale-down",
+            "16",
+            "--iterations",
+            "1",
+            "--seed",
+            seed,
+        ]);
+    }
+}
+
+#[test]
+fn cli_fault_sweep_is_jobs_invariant_under_fault_profile() {
+    assert_jobs_invariant(&[
+        "faults",
+        "--app",
+        "jacobi",
+        "--gpus",
+        "2",
+        "--scale-down",
+        "16",
+        "--iterations",
+        "1",
+        "--fault-profile",
+        "degraded",
+    ]);
+    assert_jobs_invariant(&[
+        "faults",
+        "--app",
+        "pagerank",
+        "--gpus",
+        "2",
+        "--scale-down",
+        "16",
+        "--iterations",
+        "1",
+        "--seed",
+        "999",
+    ]);
+}

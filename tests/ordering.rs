@@ -26,7 +26,7 @@ fn emit_all(stores: &[RemoteStore]) -> Vec<WirePacket> {
     );
     let mut packets = Vec::new();
     for s in stores {
-        packets.extend(fp.push(s.clone(), SimTime::ZERO).expect("valid store"));
+        packets.extend(fp.push(s, SimTime::ZERO).expect("valid store"));
     }
     packets.extend(fp.release());
     packets
@@ -130,7 +130,7 @@ fn load_probe_observes_latest_value() {
                 data: vec![*v; 8],
             };
             latest[*slot as usize] = Some(*v);
-            let pkts = fp.push(s, SimTime::ZERO).expect("valid");
+            let pkts = fp.push(&s, SimTime::ZERO).expect("valid");
             apply_pkts(pkts, &mut image);
             if i == probe_at {
                 // The consumer loads every slot written so far; FinePack

@@ -141,7 +141,7 @@ fn queue_matches_the_executable_spec() {
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
         let mut oracle = Oracle::default();
         for s in &stores {
-            let real = rwq.insert(s.clone()).expect("valid store");
+            let real = rwq.insert(s).expect("valid store");
             let spec = oracle.insert(&cfg, s);
             match (real, spec) {
                 (None, None) => {}

@@ -49,7 +49,7 @@ fn image_via_path(path: &mut dyn EgressPath, stores: &[RemoteStore]) -> MemoryIm
         }
     };
     for s in stores {
-        let pkts = path.push(s.clone(), SimTime::ZERO).expect("valid store");
+        let pkts = path.push(s, SimTime::ZERO).expect("valid store");
         deliver(pkts, &mut image);
     }
     deliver(path.release(), &mut image);
@@ -113,7 +113,7 @@ fn wire_roundtrip_is_transparent() {
         let mut image = MemoryImage::new();
         let mut batches = Vec::new();
         for s in &stores {
-            if let Some(b) = rwq.insert(s.clone()).expect("valid store") {
+            if let Some(b) = rwq.insert(s).expect("valid store") {
                 batches.push(b);
             }
         }

@@ -31,7 +31,7 @@ fn random_stores(rng: &mut DetRng, max: u64) -> Vec<RemoteStore> {
 fn drain(path: &mut dyn EgressPath, stores: Vec<RemoteStore>) -> Vec<finepack::WirePacket> {
     let mut packets = Vec::new();
     for s in stores {
-        packets.extend(path.push(s, SimTime::ZERO).expect("valid store"));
+        packets.extend(path.push(&s, SimTime::ZERO).expect("valid store"));
     }
     packets.extend(path.release());
     packets
@@ -105,7 +105,7 @@ fn rwq_capacity_and_budget() {
         let mut batches = Vec::new();
         for s in stores {
             assert!(rwq.buffered_entries() <= 3 * cfg.entries_per_partition as usize);
-            if let Some(b) = rwq.insert(s).expect("valid") {
+            if let Some(b) = rwq.insert(&s).expect("valid") {
                 batches.push(b);
             }
         }
@@ -148,7 +148,7 @@ fn gps_filtering_reduces_wire_monotonically() {
     for unsub in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut gps = GpsEgress::new(GpuId::new(0), framing, 64, unsub, 11);
         for s in &stores {
-            gps.push(s.clone(), SimTime::ZERO).expect("valid");
+            gps.push(s, SimTime::ZERO).expect("valid");
         }
         gps.release();
         let wire = gps.metrics().wire_bytes;

@@ -14,6 +14,7 @@
 //! finepack-sim replay --trace /tmp/traces/jacobi.g0.i0.fpkt
 //! finepack-sim area --gpus 16
 //! finepack-sim bench --jobs 4 --out BENCH_harness.json
+//! finepack-sim trace --app jacobi --format chrome --out trace.json
 //! ```
 //!
 //! Sweep commands take `--jobs N` to fan out over a worker pool; the
@@ -58,6 +59,7 @@ where
         Some("sweep-subheader") => commands::sweep_subheader(&args).map_err(|e| e.to_string()),
         Some("faults") => commands::faults(&args).map_err(|e| e.to_string()),
         Some("bench") => commands::bench(&args),
+        Some("trace") => commands::trace(&args),
         Some("area") => commands::area(&args).map_err(|e| e.to_string()),
         Some("record") => commands::record(&args),
         Some("replay") => commands::replay(&args),
@@ -74,7 +76,7 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let h = run(["help"]).unwrap();
-        for cmd in ["run", "suite", "goodput", "record", "replay", "area", "analyze"] {
+        for cmd in ["run", "suite", "goodput", "record", "replay", "area", "analyze", "trace"] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
         assert_eq!(run(Vec::<String>::new()).unwrap(), h);

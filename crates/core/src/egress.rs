@@ -18,6 +18,8 @@ use gpu_model::{GpuId, RemoteStore};
 use protocol::FramingModel;
 use sim_engine::{Histogram, SimTime};
 
+use telemetry::{EventKind, TraceEvent, TraceHandle};
+
 use crate::config::{FinePackConfig, FinePackError};
 use crate::packetizer::packetize;
 use crate::rwq::{FlushReason, RemoteWriteQueue};
@@ -380,6 +382,18 @@ pub trait EgressPath: std::fmt::Debug + Send {
     /// Selects whether emitted packets carry full store payloads or
     /// bare `(addr, len)` extents (see [`PayloadMode`]).
     fn set_payload_mode(&mut self, mode: PayloadMode);
+
+    /// Attaches a trace handle for structured event recording. The
+    /// default discards it — paths without internal buffering have
+    /// nothing to report beyond what the runner already records.
+    fn set_trace(&mut self, _trace: TraceHandle) {}
+
+    /// Entries buffered *inside* the path (e.g. RWQ occupancy), as
+    /// opposed to packets queued at the port ([`EgressPath::occupancy`]).
+    /// Zero for paths that never buffer.
+    fn queue_depth(&self) -> usize {
+        0
+    }
 }
 
 /// The FinePack egress path: remote write queue + packetizer.
@@ -397,6 +411,7 @@ pub struct FinePackEgress {
     last_activity: std::collections::BTreeMap<GpuId, SimTime>,
     out: OutputBuffer,
     payload_mode: PayloadMode,
+    trace: TraceHandle,
 }
 
 impl FinePackEgress {
@@ -412,6 +427,7 @@ impl FinePackEgress {
             last_activity: std::collections::BTreeMap::new(),
             out: OutputBuffer::default(),
             payload_mode: PayloadMode::Full,
+            trace: TraceHandle::off(),
         }
     }
 
@@ -480,7 +496,19 @@ impl EgressPath for FinePackEgress {
         self.metrics.stores_in += 1;
         self.metrics.bytes_in += u64::from(store.len());
         self.last_activity.insert(store.dst, now);
-        match self.rwq.insert(store)? {
+        let hits_before = self.rwq.stats().entry_hits;
+        let flushed = self.rwq.insert(store)?;
+        if self.trace.is_on() {
+            self.trace.record(TraceEvent {
+                time: now,
+                gpu: self.src.index() as u8,
+                kind: EventKind::RwqInsert {
+                    dst: store.dst.index() as u8,
+                    merged: self.rwq.stats().entry_hits > hits_before,
+                },
+            });
+        }
+        match flushed {
             Some(batch) => Ok(self.emit_batch(batch)),
             None => Ok(Vec::new()),
         }
@@ -578,6 +606,14 @@ impl EgressPath for FinePackEgress {
 
     fn set_payload_mode(&mut self, mode: PayloadMode) {
         self.payload_mode = mode;
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.rwq.buffered_entries()
     }
 }
 

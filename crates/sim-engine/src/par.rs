@@ -252,6 +252,36 @@ mod tests {
     }
 
     #[test]
+    fn seeds_are_identical_across_task_count_edge_cases() {
+        let seed_of = |ctx: TaskCtx, _x: u64| ctx.seed;
+        // Zero tasks: nothing runs, nothing panics, for any jobs count.
+        for jobs in [1, 4] {
+            assert!(par_map_deterministic(jobs, 77, Vec::<u64>::new(), seed_of).is_empty());
+        }
+        // One task: inline fast path must derive the same seed the
+        // threaded path would (index 0 under the same root).
+        let one = par_map_deterministic(1, 77, vec![0u64], seed_of);
+        assert_eq!(one, vec![derive_task_seed(77, 0)]);
+        assert_eq!(one, par_map_deterministic(8, 77, vec![0u64], seed_of));
+        // More jobs than tasks: excess workers idle without claiming
+        // phantom indices, and seeds still track input position.
+        let few = par_map_deterministic(16, 77, (0..3u64).collect(), seed_of);
+        let expected: Vec<u64> = (0..3).map(|i| derive_task_seed(77, i)).collect();
+        assert_eq!(few, expected);
+    }
+
+    #[test]
+    fn map_seeded_threads_root_seed_through_pool() {
+        let work = |ctx: TaskCtx, x: u64| ctx.rng("stream").next_u64() ^ x;
+        let a = WorkerPool::serial().map_seeded(9, (0..5).collect(), work);
+        let b = WorkerPool::new(3).map_seeded(9, (0..5).collect(), work);
+        assert_eq!(a, b);
+        // A different root seed changes every task's stream.
+        let c = WorkerPool::serial().map_seeded(10, (0..5).collect(), work);
+        assert!(a.iter().zip(&c).all(|(x, y)| x != y));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one job slot")]
     fn zero_jobs_panics() {
         WorkerPool::new(0);

@@ -112,6 +112,26 @@ mod tests {
     }
 
     #[test]
+    fn speedup_over_self_is_one() {
+        let r = ThroughputReport::new(Duration::from_millis(250), 42, SimTime::from_ns(7));
+        assert!((r.speedup_over(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_with_zero_wall_stays_finite_both_directions() {
+        let instant = ThroughputReport::new(Duration::ZERO, 1, SimTime::ZERO);
+        let real = ThroughputReport::new(Duration::from_secs(1), 1, SimTime::ZERO);
+        // An instantaneous region divides by the 1ns floor, not by zero.
+        let huge = instant.speedup_over(&real);
+        assert!(huge.is_finite());
+        assert!(huge >= 1e8);
+        // And a zero-wall baseline yields a speedup of ~0, not NaN.
+        let tiny = real.speedup_over(&instant);
+        assert!(tiny.is_finite());
+        assert!((0.0..1e-8).contains(&tiny));
+    }
+
+    #[test]
     fn wall_clock_monotone() {
         let c = WallClock::start();
         let a = c.elapsed();

@@ -111,6 +111,31 @@ impl PreparedWorkload {
         }
         Ok(runner.finish(&self.name, self.read_fraction))
     }
+
+    /// [`PreparedWorkload::try_run`] with a trace attached: lifecycle
+    /// events (and, with `sample_every` set, periodic occupancy/credit
+    /// samples) are recorded through `trace` for the whole run.
+    ///
+    /// Tracing is observational: the returned report is byte-identical
+    /// to [`PreparedWorkload::try_run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the first failing iteration.
+    pub fn try_run_traced(
+        &self,
+        cfg: &SystemConfig,
+        paradigm: Paradigm,
+        trace: telemetry::TraceHandle,
+        sample_every: Option<sim_engine::SimTime>,
+    ) -> Result<RunReport, RunError> {
+        let mut runner = Runner::new(*cfg, paradigm, self.gps_unsubscribed, false);
+        runner.attach_trace(trace, sample_every);
+        for iter_runs in &self.runs {
+            runner.try_run_iteration(iter_runs, &self.dma_plan)?;
+        }
+        Ok(runner.finish(&self.name, self.read_fraction))
+    }
 }
 
 /// Merges replay statistics across `[iteration][gpu]` kernel runs.

@@ -101,6 +101,19 @@ impl Link {
         }
     }
 
+    /// `(header, data)` credit units currently in flight — consumed but
+    /// with the `UpdateFC` not yet returned — when credit flow control
+    /// is attached. A telemetry probe; does not advance the timeline.
+    pub fn fc_in_flight(&self) -> Option<(u64, u64)> {
+        self.fc.as_ref().map(|fc| {
+            let a = fc.account();
+            (
+                u64::from(a.headers_in_flight()),
+                u64::from(a.data_units_in_flight()),
+            )
+        })
+    }
+
     /// Flow-control statistics, when credit flow control is attached.
     pub fn fc_stats(&self) -> Option<FcStats> {
         self.fc.as_ref().map(|fc| FcStats {

@@ -2,9 +2,12 @@
 //! streams through a paradigm's egress paths and the switched fabric,
 //! producing execution times and wire-traffic accounting.
 
-use finepack::{EgressMetrics, EgressPath, PayloadMode, ReplayAmplification, WirePacket};
+use finepack::{
+    EgressMetrics, EgressPath, FlushReason, PayloadMode, ReplayAmplification, WirePacket,
+};
 use gpu_model::{GpuId, KernelRun, MemoryImage};
 use sim_engine::{Bandwidth, EventQueue, SimTime};
+use telemetry::{EventKind, Sample, TraceEvent, TraceHandle};
 
 use crate::config::SystemConfig;
 use crate::fault::RunError;
@@ -79,6 +82,8 @@ pub struct Runner {
     iterations: u32,
     replay_amp: ReplayAmplification,
     sim_events: u64,
+    trace: TraceHandle,
+    sample_every: Option<SimTime>,
 }
 
 impl Runner {
@@ -143,6 +148,66 @@ impl Runner {
             iterations: 0,
             replay_amp: ReplayAmplification::new(),
             sim_events: 0,
+            trace: TraceHandle::off(),
+            sample_every: None,
+        }
+    }
+
+    /// Attaches a trace handle; subsequent iterations record lifecycle
+    /// events through it. With `sample_every` set (and non-zero),
+    /// per-GPU occupancy/credit/stall samples are additionally taken at
+    /// that simulated-time interval. Tracing observes only: attaching
+    /// any collector leaves the run's report byte-identical.
+    pub fn attach_trace(&mut self, trace: TraceHandle, sample_every: Option<SimTime>) {
+        self.trace = trace;
+        self.sample_every = sample_every.filter(|t| t.as_ps() > 0);
+    }
+
+    /// Records one occupancy/credit/stall sample per store-paradigm GPU
+    /// at iteration-local time `at`.
+    fn take_samples(&self, at: SimTime) {
+        for (g, path) in self.paths.iter().enumerate() {
+            let Some(path) = path else { continue };
+            let gid = GpuId::new(g as u8);
+            let (hdrs, data) = self.fabric.egress_fc_in_flight(gid);
+            self.trace.sample(Sample {
+                time: at,
+                gpu: g as u8,
+                rwq_entries: path.queue_depth() as u64,
+                egress_queue: path.occupancy() as u64,
+                egress_wire_bytes: self.fabric.egress_bytes(gid),
+                credit_hdrs_in_flight: hdrs,
+                credit_data_in_flight: data,
+                stall_ps: path.metrics().stall_time.as_ps(),
+            });
+        }
+    }
+
+    /// Emits one `Flush` event per flush the just-run path operation
+    /// added, by diffing the per-reason counters around it. Counting
+    /// from the aggregates keeps trace flush counts equal to
+    /// `flushes_by_reason` by construction.
+    fn record_flush_delta(
+        &self,
+        gpu: usize,
+        at: SimTime,
+        before: [u64; FlushReason::ALL.len()],
+    ) {
+        let after = self.paths[gpu]
+            .as_ref()
+            .expect("store paradigm")
+            .metrics()
+            .flushes_by_reason;
+        for (i, reason) in FlushReason::ALL.iter().enumerate() {
+            for _ in before[i]..after[i] {
+                self.trace.record(TraceEvent {
+                    time: at,
+                    gpu: gpu as u8,
+                    kind: EventKind::Flush {
+                        reason: reason.label(),
+                    },
+                });
+            }
         }
     }
 
@@ -187,6 +252,9 @@ impl Runner {
             // is modeled for completeness.
             let drained = landed + self.hbm.transfer_time(p.data_bytes);
             last = last.max(drained);
+            if self.trace.is_on() {
+                self.record_transfer(at, src, &p, replayed, landed, drained);
+            }
             if let Some(images) = &mut self.images {
                 let stores = p.stores.full().expect("track_memory runs carry payloads");
                 for s in stores {
@@ -195,6 +263,44 @@ impl Runner {
             }
         }
         Ok(last)
+    }
+
+    /// Records the wire/replay/commit events for one delivered packet.
+    fn record_transfer(
+        &self,
+        at: SimTime,
+        src: GpuId,
+        p: &WirePacket,
+        replayed: u64,
+        landed: SimTime,
+        drained: SimTime,
+    ) {
+        self.trace.record(TraceEvent {
+            time: at,
+            gpu: src.index() as u8,
+            kind: EventKind::WireTransmit {
+                dst: p.dst.index() as u8,
+                wire_bytes: p.wire_bytes,
+                stores: p.stores.len() as u32,
+                reason: p.reason.map(|r| r.label()),
+                done: landed,
+            },
+        });
+        if replayed > 0 {
+            self.trace.record(TraceEvent {
+                time: at,
+                gpu: src.index() as u8,
+                kind: EventKind::DllReplay { bytes: replayed },
+            });
+        }
+        self.trace.record(TraceEvent {
+            time: landed,
+            gpu: p.dst.index() as u8,
+            kind: EventKind::Commit {
+                data_bytes: p.data_bytes,
+                done: drained,
+            },
+        });
     }
 
     /// Drains `gpu`'s output buffer head-first through the credited
@@ -219,6 +325,11 @@ impl Runner {
                 SendOutcome::Delivered(landed) => landed,
                 SendOutcome::Blocked { until } => {
                     debug_assert!(until > at, "blocked admission must make progress");
+                    self.trace.record(TraceEvent {
+                        time: at,
+                        gpu: gpu as u8,
+                        kind: EventKind::CreditBlocked { until },
+                    });
                     blocked_until = Some(until);
                     break;
                 }
@@ -243,6 +354,9 @@ impl Runner {
             }
             let drained = landed + self.hbm.transfer_time(p.data_bytes);
             last = last.max(drained);
+            if self.trace.is_on() {
+                self.record_transfer(at, src, &p, replayed, landed, drained);
+            }
             if let Some(images) = &mut self.images {
                 let stores = p.stores.full().expect("track_memory runs carry payloads");
                 for s in stores {
@@ -289,6 +403,15 @@ impl Runner {
         dma_plan: &[(GpuId, GpuId, u64)],
     ) -> Result<(), RunError> {
         assert_eq!(runs.len(), usize::from(self.cfg.num_gpus));
+        if self.trace.is_on() {
+            // Iteration timelines restart at zero: shift this
+            // iteration's events past everything already simulated, and
+            // hand every path a handle carrying the same base.
+            self.trace.rebase(self.total_time);
+            for path in self.paths.iter_mut().flatten() {
+                path.set_trace(self.trace.clone());
+            }
+        }
         // Unique-byte tracking is paradigm-independent: it reflects the
         // program's store stream.
         for run in runs {
@@ -317,6 +440,17 @@ impl Runner {
                         .fabric
                         .try_send(start, *src, *dst, wire)
                         .map_err(RunError::LinkDown)?;
+                    self.trace.record(TraceEvent {
+                        time: start,
+                        gpu: src.index() as u8,
+                        kind: EventKind::WireTransmit {
+                            dst: dst.index() as u8,
+                            wire_bytes: wire,
+                            stores: 0,
+                            reason: None,
+                            done: landed,
+                        },
+                    });
                     last_delivery = last_delivery.max(landed);
                     self.dma_wire_bytes += wire;
                     self.dma_data_bytes += bytes;
@@ -364,9 +498,17 @@ impl Runner {
                     }
                     queue.schedule(run.kernel_time, Ev::KernelEnd { gpu: g });
                 }
+                let sample_step = self.sample_every.filter(|_| self.trace.is_on());
+                let mut next_sample = sample_step.unwrap_or(SimTime::ZERO);
                 while let Some(ev) = queue.pop() {
                     self.sim_events += 1;
                     let now = ev.time;
+                    if let Some(step) = sample_step {
+                        while next_sample <= now {
+                            self.take_samples(next_sample);
+                            next_sample += step;
+                        }
+                    }
                     if let Ev::Retry { gpu } = ev.payload {
                         retry_at[gpu] = None;
                         let out = self.pump(gpu, now)?;
@@ -412,11 +554,56 @@ impl Runner {
                                 .blocked_until
                                 .expect("a still-full buffer implies a blocked head");
                             let waited = until.saturating_sub(eff);
+                            self.trace.record(TraceEvent {
+                                time: eff,
+                                gpu: gpu as u8,
+                                kind: EventKind::Stall { duration: waited },
+                            });
                             let path = self.paths[gpu].as_mut().expect("store paradigm");
                             path.record_stall(waited);
                             stall[gpu] += waited;
                             eff = until;
                         }
+                    }
+                    let flushes_before = self.trace.is_on().then(|| {
+                        // Snapshot the per-reason flush counters so any
+                        // flush this event triggers (in push, probe,
+                        // release, or the timeout advance below) becomes
+                        // exactly one Flush trace event.
+                        self.paths[gpu]
+                            .as_ref()
+                            .expect("store paradigm")
+                            .metrics()
+                            .flushes_by_reason
+                    });
+                    if self.trace.is_on() {
+                        let kind = match ev.payload {
+                            Ev::Store { gpu, idx } => {
+                                let s = &runs[gpu].egress[idx].store;
+                                EventKind::StoreIssued {
+                                    dst: s.dst.index() as u8,
+                                    bytes: s.len(),
+                                }
+                            }
+                            Ev::Atomic { gpu, idx } => {
+                                let s = &runs[gpu].atomics[idx].store;
+                                EventKind::AtomicIssued {
+                                    dst: s.dst.index() as u8,
+                                    bytes: s.len(),
+                                }
+                            }
+                            Ev::Probe { gpu, idx } => EventKind::LoadProbe {
+                                dst: runs[gpu].probes[idx].dst.index() as u8,
+                            },
+                            Ev::Fence { .. } => EventKind::FenceRelease,
+                            Ev::KernelEnd { .. } => EventKind::KernelEnd,
+                            Ev::Retry { .. } => unreachable!("handled above"),
+                        };
+                        self.trace.record(TraceEvent {
+                            time: eff,
+                            gpu: gpu as u8,
+                            kind,
+                        });
                     }
                     let mut packets = match ev.payload {
                         Ev::Store { gpu, idx } => {
@@ -451,9 +638,16 @@ impl Runner {
                     // processing for the same GPU.
                     let path = self.paths[gpu].as_mut().expect("store paradigm");
                     packets.extend(path.advance(eff));
+                    if let Some(before) = flushes_before {
+                        self.record_flush_delta(gpu, eff, before);
+                    }
                     if credited {
                         if !packets.is_empty() {
-                            path.output().extend(packets);
+                            self.paths[gpu]
+                                .as_mut()
+                                .expect("store paradigm")
+                                .output()
+                                .extend(packets);
                         }
                         let out = self.pump(gpu, eff)?;
                         last_delivery = last_delivery.max(out.last_drained);

@@ -414,6 +414,19 @@ impl RoutedFabric {
         self.up[leaf].bytes_carried()
     }
 
+    /// Cumulative bytes carried by `gpu`'s egress link, first
+    /// transmissions plus replays (the link-utilization integral the
+    /// telemetry sampler reads).
+    pub fn egress_bytes(&self, gpu: GpuId) -> u64 {
+        self.egress[gpu.index()].bytes_carried()
+    }
+
+    /// `(header, data)` credit units in flight on `gpu`'s egress link;
+    /// `(0, 0)` when flow control is not attached.
+    pub fn egress_fc_in_flight(&self, gpu: GpuId) -> (u64, u64) {
+        self.egress[gpu.index()].fc_in_flight().unwrap_or((0, 0))
+    }
+
     /// The topology in force.
     pub fn topology(&self) -> Topology {
         self.topology

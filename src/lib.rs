@@ -5,6 +5,8 @@
 //! users can depend on one package.
 //!
 //! - [`sim_engine`] — discrete-event simulation substrate.
+//! - [`telemetry`] — structured event tracing, time-series sampling,
+//!   and Chrome-trace/CSV export.
 //! - [`protocol`] — PCIe/NVLink/CXL wire formats and framing costs.
 //! - [`gpu_model`] — trace-driven GPU memory-system model.
 //! - [`finepack`] — the paper's contribution and its baselines.
@@ -21,4 +23,5 @@ pub use gpu_model;
 pub use protocol;
 pub use sim_engine;
 pub use system;
+pub use telemetry;
 pub use workloads;

@@ -15,6 +15,17 @@ fn engine_types_are_send() {
 }
 
 #[test]
+fn telemetry_types_are_send() {
+    assert_send_sync::<telemetry::TraceEvent>();
+    assert_send_sync::<telemetry::Sample>();
+    assert_send::<telemetry::RingCollector>();
+    assert_send_sync::<telemetry::NullCollector>();
+    // The handle is cloned into runners and egress paths, which must
+    // stay Send for parallel sweeps.
+    assert_send::<telemetry::TraceHandle>();
+}
+
+#[test]
 fn protocol_types_are_send_sync() {
     assert_send_sync::<protocol::FramingModel>();
     assert_send_sync::<protocol::TlpHeader>();

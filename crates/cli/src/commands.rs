@@ -2,16 +2,16 @@
 
 use std::fmt::Write as _;
 
-use finepack::{AreaModel, FinePackConfig, FlushReason, SubheaderFormat};
+use finepack::{AllocationPolicy, AreaModel, FinePackConfig, FlushReason, SubheaderFormat};
 use gpu_model::{profile_run, read_trace, write_trace, AddressMap, Gpu, GpuId};
 use protocol::{fig2_sizes, FramingModel, PcieGen};
 use sim_engine::Table;
 use sim_engine::{SimTime, ThroughputReport, WallClock, WorkerPool};
 use system::{
-    fault_sweep, run_suite, single_gpu_time, subheader_sweep, CreditConfig, FaultProfile,
-    FlowControlMode, Paradigm, PreparedWorkload, SystemConfig,
+    audit_run, fault_sweep, run_suite, single_gpu_time, subheader_sweep, CreditConfig,
+    FaultProfile, FlowControlMode, Paradigm, PreparedWorkload, SystemConfig,
 };
-use telemetry::{EventKind, Sample, TraceEvent, TraceHandle};
+use telemetry::{EventKind, Law, Sample, TraceEvent, TraceHandle};
 use workloads::{suite, RunSpec, Workload};
 
 use crate::args::{ArgError, Args};
@@ -56,6 +56,12 @@ COMMANDS:
                    [--format chrome|csv] [--out FILE]
                    [--sample-interval NS (default 100; 0 disables)]
                    [--capacity EVENTS (ring size, default 1048576)]
+  audit            conservation audit: replay the trace stream against
+                   cross-layer conservation laws (bytes, wire framing,
+                   credits, causality, transparency) over the whole
+                   configuration matrix; non-zero exit on any violation
+                   [--app <name>] [--paradigm <name>] [--gpus N]
+                   [--iterations K] [--scale-down S] [--seed S]
   area             FinePack SRAM footprint (§VI-B) [--gpus N]
   record           synthesize traces to disk
                    --app <name> --out <dir> [--gpus N] [--iterations K]
@@ -606,6 +612,130 @@ pub(crate) fn trace(args: &Args) -> Result<String, String> {
         );
     }
     Ok(out)
+}
+
+/// `audit [--app NAME] [--paradigm NAME] [--gpus N] [--iterations K]
+/// [--scale-down S] [--seed S]`
+///
+/// Sweeps the conservation auditor over the configuration matrix —
+/// every PCIe generation × open/credited flow control × fault profile ×
+/// paradigm (FinePack additionally under both RWQ allocation policies)
+/// — and fails (non-zero exit) with a per-law report if any run
+/// violates a conservation law.
+pub(crate) fn audit(args: &Args) -> Result<String, String> {
+    args.expect_only(&["app", "paradigm", "gpus", "iterations", "scale-down", "seed"])
+        .map_err(|e| e.to_string())?;
+    let app = find_app(args.get_or("app", "jacobi")).map_err(|e| e.to_string())?;
+    let spec = spec_from(args).map_err(|e| e.to_string())?;
+    let paradigms: Vec<Paradigm> = match args.get("paradigm") {
+        Some(name) => vec![find_paradigm(name).map_err(|e| e.to_string())?],
+        None => vec![
+            Paradigm::BulkDma,
+            Paradigm::P2pStores,
+            Paradigm::FinePack,
+            Paradigm::WriteCombining,
+            Paradigm::Gps,
+            Paradigm::InfiniteBw,
+        ],
+    };
+    // Trace replay is independent of every swept axis: prepare once.
+    let base = SystemConfig::paper(spec.num_gpus);
+    let prep = PreparedWorkload::new(app.as_ref(), &base, &spec);
+
+    let faults: [(&str, Option<FaultProfile>); 3] = [
+        ("clean", None),
+        ("ber-1e-6", Some(FaultProfile::new(1e-6))),
+        (
+            "outage",
+            Some(FaultProfile::new(0.0).with_outage(
+                0,
+                SimTime::from_us(5),
+                SimTime::from_us(60),
+            )),
+        ),
+    ];
+    let allocations_for = |p: Paradigm| -> &'static [(&'static str, AllocationPolicy)] {
+        if p == Paradigm::FinePack {
+            &[
+                ("static", AllocationPolicy::StaticPartition),
+                ("dynamic", AllocationPolicy::DynamicShared),
+            ]
+        } else {
+            &[("static", AllocationPolicy::StaticPartition)]
+        }
+    };
+
+    let mut runs = 0u64;
+    let mut law_totals = [0u64; 5];
+    let mut failures = String::new();
+    for gen in PcieGen::ALL {
+        for open in [false, true] {
+            for (fault_name, profile) in &faults {
+                for &paradigm in &paradigms {
+                    for (alloc_name, alloc) in allocations_for(paradigm) {
+                        let mut cfg = SystemConfig::paper(spec.num_gpus).with_pcie_gen(gen);
+                        if open {
+                            cfg = cfg.with_flow_control(FlowControlMode::Open);
+                        }
+                        if let Some(p) = profile {
+                            cfg = cfg.with_faults(*p);
+                        }
+                        if paradigm == Paradigm::FinePack {
+                            cfg = cfg.with_finepack(
+                                FinePackConfig::paper(u32::from(spec.num_gpus))
+                                    .with_allocation(*alloc),
+                            );
+                        }
+                        runs += 1;
+                        let point = format!(
+                            "{gen:?}/{}/{fault_name}/{paradigm}/{alloc_name}",
+                            if open { "open" } else { "credited" }
+                        );
+                        match audit_run(&prep, &cfg, paradigm) {
+                            Ok(outcome) => {
+                                for (total, count) in
+                                    law_totals.iter_mut().zip(outcome.law_counts)
+                                {
+                                    *total += count;
+                                }
+                                if !outcome.is_clean() {
+                                    let _ = writeln!(
+                                        failures,
+                                        "{point}:\n{}",
+                                        outcome.rendered
+                                    );
+                                }
+                            }
+                            Err(e) => {
+                                let _ = writeln!(failures, "{point}: run died: {e}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut t = Table::new(
+        format!(
+            "conservation audit of {} ({} GPUs, {} matrix points)",
+            app.name(),
+            spec.num_gpus,
+            runs
+        ),
+        &["law", "violations"],
+    );
+    for (law, total) in Law::ALL.iter().zip(law_totals) {
+        t.row(&[law.label().to_string(), total.to_string()]);
+    }
+    let mut out = t.render();
+    if failures.is_empty() {
+        let _ = writeln!(out, "all {runs} matrix points clean");
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "\nviolating points:\n{failures}");
+        Err(out)
+    }
 }
 
 /// One timed `run_suite` pass, reduced to a throughput report plus the

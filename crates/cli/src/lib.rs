@@ -15,6 +15,7 @@
 //! finepack-sim area --gpus 16
 //! finepack-sim bench --jobs 4 --out BENCH_harness.json
 //! finepack-sim trace --app jacobi --format chrome --out trace.json
+//! finepack-sim audit --app jacobi --gpus 2 --scale-down 16
 //! ```
 //!
 //! Sweep commands take `--jobs N` to fan out over a worker pool; the
@@ -60,6 +61,7 @@ where
         Some("faults") => commands::faults(&args).map_err(|e| e.to_string()),
         Some("bench") => commands::bench(&args),
         Some("trace") => commands::trace(&args),
+        Some("audit") => commands::audit(&args),
         Some("area") => commands::area(&args).map_err(|e| e.to_string()),
         Some("record") => commands::record(&args),
         Some("replay") => commands::replay(&args),
@@ -76,10 +78,35 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let h = run(["help"]).unwrap();
-        for cmd in ["run", "suite", "goodput", "record", "replay", "area", "analyze", "trace"] {
+        for cmd in [
+            "run", "suite", "goodput", "record", "replay", "area", "analyze", "trace", "audit",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
         assert_eq!(run(Vec::<String>::new()).unwrap(), h);
+    }
+
+    #[test]
+    fn audit_sweeps_clean_on_tiny_config() {
+        // One paradigm keeps the matrix small: 3 generations x 2 flow
+        // control modes x 3 fault profiles x 2 allocation policies.
+        let out = run([
+            "audit",
+            "--app",
+            "jacobi",
+            "--gpus",
+            "2",
+            "--scale-down",
+            "16",
+            "--iterations",
+            "1",
+            "--paradigm",
+            "finepack",
+        ])
+        .unwrap();
+        assert!(out.contains("all 36 matrix points clean"), "{out}");
+        assert!(out.contains("byte-conservation"), "{out}");
+        assert!(out.contains("transparency"), "{out}");
     }
 
     #[test]

@@ -104,7 +104,9 @@ impl FinePackPacket {
         assert!(!self.is_empty(), "cannot encode an empty FinePack packet");
         let payload_len = self.payload_bytes();
         let padded = payload_len.div_ceil(4) * 4;
-        let header = TlpHeader::finepack(self.src.index() as u16, self.base_addr, padded);
+        // GpuId is bounded to u8 by construction, so widening into the
+        // 16-bit requester-id field is lossless for every id.
+        let header = TlpHeader::finepack(u16::from(self.src.as_u8()), self.base_addr, padded);
         let mut out = Vec::with_capacity(16 + padded as usize);
         out.extend_from_slice(&header.encode());
         for sub in &self.subpackets {
@@ -240,6 +242,21 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn boundary_gpu_id_encodes_unaliased() {
+        // GPU 255 — the top of the id space — must reach the TLP's
+        // 16-bit requester-id field un-truncated and round-trip.
+        let mut p = sample(SubheaderFormat::paper());
+        p.src = GpuId::new(u8::MAX);
+        let wire = p.encode();
+        let header = TlpHeader::decode(&wire).unwrap();
+        assert_eq!(header.requester_id, 255u16);
+        let back =
+            FinePackPacket::decode(&wire, p.subheader, p.src, p.dst).expect("roundtrip");
+        assert_eq!(back.src, GpuId::new(u8::MAX));
+        assert_eq!(back.subpackets, p.subpackets);
     }
 
     #[test]

@@ -74,14 +74,24 @@ impl FlushedEntry {
 
     /// Iterates the contiguous runs of valid bytes as
     /// `(start_offset, len)` pairs in ascending order.
+    ///
+    /// Walks the full mask width, not `data.len()`: a mask bit beyond
+    /// the allocated data would otherwise be dropped silently. Such an
+    /// entry is malformed — the queue always sizes `data` to the line —
+    /// so it trips the debug assertion instead.
     pub fn runs(&self) -> Vec<(u32, u32)> {
+        debug_assert!(
+            u128::BITS - self.mask.leading_zeros() <= self.data.len() as u32,
+            "mask bit {} set beyond entry data length {}",
+            (u128::BITS - self.mask.leading_zeros()).saturating_sub(1),
+            self.data.len()
+        );
         let mut runs = Vec::new();
         let mut i = 0u32;
-        let n = self.data.len() as u32;
-        while i < n {
+        while i < u128::BITS {
             if self.mask >> i & 1 == 1 {
                 let start = i;
-                while i < n && self.mask >> i & 1 == 1 {
+                while i < u128::BITS && self.mask >> i & 1 == 1 {
                     i += 1;
                 }
                 runs.push((start, i - start));
@@ -115,6 +125,22 @@ impl FlushedBatch {
     pub fn valid_bytes(&self) -> u64 {
         self.entries.iter().map(|e| u64::from(e.valid_bytes())).sum()
     }
+}
+
+/// Deducts a phase-3 merge charge from a window's payload budget.
+///
+/// Phase-1 admission already proved `cost <= available_payload` for the
+/// window the store merges into, so the subtraction can never wrap; the
+/// debug assertion pins that cross-phase invariant, and release builds
+/// saturate at zero instead of wrapping to a ~4 GiB budget if admission
+/// and charge ever disagree.
+fn charge_payload(available_payload: u32, cost: u32) -> u32 {
+    debug_assert!(
+        cost <= available_payload,
+        "phase-3 charge of {cost}B exceeds the window's remaining budget of \
+         {available_payload}B: phase-1 admission and phase-3 merge disagree"
+    );
+    available_payload.saturating_sub(cost)
 }
 
 /// Byte mask covering `[offset, offset + len)` within a 128B line.
@@ -307,6 +333,23 @@ impl RemoteWriteQueue {
         self.partitions.values().map(|p| p.entry_count()).sum()
     }
 
+    /// The open windows for `dst` as `(window_base, available_payload)`
+    /// pairs in insertion order — an observation surface for tests and
+    /// auditors that pin the payload-budget bookkeeping against an
+    /// independently recomputed oracle. Empty if the partition holds
+    /// nothing.
+    pub fn window_budgets(&self, dst: GpuId) -> Vec<(u64, u32)> {
+        self.partitions
+            .get(&dst)
+            .map(|p| {
+                p.windows
+                    .iter()
+                    .map(|w| (w.base, w.available_payload))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Offers a store to the queue. Returns any [`FlushedBatch`]es that
     /// accepting the store forced out (window miss with all windows
     /// busy, payload full, or entries full); the incoming store is then
@@ -341,7 +384,7 @@ impl RemoteWriteQueue {
         }
         if store.dst == self.src {
             return Err(FinePackError::SelfRoute {
-                gpu: self.src.index() as u8,
+                gpu: self.src.as_u8(),
                 addr: store.addr,
             });
         }
@@ -472,14 +515,15 @@ impl RemoteWriteQueue {
                         let fresh = (incoming & !slot.mask).count_ones();
                         w.overwritten_bytes += u64::from(overlap);
                         self.stats.overwritten_bytes += u64::from(overlap);
-                        w.available_payload -= fresh;
+                        w.available_payload = charge_payload(w.available_payload, fresh);
                         slot.mask |= incoming;
                         slot.data[line_off as usize..(line_off + len) as usize]
                             .copy_from_slice(&store.data);
                         self.stats.entry_hits += 1;
                     }
                     None => {
-                        w.available_payload -= len + sub_bytes;
+                        w.available_payload =
+                            charge_payload(w.available_payload, len + sub_bytes);
                         w.entries
                             .insert(line_addr, new_slot(entry_bytes, line_off, &store.data));
                         self.stats.entry_misses += 1;
@@ -634,11 +678,82 @@ mod tests {
     }
 
     #[test]
+    fn self_route_reports_the_boundary_gpu_id() {
+        // GPU 255 is the top of the id space: the diagnostic must carry
+        // it through un-truncated (the old `index() as u8` narrowing).
+        let mut q = RemoteWriteQueue::new(GpuId::new(u8::MAX), FinePackConfig::paper(4));
+        let err = q
+            .insert(&RemoteStore {
+                src: GpuId::new(u8::MAX),
+                dst: GpuId::new(u8::MAX),
+                addr: 0x1000,
+                data: vec![1; 4],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FinePackError::SelfRoute { gpu: 255, addr: 0x1000 }
+        ));
+    }
+
+    #[test]
+    fn runs_cover_the_full_mask_width() {
+        // A store at the very top of a 128B line must surface as a run
+        // even though earlier bytes are unset; the old implementation
+        // bounded the walk by data.len(), which silently dropped high
+        // mask bits of a short-allocated entry.
+        let e = FlushedEntry {
+            line_addr: 0,
+            mask: span_mask(120, 8) | 1,
+            data: vec![7; 128],
+        };
+        assert_eq!(e.runs(), vec![(0, 1), (120, 8)]);
+        // Full line: one run covering every byte.
+        let full = FlushedEntry {
+            line_addr: 0,
+            mask: u128::MAX,
+            data: vec![7; 128],
+        };
+        assert_eq!(full.runs(), vec![(0, 128)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "beyond entry data length")]
+    fn short_allocated_entry_trips_the_mask_bound_assert() {
+        let e = FlushedEntry {
+            line_addr: 0,
+            mask: 1u128 << 40,
+            data: vec![0; 32], // mask bit 40 has no backing byte
+        };
+        let _ = e.runs();
+    }
+
+    #[test]
     fn first_store_sets_window() {
         let mut q = rwq();
         assert!(q.insert(&store(1, 0x1234_5678, vec![1; 4])).unwrap().is_none());
         assert_eq!(q.buffered_entries(), 1);
         assert_eq!(q.stats().entry_misses, 1);
+    }
+
+    #[test]
+    fn window_budgets_track_admission_costs() {
+        let cfg = FinePackConfig::paper(4);
+        let sub = cfg.subheader.bytes();
+        let max = cfg.max_payload;
+        let mut q = RemoteWriteQueue::new(GpuId::new(0), cfg);
+        q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
+        // New entry: charged len + subheader.
+        assert_eq!(q.window_budgets(GpuId::new(1)), vec![(0, max - 8 - sub)]);
+        // Partial overlap: only the 4 fresh bytes are charged.
+        q.insert(&store(1, 0x1004, vec![2; 8])).unwrap();
+        assert_eq!(q.window_budgets(GpuId::new(1)), vec![(0, max - 12 - sub)]);
+        // Full overwrite: nothing fresh, nothing charged.
+        q.insert(&store(1, 0x1000, vec![3; 12])).unwrap();
+        assert_eq!(q.window_budgets(GpuId::new(1)), vec![(0, max - 12 - sub)]);
+        // Other partitions are untouched.
+        assert!(q.window_budgets(GpuId::new(2)).is_empty());
     }
 
     #[test]

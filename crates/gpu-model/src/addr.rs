@@ -9,6 +9,13 @@ use std::fmt;
 
 /// Identifies one GPU in the node.
 ///
+/// Ids are bounded to `0..=255` *by construction*: the only constructor
+/// takes a `u8`, so narrowing an id back to `u8` (or widening it into a
+/// 16-bit wire field such as a PCIe requester id) is lossless. Wire
+/// encoders should use [`GpuId::as_u8`] rather than re-narrowing
+/// [`GpuId::index`] with `as`, which would silently truncate if the
+/// representation ever widened.
+///
 /// # Examples
 ///
 /// ```
@@ -17,6 +24,7 @@ use std::fmt;
 /// let g = GpuId::new(2);
 /// assert_eq!(g.index(), 2);
 /// assert_eq!(g.to_string(), "GPU2");
+/// assert_eq!(GpuId::new(u8::MAX).as_u8(), 255);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GpuId(u8);
@@ -30,6 +38,12 @@ impl GpuId {
     /// The zero-based index.
     pub const fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The id as the `u8` it was constructed from — infallible, unlike
+    /// an `index() as u8` narrowing cast.
+    pub const fn as_u8(self) -> u8 {
+        self.0
     }
 }
 
@@ -159,6 +173,18 @@ mod tests {
         assert_eq!(map.offset_in_window(3 * 4096 + 17), 17);
         assert!(map.is_local(3 * 4096, GpuId::new(3)));
         assert!(!map.is_local(3 * 4096, GpuId::new(0)));
+    }
+
+    #[test]
+    fn gpu_id_boundary_is_lossless() {
+        // The id space is closed under u8: the maximum id survives the
+        // round trip through index() and back out as_u8(), so every
+        // narrowing conversion in wire encoders is infallible.
+        let top = GpuId::new(u8::MAX);
+        assert_eq!(top.index(), 255);
+        assert_eq!(top.as_u8(), u8::MAX);
+        assert_eq!(GpuId::new(top.as_u8()), top);
+        assert_eq!(u16::from(top.as_u8()), 255u16);
     }
 
     #[test]

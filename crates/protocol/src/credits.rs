@@ -122,6 +122,49 @@ impl CreditAccount {
     }
 }
 
+/// Cumulative credit-unit movement over a [`CreditTimeline`]'s
+/// lifetime — the ledger a conservation auditor cross-checks: units
+/// consumed must equal units returned plus units still in flight, and
+/// consumed can never fall below returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CreditTotals {
+    /// Posted-header credit units consumed by admitted TLPs.
+    pub ph_consumed: u64,
+    /// Posted-data credit units (16B each) consumed by admitted TLPs.
+    pub pd_consumed: u64,
+    /// Posted-header units returned by applied `UpdateFC` DLLPs.
+    pub ph_returned: u64,
+    /// Posted-data units returned by applied `UpdateFC` DLLPs.
+    pub pd_returned: u64,
+}
+
+impl CreditTotals {
+    /// Accumulates another ledger into this one (summing across links).
+    pub fn merge(&mut self, other: &CreditTotals) {
+        self.ph_consumed += other.ph_consumed;
+        self.pd_consumed += other.pd_consumed;
+        self.ph_returned += other.ph_returned;
+        self.pd_returned += other.pd_returned;
+    }
+
+    /// `(header, data)` units in flight implied by the ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more units were returned than consumed — the
+    /// conservation violation this ledger exists to expose.
+    pub fn in_flight(&self) -> (u64, u64) {
+        assert!(
+            self.ph_consumed >= self.ph_returned && self.pd_consumed >= self.pd_returned,
+            "credit ledger returned more units than it consumed: {self:?}"
+        );
+        (
+            self.ph_consumed - self.ph_returned,
+            self.pd_consumed - self.pd_returned,
+        )
+    }
+}
+
 /// Sender-side view of one link direction's posted-write flow control:
 /// a [`CreditAccount`] plus the in-flight `UpdateFC` DLLPs that will
 /// return credits at known future times.
@@ -154,6 +197,7 @@ pub struct CreditTimeline {
     return_latency: SimTime,
     updates_received: u64,
     blocked_attempts: u64,
+    totals: CreditTotals,
 }
 
 impl CreditTimeline {
@@ -165,6 +209,7 @@ impl CreditTimeline {
             return_latency,
             updates_received: 0,
             blocked_attempts: 0,
+            totals: CreditTotals::default(),
         }
     }
 
@@ -180,9 +225,12 @@ impl CreditTimeline {
                 Dllp::UpdateFcPosted {
                     header_credits,
                     data_credits,
-                } => self
-                    .account
-                    .release_units(u32::from(header_credits), u32::from(data_credits)),
+                } => {
+                    self.account
+                        .release_units(u32::from(header_credits), u32::from(data_credits));
+                    self.totals.ph_returned += u64::from(header_credits);
+                    self.totals.pd_returned += u64::from(data_credits);
+                }
                 other => unreachable!("pending queue only holds UpdateFcPosted, got {other:?}"),
             }
             self.updates_received += 1;
@@ -227,6 +275,9 @@ impl CreditTimeline {
             return Err(earliest);
         }
         assert!(self.account.try_consume(payload), "admission was checked");
+        let (ph, pd) = CreditAccount::cost(payload);
+        self.totals.ph_consumed += u64::from(ph);
+        self.totals.pd_consumed += u64::from(pd);
         Ok(())
     }
 
@@ -252,14 +303,25 @@ impl CreditTimeline {
 
     /// Applies every scheduled credit return immediately (barrier /
     /// iteration reset: the link quiesces and all buffers drain).
+    ///
+    /// Credits of admitted-but-uncompleted TLPs stay in flight — the
+    /// end-of-run `consumed == returned + in_flight` balance is the
+    /// auditor's law, not this method's postcondition.
     pub fn quiesce(&mut self) {
         self.apply_updates(SimTime::MAX);
-        debug_assert_eq!(self.account.headers_in_flight(), 0, "credits leaked");
     }
 
     /// The underlying sender-side credit account.
     pub fn account(&self) -> &CreditAccount {
         &self.account
+    }
+
+    /// The cumulative consumed/returned credit ledger. At any instant
+    /// the account's in-flight units equal
+    /// `totals().in_flight()` — the conservation law audited at the end
+    /// of every run.
+    pub fn totals(&self) -> &CreditTotals {
+        &self.totals
     }
 
     /// `UpdateFC` DLLPs decoded and applied so far.
@@ -364,6 +426,50 @@ mod tests {
         assert_eq!(tl.admit(SimTime::from_ns(15), 64), Ok(()));
         assert_eq!(tl.updates_received(), 1);
         assert_eq!(tl.dllp_bytes_received(), u64::from(DLLP_WIRE_BYTES));
+    }
+
+    #[test]
+    fn totals_ledger_balances_at_every_step() {
+        let mut tl = CreditTimeline::new(CreditAccount::new(4, 32), SimTime::from_ns(10));
+        assert_eq!(*tl.totals(), CreditTotals::default());
+        assert_eq!(tl.admit(SimTime::ZERO, 64), Ok(())); // 1 PH, 4 PD
+        assert_eq!(tl.admit(SimTime::ZERO, 17), Ok(())); // 1 PH, 2 PD
+        let t = *tl.totals();
+        assert_eq!((t.ph_consumed, t.pd_consumed), (2, 6));
+        assert_eq!((t.ph_returned, t.pd_returned), (0, 0));
+        // The ledger's implied in-flight matches the live account.
+        assert_eq!(
+            t.in_flight(),
+            (
+                u64::from(tl.account().headers_in_flight()),
+                u64::from(tl.account().data_units_in_flight())
+            )
+        );
+        tl.complete(64, SimTime::from_ns(5)); // UpdateFC at 15ns
+        // Blocked probes never move the ledger.
+        let _ = tl.earliest_admission(SimTime::from_ns(6), 4096);
+        assert_eq!(tl.totals().ph_returned, 0);
+        tl.quiesce();
+        let t = *tl.totals();
+        assert_eq!((t.ph_returned, t.pd_returned), (1, 4));
+        assert_eq!(t.in_flight(), (1, 2)); // the un-completed 17B write
+        // Merging sums component-wise.
+        let mut sum = CreditTotals::default();
+        sum.merge(&t);
+        sum.merge(&t);
+        assert_eq!(sum.ph_consumed, 2 * t.ph_consumed);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned more units than it consumed")]
+    fn inverted_ledger_is_a_loud_violation() {
+        let t = CreditTotals {
+            ph_consumed: 1,
+            pd_consumed: 1,
+            ph_returned: 2,
+            pd_returned: 1,
+        };
+        let _ = t.in_flight();
     }
 
     #[test]

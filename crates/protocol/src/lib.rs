@@ -17,7 +17,7 @@
 //!
 //! let fm = FramingModel::pcie_gen4();
 //! // Why FinePack exists: an 8B P2P store wastes 3/4 of the wire.
-//! assert!(fm.goodput(8) < 0.3);
+//! assert!(fm.goodput(8).unwrap() < 0.3);
 //! // while the link itself is fast:
 //! assert_eq!(PcieGen::Gen4.bandwidth().as_gbps(), 32.0);
 //! ```
@@ -34,7 +34,7 @@ mod replay;
 
 use std::fmt;
 
-pub use credits::{CreditAccount, CreditTimeline, PD_UNIT_BYTES};
+pub use credits::{CreditAccount, CreditTimeline, CreditTotals, PD_UNIT_BYTES};
 pub use dllp::{Dllp, DLLP_WIRE_BYTES};
 pub use goodput::{fig2_sizes, goodput_curve, pcie_efficiency, GoodputPoint};
 pub use nvlink::{NvlinkModel, FLIT_BYTES};

@@ -181,14 +181,17 @@ impl FramingModel {
         bytes
     }
 
-    /// Goodput (payload / wire bytes) of a TLP with `payload` bytes.
+    /// Goodput (payload / wire bytes) of a TLP with `payload` bytes, or
+    /// `None` for an empty packet, whose goodput is undefined.
     ///
-    /// # Panics
-    ///
-    /// Panics if `payload` is zero.
-    pub fn goodput(&self, payload: u32) -> f64 {
-        assert!(payload > 0, "goodput of an empty packet is undefined");
-        f64::from(payload) / self.wire_bytes(payload) as f64
+    /// Non-panicking by design: a zero-payload TLP reaching a stats
+    /// path mid-sweep surfaces as a `None` the caller can report,
+    /// rather than aborting the whole sweep.
+    pub fn goodput(&self, payload: u32) -> Option<f64> {
+        if payload == 0 {
+            return None;
+        }
+        Some(f64::from(payload) / self.wire_bytes(payload) as f64)
     }
 }
 
@@ -426,14 +429,16 @@ mod tests {
     fn small_store_goodput_matches_fig2_shape() {
         let fm = FramingModel::pcie_gen4();
         // 32B transfers are roughly half as efficient as 128B (Fig 2 / §I).
-        let g32 = fm.goodput(32);
-        let g128 = fm.goodput(128);
+        let g32 = fm.goodput(32).unwrap();
+        let g128 = fm.goodput(128).unwrap();
         assert!(g32 < 0.62 && g32 > 0.5, "g32={g32}");
         assert!(g128 > 0.8, "g128={g128}");
         // 4B stores are dramatically worse.
-        assert!(fm.goodput(4) < 0.2);
+        assert!(fm.goodput(4).unwrap() < 0.2);
         // Bulk approaches 1.
-        assert!(fm.goodput(4096) > 0.99);
+        assert!(fm.goodput(4096).unwrap() > 0.99);
+        // An empty packet has no goodput — and no panic.
+        assert_eq!(fm.goodput(0), None);
     }
 
     #[test]
@@ -448,7 +453,7 @@ mod tests {
         assert_eq!(nv.wire_bytes(17), 16 + 32); // padded to 2 flits
         // §IV-C: small-packet efficiency of PCIe and NVLink is similar.
         for size in [8u32, 16, 32] {
-            let ratio = pcie.goodput(size) / nv.goodput(size);
+            let ratio = pcie.goodput(size).unwrap() / nv.goodput(size).unwrap();
             assert!((0.5..2.0).contains(&ratio), "size {size}: {ratio}");
         }
     }

@@ -43,13 +43,15 @@ fn tlp_header_roundtrip() {
 #[test]
 fn pcie_goodput_bounds_and_monotonicity() {
     let fm = FramingModel::pcie_gen4();
+    assert_eq!(fm.goodput(0), None, "empty packets have no goodput");
     for payload in 1u32..=4096 {
-        let g = fm.goodput(payload);
+        let g = fm.goodput(payload).unwrap();
         assert!(g > 0.0 && g < 1.0);
         // Goodput is monotonic across DW boundaries (within a DW the
         // padding makes it locally dip, so compare DW-aligned sizes).
         if payload % 4 == 0 && payload > 4 {
-            assert!(fm.goodput(payload) >= fm.goodput(payload - 4) - 1e-12);
+            let prev = fm.goodput(payload - 4).unwrap();
+            assert!(fm.goodput(payload).unwrap() >= prev - 1e-12);
         }
     }
 }

@@ -81,6 +81,21 @@ impl PreparedWorkload {
         &self.runs
     }
 
+    /// The workload's read fraction (drives the useful/wasted split).
+    pub fn read_fraction(&self) -> f64 {
+        self.read_fraction
+    }
+
+    /// The workload's fraction of stores GPS's subscription filter drops.
+    pub fn gps_unsubscribed(&self) -> f64 {
+        self.gps_unsubscribed
+    }
+
+    /// The memcpy paradigm's per-iteration transfer legs.
+    pub fn dma_plan(&self) -> &DmaPlan {
+        &self.dma_plan
+    }
+
     /// Merged replay statistics across GPUs and iterations (Fig 4 data),
     /// cached at preparation time.
     pub fn merged_stats(&self) -> &KernelStats {

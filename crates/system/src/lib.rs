@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod audit;
 mod config;
 mod experiment;
 mod fault;
@@ -38,6 +39,7 @@ mod report;
 mod runner;
 mod topology;
 
+pub use audit::{audit_config_for, audit_run, AuditOutcome};
 pub use config::{CreditConfig, FlowControlMode, SystemConfig};
 pub use experiment::{
     bandwidth_sweep, dma_plan, fault_sweep, geomean_speedup, prepare_apps, run_suite,

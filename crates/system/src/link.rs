@@ -114,6 +114,13 @@ impl Link {
         })
     }
 
+    /// The cumulative credit ledger — units consumed and returned over
+    /// the link's lifetime — when credit flow control is attached.
+    /// Observational, like [`Link::fc_in_flight`].
+    pub fn fc_totals(&self) -> Option<protocol::CreditTotals> {
+        self.fc.as_ref().map(|fc| *fc.totals())
+    }
+
     /// Flow-control statistics, when credit flow control is attached.
     pub fn fc_stats(&self) -> Option<FcStats> {
         self.fc.as_ref().map(|fc| FcStats {

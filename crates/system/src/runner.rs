@@ -216,6 +216,19 @@ impl Runner {
         self.images.as_deref()
     }
 
+    /// The fabric's cumulative credit ledger (consumed/returned units
+    /// summed over every link direction), or `None` under open-loop
+    /// flow control. Observational — read it before [`Runner::finish`].
+    pub fn fc_totals(&self) -> Option<protocol::CreditTotals> {
+        self.fabric.fc_totals_total()
+    }
+
+    /// `(header, data)` credit units currently in flight across the
+    /// fabric; `(0, 0)` under open-loop flow control.
+    pub fn fc_in_flight(&self) -> (u64, u64) {
+        self.fabric.fc_in_flight_total()
+    }
+
     fn deliver(
         &mut self,
         at: SimTime,
@@ -281,6 +294,7 @@ impl Runner {
             kind: EventKind::WireTransmit {
                 dst: p.dst.index() as u8,
                 wire_bytes: p.wire_bytes,
+                payload_bytes: u64::from(p.payload_bytes),
                 stores: p.stores.len() as u32,
                 reason: p.reason.map(|r| r.label()),
                 done: landed,
@@ -446,6 +460,7 @@ impl Runner {
                         kind: EventKind::WireTransmit {
                             dst: dst.index() as u8,
                             wire_bytes: wire,
+                            payload_bytes: *bytes,
                             stores: 0,
                             reason: None,
                             done: landed,

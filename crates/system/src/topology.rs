@@ -372,6 +372,26 @@ impl RoutedFabric {
         total
     }
 
+    /// The cumulative credit ledger summed over every link direction,
+    /// or `None` when flow control is not attached. Observational.
+    pub fn fc_totals_total(&self) -> Option<protocol::CreditTotals> {
+        let mut any = false;
+        let mut total = protocol::CreditTotals::default();
+        for t in self.all_links().filter_map(Link::fc_totals) {
+            any = true;
+            total.merge(&t);
+        }
+        any.then_some(total)
+    }
+
+    /// `(header, data)` credit units in flight summed over every link
+    /// direction; `(0, 0)` when flow control is not attached.
+    pub fn fc_in_flight_total(&self) -> (u64, u64) {
+        self.all_links()
+            .filter_map(Link::fc_in_flight)
+            .fold((0, 0), |(h, d), (lh, ld)| (h + lh, d + ld))
+    }
+
     fn all_links(&self) -> impl Iterator<Item = &Link> {
         self.egress
             .iter()

@@ -56,7 +56,12 @@ pub enum EventKind {
         dst: u8,
         /// Total bytes on the wire.
         wire_bytes: u64,
-        /// Stores aggregated into the TLP.
+        /// TLP payload bytes (sub-headers included; framing excluded) —
+        /// for bulk DMA (`stores == 0`), the whole transfer's payload,
+        /// split across max-payload TLPs on the wire. Lets an auditor
+        /// recompute `wire_bytes` from the protocol framing math alone.
+        payload_bytes: u64,
+        /// Stores aggregated into the TLP (0 for bulk DMA).
         stores: u32,
         /// Flush reason that produced the TLP (`None` for uncoalesced
         /// paths, atomics, and bulk DMA).
@@ -191,6 +196,7 @@ mod tests {
             kind: EventKind::WireTransmit {
                 dst: 0,
                 wire_bytes: 128,
+                payload_bytes: 104,
                 stores: 4,
                 reason: Some("release"),
                 done: SimTime::from_ns(20),

@@ -114,6 +114,7 @@ pub fn chrome_trace(events: &[TraceEvent], samples: &[Sample]) -> String {
             EventKind::WireTransmit {
                 dst,
                 wire_bytes,
+                payload_bytes,
                 stores,
                 reason,
                 done,
@@ -122,7 +123,8 @@ pub fn chrome_trace(events: &[TraceEvent], samples: &[Sample]) -> String {
                 format!(
                     "{{\"name\":\"tlp:{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
                      \"ts\":{ts:.6},\"dur\":{dur:.6},\"args\":{{\"dst\":{dst},\
-                     \"wire_bytes\":{wire_bytes},\"stores\":{stores}}}}}",
+                     \"wire_bytes\":{wire_bytes},\"payload_bytes\":{payload_bytes},\
+                     \"stores\":{stores}}}}}",
                     reason.unwrap_or("uncoalesced")
                 )
             }
@@ -248,6 +250,7 @@ mod tests {
                 kind: EventKind::WireTransmit {
                     dst: 1,
                     wire_bytes: 128,
+                    payload_bytes: 104,
                     stores: 5,
                     reason: Some("release"),
                     done: SimTime::from_ns(7),

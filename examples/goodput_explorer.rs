@@ -45,7 +45,7 @@ fn main() {
     println!(
         "\nA raw 8B P2P store reaches {:.1}%; 42 packed stores rival a 128B bulk write \
          ({:.1}%) — the 3x interconnect-efficiency headline.",
-        100.0 * fm.goodput(8),
-        100.0 * fm.goodput(128)
+        100.0 * fm.goodput(8).expect("non-empty"),
+        100.0 * fm.goodput(128).expect("non-empty")
     );
 }

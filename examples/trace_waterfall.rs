@@ -52,6 +52,7 @@ fn main() {
                 stores,
                 reason,
                 done,
+                ..
             } => {
                 pending = Some(TlpRow {
                     start: e.time,

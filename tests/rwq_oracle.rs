@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use finepack::{FinePackConfig, FlushReason, RemoteWriteQueue};
+use finepack::{AllocationPolicy, FinePackConfig, FlushReason, RemoteWriteQueue};
 use gpu_model::{GpuId, RemoteStore};
 use sim_engine::DetRng;
 
@@ -127,6 +127,78 @@ fn random_store(rng: &mut DetRng) -> RemoteStore {
         // Two 1GB-window-crossing regions to exercise window misses.
         addr: (u64::from(dst % 2) << 31) + line * 128 + u64::from(off),
         data: vec![v; len as usize],
+    }
+}
+
+/// Byte conservation at the queue boundary: every masked byte a store
+/// delivers is either committed by some flush or elided as an overwrite
+/// of a still-buffered byte — nothing is lost or invented. Random
+/// streams hit same-address overwrites, window misses, and (under
+/// `DynamicShared`) cross-destination evictions.
+#[test]
+fn masked_bytes_are_conserved_through_the_queue() {
+    let mut rng = DetRng::new(0x09_0002, "rwq-conservation");
+    for alloc in [
+        AllocationPolicy::StaticPartition,
+        AllocationPolicy::DynamicShared,
+    ] {
+        for _ in 0..32 {
+            let stores: Vec<RemoteStore> = (0..rng.next_in_range(1, 300))
+                .map(|_| random_store(&mut rng))
+                .collect();
+            let cfg = FinePackConfig::paper(4).with_allocation(alloc);
+            let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
+            let mut issued = 0u64;
+            let mut committed = 0u64;
+            for s in &stores {
+                issued += u64::from(s.len());
+                if let Some(batch) = rwq.insert(s).expect("valid store") {
+                    committed += batch_bytes(&batch).len() as u64;
+                }
+            }
+            for batch in rwq.flush_all(FlushReason::Release) {
+                committed += batch_bytes(&batch).len() as u64;
+            }
+            assert_eq!(
+                issued,
+                committed + rwq.stats().overwritten_bytes,
+                "byte conservation broke under {alloc:?}: \
+                 {issued} issued != {committed} committed + {} overwritten",
+                rwq.stats().overwritten_bytes
+            );
+        }
+    }
+}
+
+/// Pins the queue's `available_payload` charges to the oracle's payload
+/// accounting: after every insert, each open window's remaining budget
+/// must equal `max_payload` minus the §IV-B cost of everything merged
+/// into it (fresh bytes on hits, data plus subheader on new lines).
+#[test]
+fn window_budgets_match_the_oracle_payload_accounting() {
+    let mut rng = DetRng::new(0x09_0003, "rwq-budget");
+    for _ in 0..32 {
+        let stores: Vec<RemoteStore> = (0..rng.next_in_range(1, 300))
+            .map(|_| random_store(&mut rng))
+            .collect();
+        let cfg = FinePackConfig::paper(4);
+        let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
+        let mut oracle = Oracle::default();
+        for s in &stores {
+            let _ = rwq.insert(s).expect("valid store");
+            let _ = oracle.insert(&cfg, s);
+            for (dst, w) in &oracle.open {
+                let budgets = rwq.window_budgets(GpuId::new(*dst));
+                assert_eq!(budgets.len(), 1, "paper config keeps one window open");
+                assert_eq!(budgets[0].0, w.base, "window base diverged");
+                assert_eq!(
+                    budgets[0].1,
+                    cfg.max_payload - w.payload_used,
+                    "available payload diverged for dst {dst} at base {:#x}",
+                    w.base
+                );
+            }
+        }
     }
 }
 

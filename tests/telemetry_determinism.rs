@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 
 use sim_engine::SimTime;
 use system::{Paradigm, PreparedWorkload, SystemConfig};
-use telemetry::{EventKind, NullCollector, TraceHandle};
+use telemetry::{AuditCollector, EventKind, NullCollector, TraceHandle};
 use workloads::{suite, RunSpec};
 
 #[test]
@@ -52,6 +52,41 @@ fn tracing_never_perturbs_results() {
                     app.name()
                 );
             }
+        }
+    }
+}
+
+/// The conservation auditor is an observer like any other collector: a
+/// run with an [`AuditCollector`] attached (the whole `audit_run`
+/// pipeline) must report byte-identically to an untraced run.
+#[test]
+fn auditing_never_perturbs_results() {
+    let cfg = SystemConfig::paper(2);
+    let spec = RunSpec::tiny();
+    for app in suite() {
+        let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
+        for p in [Paradigm::BulkDma, Paradigm::P2pStores, Paradigm::FinePack] {
+            let plain = prep.try_run(&cfg, p).expect("plain run");
+            let handle = TraceHandle::new(Arc::new(Mutex::new(AuditCollector::new(
+                system::audit_config_for(&cfg, p),
+            ))));
+            let audited = prep
+                .try_run_traced(&cfg, p, handle, Some(SimTime::from_ns(100)))
+                .expect("audited run");
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{audited:?}"),
+                "{} {p}: AuditCollector changed the report",
+                app.name()
+            );
+            let outcome = system::audit_run(&prep, &cfg, p).expect("full audit");
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{:?}", outcome.report),
+                "{} {p}: audit_run changed the report",
+                app.name()
+            );
+            outcome.assert_clean();
         }
     }
 }

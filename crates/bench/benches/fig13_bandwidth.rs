@@ -18,10 +18,22 @@ fn main() {
         Paradigm::FinePack,
         Paradigm::InfiniteBw,
     ];
-    let sweep = bandwidth_sweep(&apps, &cfg, &spec, &paradigms, &WorkerPool::default_parallel());
+    let sweep = bandwidth_sweep(
+        &apps,
+        &cfg,
+        &spec,
+        &paradigms,
+        &WorkerPool::default_parallel(),
+    );
     let mut table = Table::new(
         "Fig 13: geomean speedup vs interconnect bandwidth",
-        &["interconnect", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
+        &[
+            "interconnect",
+            "bulk-dma",
+            "p2p-stores",
+            "finepack",
+            "infinite-bw",
+        ],
     );
     for (gen, means) in &sweep {
         let get = |p: Paradigm| {
@@ -43,7 +55,11 @@ fn main() {
 
     println!();
     for (gen, means) in &sweep {
-        let fp = means.iter().find(|(p, _)| *p == Paradigm::FinePack).expect("fp").1;
+        let fp = means
+            .iter()
+            .find(|(p, _)| *p == Paradigm::FinePack)
+            .expect("fp")
+            .1;
         let others: Vec<f64> = means
             .iter()
             .filter(|(p, _)| matches!(p, Paradigm::BulkDma | Paradigm::P2pStores))

@@ -9,10 +9,7 @@ use sim_engine::{Table, ThroughputReport, WallClock, WorkerPool};
 use system::{run_suite, Paradigm, SuiteResult};
 use workloads::{suite, Workload};
 
-fn timed(
-    apps: &[Box<dyn Workload>],
-    pool: &WorkerPool,
-) -> (SuiteResult, ThroughputReport) {
+fn timed(apps: &[Box<dyn Workload>], pool: &WorkerPool) -> (SuiteResult, ThroughputReport) {
     let cfg = paper_system();
     let spec = paper_spec();
     let clock = WallClock::start();

@@ -18,7 +18,13 @@ fn main() {
     ];
     let mut table = Table::new(
         "FinePack benefit across interconnect framings (32 GB/s links)",
-        &["framing", "per-TLP overhead", "p2p geomean", "finepack geomean", "fp/p2p"],
+        &[
+            "framing",
+            "per-TLP overhead",
+            "p2p geomean",
+            "finepack geomean",
+            "fp/p2p",
+        ],
     );
     for (name, framing) in framings {
         let cfg = SystemConfig {

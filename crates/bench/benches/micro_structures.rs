@@ -50,7 +50,10 @@ fn main() {
     let mut row = |name: &str, ns: f64| table.row(&[name.to_string(), format!("{ns:.1}")]);
 
     // Remote-write-queue insertion, scattered vs dense stores.
-    for (name, stride, len) in [("rwq_insert/scattered_8B", 192u64, 8usize), ("rwq_insert/dense_128B", 128, 128)] {
+    for (name, stride, len) in [
+        ("rwq_insert/scattered_8B", 192u64, 8usize),
+        ("rwq_insert/dense_128B", 128, 128),
+    ] {
         let batch = stores(1024, stride, len);
         let ns = time_per_elem(21, batch.len() as u64, || {
             let mut rwq = RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4));
@@ -71,7 +74,9 @@ fn main() {
     let batch = rwq.flush_all(FlushReason::Release).remove(0);
     row(
         "packetize_60_stores",
-        time_per_elem(101, 1, || packetize(std::hint::black_box(&batch), &cfg, GpuId::new(0))),
+        time_per_elem(101, 1, || {
+            packetize(std::hint::black_box(&batch), &cfg, GpuId::new(0))
+        }),
     );
 
     // Wire encode/decode of an aggregated packet.

@@ -60,7 +60,10 @@ fn main() {
         &["policy", "geomean speedup"],
     );
     for (name, policy) in [
-        ("static partition (paper)", AllocationPolicy::StaticPartition),
+        (
+            "static partition (paper)",
+            AllocationPolicy::StaticPartition,
+        ),
         ("dynamic shared pool", AllocationPolicy::DynamicShared),
     ] {
         let fp = FinePackConfig::paper(4).with_allocation(policy);

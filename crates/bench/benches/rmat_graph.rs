@@ -6,7 +6,7 @@
 use bench::{paper_spec, paper_system, x2};
 use sim_engine::Table;
 use system::{speedup_row, Paradigm, PreparedWorkload};
-use workloads::{PagerankGraph, Pagerank, RmatParams, Workload};
+use workloads::{Pagerank, PagerankGraph, RmatParams, Workload};
 
 fn main() {
     let cfg = paper_system();

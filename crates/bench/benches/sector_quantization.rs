@@ -15,7 +15,13 @@ fn main() {
     let spec = paper_spec();
     let mut table = Table::new(
         "Raw P2P wire bytes: byte-enable-exact vs 32B-sector-quantized",
-        &["app", "byte-exact", "sector-quantized", "inflation", "fp advantage grows to"],
+        &[
+            "app",
+            "byte-exact",
+            "sector-quantized",
+            "inflation",
+            "fp advantage grows to",
+        ],
     );
     for app in suite() {
         let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);

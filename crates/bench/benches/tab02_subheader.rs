@@ -7,7 +7,12 @@ use sim_engine::Table;
 fn main() {
     let mut table = Table::new(
         "Table II: sub-transaction header formats",
-        &["header bytes", "length bits", "address bits", "addressable range"],
+        &[
+            "header bytes",
+            "length bits",
+            "address bits",
+            "addressable range",
+        ],
     );
     for bytes in 2..=6u32 {
         let f = SubheaderFormat::new(bytes).expect("2..=6 valid");

@@ -39,12 +39,7 @@ fn main() {
     for us in [1u64, 4, 16, 64] {
         let cfg = paper_system().with_finepack_timeout(SimTime::from_us(us));
         let (s, p, w) = run_with(&cfg);
-        table.row(&[
-            format!("{us}us"),
-            x2(s),
-            format!("{p:.1}"),
-            w.to_string(),
-        ]);
+        table.row(&[format!("{us}us"), x2(s), format!("{p:.1}"), w.to_string()]);
     }
     table.print();
     println!();

@@ -12,7 +12,16 @@ fn main() {
     let spec = RunSpec::paper(4);
     let mut table = Table::new(
         "calibration: speedups and wire ratios at 4 GPUs / PCIe 4.0",
-        &["app", "dma", "p2p", "fp", "inf", "stores/pkt", "p2p/fp wire", "dma/fp wire"],
+        &[
+            "app",
+            "dma",
+            "p2p",
+            "fp",
+            "inf",
+            "stores/pkt",
+            "p2p/fp wire",
+            "dma/fp wire",
+        ],
     );
     let mut rows = Vec::new();
     for app in suite() {
@@ -29,8 +38,14 @@ fn main() {
             s(Paradigm::FinePack),
             s(Paradigm::InfiniteBw),
             format!("{:.1}", fp.mean_stores_per_packet().unwrap_or(0.0)),
-            format!("{:.2}", p2p.traffic.total() as f64 / fp.traffic.total() as f64),
-            format!("{:.2}", dma.traffic.total() as f64 / fp.traffic.total() as f64),
+            format!(
+                "{:.2}",
+                p2p.traffic.total() as f64 / fp.traffic.total() as f64
+            ),
+            format!(
+                "{:.2}",
+                dma.traffic.total() as f64 / fp.traffic.total() as f64
+            ),
         ]);
         rows.push(row);
     }

@@ -6,15 +6,19 @@ use finepack::{AllocationPolicy, AreaModel, FinePackConfig, FlushReason, Subhead
 use gpu_model::{profile_run, read_trace, write_trace, AddressMap, Gpu, GpuId};
 use protocol::{fig2_sizes, FramingModel, PcieGen};
 use sim_engine::Table;
-use sim_engine::{SimTime, ThroughputReport, WallClock, WorkerPool};
+use sim_engine::{
+    ChaosConfig, QuietPanicGuard, RetryPolicy, SimTime, ThroughputReport, WallClock, WorkerPool,
+};
 use system::{
-    audit_run, fault_sweep, run_suite, single_gpu_time, subheader_sweep, CreditConfig,
-    FaultProfile, FlowControlMode, Paradigm, PreparedWorkload, SystemConfig,
+    audit_run, fault_sweep, run_suite, run_suite_supervised, single_gpu_time, subheader_sweep,
+    CreditConfig, FaultProfile, FlowControlMode, Paradigm, PreparedWorkload, RunBudget,
+    Supervision, SystemConfig,
 };
 use telemetry::{EventKind, Law, Sample, TraceEvent, TraceHandle};
 use workloads::{suite, RunSpec, Workload};
 
 use crate::args::{ArgError, Args};
+use crate::error::{CliError, CmdOut};
 
 /// The `help` text.
 pub(crate) fn help() -> String {
@@ -29,9 +33,12 @@ COMMANDS:
                    [--iterations K] [--scale-down S] [--windows W]
                    [--flow-control open|credited]
                    [--ber RATE] [--fault-profile clean|noisy|outage|degraded|stuck]
-  suite            Fig 9 table for the whole application suite
+  suite            Fig 9 table for the whole application suite, run
+                   under the supervisor (panic isolation, retries,
+                   budgets, chaos injection)
                    [--gpus N] [--pcie 4|5|6] [--scale-down S]
                    [--flow-control open|credited] [--jobs N]
+                   [--retries N] [--chaos RATE] [--run-budget SPEC]
   goodput          goodput-vs-size curve (Fig 2)
                    [--framing pcie|cxl|nvlink]
   sweep-subheader  Table II / Fig 12 sub-header sweep
@@ -85,6 +92,22 @@ JOBS: `--jobs N` fans sweeps out over N worker threads (default: the
 machine's available parallelism; `--jobs 1` forces the serial path).
 Output is byte-identical for every N — parallelism never changes
 results, only wall-clock time.
+
+SUPERVISION (suite): `--retries N` re-runs a failed sweep point up to N
+extra times with the same derived seed (only the attempt index changes);
+`--chaos RATE` injects deterministic failures (forced panics, slowdowns,
+budget trips) at the given per-kind probability in [0, 1] to exercise
+the supervisor — at a fixed seed the full report, including which points
+failed and after how many retries, is byte-identical at every --jobs;
+`--run-budget SPEC` bounds each run, where SPEC is a plain integer
+(event ceiling) or comma-separated `events=N`, `sim-ms=N`, `stall=N`
+(events without forward progress). Budget trips, panics, and runner
+errors become per-point failures: the table keeps the surviving rows
+and a `failed points` section lists the rest.
+
+EXIT CODES: 0 clean; 3 partial results (some supervised sweep points
+failed after retries); 2 unrecoverable (usage, I/O, or simulation
+error).
 "
     .to_string()
 }
@@ -131,7 +154,68 @@ fn system_from(args: &Args, spec: &RunSpec) -> Result<SystemConfig, ArgError> {
     if let Some(profile) = fault_profile_from(args)? {
         cfg = cfg.with_faults(profile);
     }
+    if let Some(budget) = run_budget_from(args)? {
+        cfg = cfg.with_run_budget(budget);
+    }
     Ok(cfg)
+}
+
+/// Parses `--run-budget SPEC`: a plain integer (event ceiling) or a
+/// comma-separated list of `events=N`, `sim-ms=N`, `stall=N` (events
+/// without forward progress).
+fn run_budget_from(args: &Args) -> Result<Option<RunBudget>, ArgError> {
+    let Some(spec) = args.get("run-budget") else {
+        return Ok(None);
+    };
+    let invalid = |value: &str| ArgError::Invalid {
+        key: "run-budget".into(),
+        value: value.to_string(),
+        expected: "an event count, or `events=N,sim-ms=N,stall=N` parts",
+    };
+    let mut budget = RunBudget::unlimited();
+    for part in spec.split(',') {
+        let (key, value) = match part.split_once('=') {
+            Some(kv) => kv,
+            None => ("events", part),
+        };
+        let n: u64 = value.trim().parse().map_err(|_| invalid(part))?;
+        if n == 0 {
+            return Err(invalid(part));
+        }
+        match key.trim() {
+            "events" => budget = budget.with_max_events(n),
+            "sim-ms" => budget = budget.with_max_sim_time(SimTime::from_ms(n)),
+            "stall" => budget = budget.with_progress_watchdog(n),
+            _ => return Err(invalid(part)),
+        }
+    }
+    Ok(Some(budget))
+}
+
+/// Parses `--retries N` into a [`RetryPolicy`] (default: no retries).
+fn retry_policy_from(args: &Args) -> Result<RetryPolicy, ArgError> {
+    Ok(RetryPolicy::retries(args.get_parsed(
+        "retries",
+        0u32,
+        "retry count",
+    )?))
+}
+
+/// Parses `--chaos RATE` into a deterministic chaos injector config.
+fn chaos_from(args: &Args) -> Result<Option<ChaosConfig>, ArgError> {
+    let Some(v) = args.get("chaos") else {
+        return Ok(None);
+    };
+    let invalid = || ArgError::Invalid {
+        key: "chaos".into(),
+        value: v.to_string(),
+        expected: "injection rate in [0, 1]",
+    };
+    let rate: f64 = v.parse().map_err(|_| invalid())?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(invalid());
+    }
+    Ok(Some(ChaosConfig::uniform(rate)))
 }
 
 /// Parses `--jobs N` into a [`WorkerPool`] (default: the machine's
@@ -220,7 +304,7 @@ fn fault_profile_from(args: &Args) -> Result<Option<FaultProfile>, ArgError> {
 }
 
 /// `goodput [--framing pcie|cxl|nvlink]`
-pub(crate) fn goodput(args: &Args) -> Result<String, ArgError> {
+pub(crate) fn goodput(args: &Args) -> Result<String, CliError> {
     args.expect_only(&["framing"])?;
     let (name, fm) = match args.get_or("framing", "pcie") {
         "pcie" => ("PCIe 4.0", FramingModel::pcie_gen4()),
@@ -231,7 +315,8 @@ pub(crate) fn goodput(args: &Args) -> Result<String, ArgError> {
                 key: "framing".into(),
                 value: other.to_string(),
                 expected: "pcie, cxl, or nvlink",
-            })
+            }
+            .into())
         }
     };
     let mut t = Table::new(
@@ -250,7 +335,7 @@ pub(crate) fn goodput(args: &Args) -> Result<String, ArgError> {
 }
 
 /// `run --app <name> ...`
-pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
+pub(crate) fn run_app(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "app",
         "gpus",
@@ -262,6 +347,7 @@ pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
         "flow-control",
         "ber",
         "fault-profile",
+        "run-budget",
     ])?;
     let app = find_app(args.get_or("app", "pagerank"))?;
     let spec = spec_from(args)?;
@@ -276,7 +362,13 @@ pub(crate) fn run_app(args: &Args) -> Result<String, ArgError> {
             cfg.pcie_gen,
             app.pattern()
         ),
-        &["paradigm", "speedup", "wire bytes", "stores/packet", "stall"],
+        &[
+            "paradigm",
+            "speedup",
+            "wire bytes",
+            "stores/packet",
+            "stall",
+        ],
     );
     for p in [
         Paradigm::BulkDma,
@@ -332,7 +424,7 @@ fn find_paradigm(name: &str) -> Result<Paradigm, ArgError> {
 }
 
 /// `faults [--app <name>] [--paradigm <name>] ...`
-pub(crate) fn faults(args: &Args) -> Result<String, ArgError> {
+pub(crate) fn faults(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "app",
         "gpus",
@@ -389,7 +481,10 @@ pub(crate) fn faults(args: &Args) -> Result<String, ArgError> {
                         .unwrap_or_else(|| "-".into()),
                     total.to_string(),
                     r.replayed_bytes.to_string(),
-                    format!("{:.2}%", 100.0 * r.replayed_bytes as f64 / total.max(1) as f64),
+                    format!(
+                        "{:.2}%",
+                        100.0 * r.replayed_bytes as f64 / total.max(1) as f64
+                    ),
                     r.link_retrains.to_string(),
                     worst,
                 ]);
@@ -409,7 +504,7 @@ pub(crate) fn faults(args: &Args) -> Result<String, ArgError> {
 }
 
 /// `suite ...`
-pub(crate) fn suite_table(args: &Args) -> Result<String, ArgError> {
+pub(crate) fn suite_table(args: &Args) -> Result<CmdOut, CliError> {
     args.expect_only(&[
         "gpus",
         "pcie",
@@ -418,16 +513,37 @@ pub(crate) fn suite_table(args: &Args) -> Result<String, ArgError> {
         "seed",
         "jobs",
         "flow-control",
+        "retries",
+        "chaos",
+        "run-budget",
     ])?;
     let spec = spec_from(args)?;
     let cfg = system_from(args, &spec)?;
     let pool = pool_from(args)?;
-    let result = run_suite(&suite(), &cfg, &spec, &Paradigm::FIG9, &pool);
+    let supervision = Supervision {
+        policy: retry_policy_from(args)?,
+        chaos: chaos_from(args)?,
+    };
+    // Chaos panics are expected noise: silence the default panic hook's
+    // stderr chatter while the supervisor catches them.
+    let _quiet = supervision
+        .chaos
+        .as_ref()
+        .map(|_| QuietPanicGuard::engage());
+    let sup = run_suite_supervised(
+        &suite(),
+        &cfg,
+        &spec,
+        &Paradigm::FIG9,
+        &pool,
+        supervision,
+        &TraceHandle::off(),
+    );
     let mut t = Table::new(
         format!("suite speedups on {} GPUs, {}", spec.num_gpus, cfg.pcie_gen),
         &["app", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
     );
-    for row in &result.rows {
+    for row in sup.points.iter().filter_map(|p| p.row.as_ref()) {
         let cell = |p| format!("{:.2}x", row.speedup(p).expect("measured"));
         t.row(&[
             row.app.clone(),
@@ -437,11 +553,45 @@ pub(crate) fn suite_table(args: &Args) -> Result<String, ArgError> {
             cell(Paradigm::InfiniteBw),
         ]);
     }
-    Ok(t.render())
+    let mut out = t.render();
+    if sup.retried().next().is_some() {
+        let _ = writeln!(out, "\nretried points:");
+        for p in sup.retried() {
+            let verdict = if p.is_ok() {
+                format!("succeeded after {} attempts", p.attempts)
+            } else {
+                format!("failed after {} attempts", p.attempts)
+            };
+            let _ = writeln!(out, "  {}: {verdict}", p.app);
+            for (i, failure) in p.failures.iter().enumerate() {
+                let _ = writeln!(out, "    attempt {}: {failure}", i + 1);
+            }
+        }
+    }
+    let partial = !sup.all_ok();
+    if partial {
+        let failed = sup.failed().count();
+        let _ = writeln!(
+            out,
+            "\nfailed points ({failed} of {} apps):",
+            sup.points.len()
+        );
+        for p in sup.failed() {
+            let _ = writeln!(
+                out,
+                "  {}: {} (after {} attempts)",
+                p.app,
+                p.final_failure().expect("failed point has a failure"),
+                p.attempts
+            );
+        }
+        let _ = writeln!(out, "partial results: exiting with code 3");
+    }
+    Ok(CmdOut { text: out, partial })
 }
 
 /// `sweep-subheader ...`
-pub(crate) fn sweep_subheader(args: &Args) -> Result<String, ArgError> {
+pub(crate) fn sweep_subheader(args: &Args) -> Result<String, CliError> {
     args.expect_only(&["app", "gpus", "scale-down", "iterations", "seed", "jobs"])?;
     let spec = spec_from(args)?;
     let cfg = SystemConfig::paper(spec.num_gpus);
@@ -467,7 +617,7 @@ pub(crate) fn sweep_subheader(args: &Args) -> Result<String, ArgError> {
 }
 
 /// `area [--gpus N]`
-pub(crate) fn area(args: &Args) -> Result<String, ArgError> {
+pub(crate) fn area(args: &Args) -> Result<String, CliError> {
     args.expect_only(&["gpus"])?;
     let gpus: u32 = args.get_parsed("gpus", 4u32, "integer >= 2")?;
     let cfg = FinePackConfig::paper(gpus);
@@ -498,7 +648,7 @@ pub(crate) fn area(args: &Args) -> Result<String, ArgError> {
 /// `trace [--app <name>] [--paradigm <name>] [--format chrome|csv] ...`:
 /// runs one (app, paradigm) with a ring collector attached and exports
 /// the recorded lifecycle events and time-series samples.
-pub(crate) fn trace(args: &Args) -> Result<String, String> {
+pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "app",
         "paradigm",
@@ -511,32 +661,38 @@ pub(crate) fn trace(args: &Args) -> Result<String, String> {
         "flow-control",
         "ber",
         "fault-profile",
+        "run-budget",
         "format",
         "out",
         "sample-interval",
         "capacity",
-    ])
-    .map_err(|e| e.to_string())?;
-    let app = find_app(args.get_or("app", "jacobi")).map_err(|e| e.to_string())?;
-    let spec = spec_from(args).map_err(|e| e.to_string())?;
-    let cfg = system_from(args, &spec).map_err(|e| e.to_string())?;
-    let paradigm = find_paradigm(args.get_or("paradigm", "finepack")).map_err(|e| e.to_string())?;
+    ])?;
+    let app = find_app(args.get_or("app", "jacobi"))?;
+    let spec = spec_from(args)?;
+    let cfg = system_from(args, &spec)?;
+    let paradigm = find_paradigm(args.get_or("paradigm", "finepack"))?;
     let format = args.get_or("format", "chrome");
     if !matches!(format, "chrome" | "csv") {
-        return Err(format!("--format must be chrome or csv, got `{format}`"));
+        return Err(CliError::Usage(format!(
+            "--format must be chrome or csv, got `{format}`"
+        )));
     }
-    let sample_ns: u64 = args
-        .get_parsed("sample-interval", 100u64, "nanoseconds (0 disables sampling)")
-        .map_err(|e| e.to_string())?;
-    let capacity: usize = args
-        .get_parsed("capacity", 1usize << 20, "positive ring capacity")
-        .map_err(|e| e.to_string())?;
+    let sample_ns: u64 = args.get_parsed(
+        "sample-interval",
+        100u64,
+        "nanoseconds (0 disables sampling)",
+    )?;
+    let capacity: usize = args.get_parsed("capacity", 1usize << 20, "positive ring capacity")?;
     if capacity == 0 {
-        return Err("--capacity must be positive".into());
+        return Err(CliError::Usage("--capacity must be positive".into()));
     }
     let out_path = args.get_or(
         "out",
-        if format == "chrome" { "trace.json" } else { "trace.csv" },
+        if format == "chrome" {
+            "trace.json"
+        } else {
+            "trace.csv"
+        },
     );
 
     let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
@@ -544,10 +700,12 @@ pub(crate) fn trace(args: &Args) -> Result<String, String> {
     let sample_every = (sample_ns > 0).then(|| SimTime::from_ns(sample_ns));
     let report = prep
         .try_run_traced(&cfg, paradigm, handle, sample_every)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Failed(e.to_string()))?;
 
     let (events, samples, dropped): (Vec<TraceEvent>, Vec<Sample>, u64) = {
-        let collector = ring.lock().expect("trace collector lock");
+        let collector = ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         (
             collector.events().copied().collect(),
             collector.samples().copied().collect(),
@@ -565,11 +723,11 @@ pub(crate) fn trace(args: &Args) -> Result<String, String> {
                 .count() as u64;
             let in_report = report.egress.flushes_for(reason);
             if in_trace != in_report {
-                return Err(format!(
+                return Err(CliError::Failed(format!(
                     "trace self-check failed: {in_trace} `{}` flush events \
                      vs {in_report} in the run's aggregates",
                     reason.label()
-                ));
+                )));
             }
         }
     }
@@ -578,7 +736,7 @@ pub(crate) fn trace(args: &Args) -> Result<String, String> {
         "chrome" => telemetry::chrome_trace(&events, &samples),
         _ => telemetry::time_series_csv(&samples),
     };
-    std::fs::write(out_path, &rendered).map_err(|e| format!("writing {out_path}: {e}"))?;
+    std::fs::write(out_path, &rendered).map_err(|e| CliError::io(out_path, e))?;
 
     let mut by_label: std::collections::BTreeMap<&'static str, u64> = Default::default();
     for e in &events {
@@ -622,13 +780,19 @@ pub(crate) fn trace(args: &Args) -> Result<String, String> {
 /// paradigm (FinePack additionally under both RWQ allocation policies)
 /// — and fails (non-zero exit) with a per-law report if any run
 /// violates a conservation law.
-pub(crate) fn audit(args: &Args) -> Result<String, String> {
-    args.expect_only(&["app", "paradigm", "gpus", "iterations", "scale-down", "seed"])
-        .map_err(|e| e.to_string())?;
-    let app = find_app(args.get_or("app", "jacobi")).map_err(|e| e.to_string())?;
-    let spec = spec_from(args).map_err(|e| e.to_string())?;
+pub(crate) fn audit(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&[
+        "app",
+        "paradigm",
+        "gpus",
+        "iterations",
+        "scale-down",
+        "seed",
+    ])?;
+    let app = find_app(args.get_or("app", "jacobi"))?;
+    let spec = spec_from(args)?;
     let paradigms: Vec<Paradigm> = match args.get("paradigm") {
-        Some(name) => vec![find_paradigm(name).map_err(|e| e.to_string())?],
+        Some(name) => vec![find_paradigm(name)?],
         None => vec![
             Paradigm::BulkDma,
             Paradigm::P2pStores,
@@ -647,11 +811,7 @@ pub(crate) fn audit(args: &Args) -> Result<String, String> {
         ("ber-1e-6", Some(FaultProfile::new(1e-6))),
         (
             "outage",
-            Some(FaultProfile::new(0.0).with_outage(
-                0,
-                SimTime::from_us(5),
-                SimTime::from_us(60),
-            )),
+            Some(FaultProfile::new(0.0).with_outage(0, SimTime::from_us(5), SimTime::from_us(60))),
         ),
     ];
     let allocations_for = |p: Paradigm| -> &'static [(&'static str, AllocationPolicy)] {
@@ -693,17 +853,12 @@ pub(crate) fn audit(args: &Args) -> Result<String, String> {
                         );
                         match audit_run(&prep, &cfg, paradigm) {
                             Ok(outcome) => {
-                                for (total, count) in
-                                    law_totals.iter_mut().zip(outcome.law_counts)
+                                for (total, count) in law_totals.iter_mut().zip(outcome.law_counts)
                                 {
                                     *total += count;
                                 }
                                 if !outcome.is_clean() {
-                                    let _ = writeln!(
-                                        failures,
-                                        "{point}:\n{}",
-                                        outcome.rendered
-                                    );
+                                    let _ = writeln!(failures, "{point}:\n{}", outcome.rendered);
                                 }
                             }
                             Err(e) => {
@@ -734,7 +889,7 @@ pub(crate) fn audit(args: &Args) -> Result<String, String> {
         Ok(out)
     } else {
         let _ = writeln!(out, "\nviolating points:\n{failures}");
-        Err(out)
+        Err(CliError::Failed(out))
     }
 }
 
@@ -754,7 +909,7 @@ fn timed_suite(
 
 /// `bench ...`: times the full suite serially and under the worker
 /// pool, checks the outputs match, and writes the comparison as JSON.
-pub(crate) fn bench(args: &Args) -> Result<String, String> {
+pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "gpus",
         "pcie",
@@ -763,12 +918,12 @@ pub(crate) fn bench(args: &Args) -> Result<String, String> {
         "seed",
         "jobs",
         "flow-control",
+        "run-budget",
         "out",
-    ])
-    .map_err(|e| e.to_string())?;
-    let spec = spec_from(args).map_err(|e| e.to_string())?;
-    let cfg = system_from(args, &spec).map_err(|e| e.to_string())?;
-    let pool = pool_from(args).map_err(|e| e.to_string())?;
+    ])?;
+    let spec = spec_from(args)?;
+    let cfg = system_from(args, &spec)?;
+    let pool = pool_from(args)?;
     let out_path = args.get_or("out", "BENCH_harness.json");
     let apps = suite();
 
@@ -819,7 +974,7 @@ pub(crate) fn bench(args: &Args) -> Result<String, String> {
         speedup / pool.jobs() as f64,
         deterministic,
     );
-    std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    std::fs::write(out_path, &json).map_err(|e| CliError::io(out_path, e))?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -856,29 +1011,30 @@ pub(crate) fn bench(args: &Args) -> Result<String, String> {
         );
     }
     if !deterministic {
-        return Err(format!(
+        return Err(CliError::Failed(format!(
             "parallel suite output diverged from serial (jobs = {})",
             pool.jobs()
-        ));
+        )));
     }
     Ok(out)
 }
 
 /// `record --app <name> --out <dir> ...`
-pub(crate) fn record(args: &Args) -> Result<String, String> {
-    args.expect_only(&["app", "out", "gpus", "iterations", "scale-down", "seed"])
-        .map_err(|e| e.to_string())?;
-    let app = find_app(args.get_or("app", "pagerank")).map_err(|e| e.to_string())?;
-    let out_dir = args.get("out").ok_or("record needs --out <dir>")?;
-    let spec = spec_from(args).map_err(|e| e.to_string())?;
-    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+pub(crate) fn record(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["app", "out", "gpus", "iterations", "scale-down", "seed"])?;
+    let app = find_app(args.get_or("app", "pagerank"))?;
+    let out_dir = args
+        .get("out")
+        .ok_or_else(|| CliError::Usage("record needs --out <dir>".into()))?;
+    let spec = spec_from(args)?;
+    std::fs::create_dir_all(out_dir).map_err(|e| CliError::io(out_dir, e))?;
     let mut report = String::new();
     for iter in 0..spec.iterations {
         for g in 0..spec.num_gpus {
             let trace = app.trace(&spec, iter, GpuId::new(g));
             let bytes = write_trace(&trace);
             let path = format!("{out_dir}/{}.g{g}.i{iter}.fpkt", app.name());
-            std::fs::write(&path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(&path, &bytes).map_err(|e| CliError::io(&path, e))?;
             let _ = writeln!(
                 report,
                 "{path}: {} ops, {} stores, {} bytes",
@@ -891,19 +1047,19 @@ pub(crate) fn record(args: &Args) -> Result<String, String> {
     Ok(report)
 }
 
-fn load_trace(args: &Args) -> Result<gpu_model::KernelTrace, String> {
-    let path = args.get("trace").ok_or("needs --trace <file>")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    read_trace(&bytes).map_err(|e| format!("{path}: {e}"))
+fn load_trace(args: &Args) -> Result<gpu_model::KernelTrace, CliError> {
+    let path = args
+        .get("trace")
+        .ok_or_else(|| CliError::Usage("needs --trace <file>".into()))?;
+    let bytes = std::fs::read(path).map_err(|e| CliError::io(path, e))?;
+    read_trace(&bytes).map_err(|e| CliError::Failed(format!("{path}: {e}")))
 }
 
 /// `replay --trace <file> [--gpus N]`
-pub(crate) fn replay(args: &Args) -> Result<String, String> {
-    args.expect_only(&["trace", "gpus"]).map_err(|e| e.to_string())?;
+pub(crate) fn replay(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["trace", "gpus"])?;
     let trace = load_trace(args)?;
-    let gpus: u8 = args
-        .get_parsed("gpus", 4u8, "integer")
-        .map_err(|e| e.to_string())?;
+    let gpus: u8 = args.get_parsed("gpus", 4u8, "integer")?;
     let map = AddressMap::new(gpus, 16 << 30);
     let gpu = Gpu::new(gpu_model::GpuConfig::gv100(), GpuId::new(0), map);
     let run = gpu.execute_kernel(&trace);
@@ -929,25 +1085,26 @@ pub(crate) fn replay(args: &Args) -> Result<String, String> {
 }
 
 /// `analyze --trace <file> [--gpus N] [--window-bytes B]`
-pub(crate) fn analyze(args: &Args) -> Result<String, String> {
-    args.expect_only(&["trace", "gpus", "window-bytes"])
-        .map_err(|e| e.to_string())?;
+pub(crate) fn analyze(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["trace", "gpus", "window-bytes"])?;
     let trace = load_trace(args)?;
-    let gpus: u8 = args
-        .get_parsed("gpus", 4u8, "integer")
-        .map_err(|e| e.to_string())?;
-    let window: u64 = args
-        .get_parsed("window-bytes", 1u64 << 30, "power-of-two bytes")
-        .map_err(|e| e.to_string())?;
+    let gpus: u8 = args.get_parsed("gpus", 4u8, "integer")?;
+    let window: u64 = args.get_parsed("window-bytes", 1u64 << 30, "power-of-two bytes")?;
     if !window.is_power_of_two() {
-        return Err("--window-bytes must be a power of two".into());
+        return Err(CliError::Usage(
+            "--window-bytes must be a power of two".into(),
+        ));
     }
     let map = AddressMap::new(gpus, 16 << 30);
     let gpu = Gpu::new(gpu_model::GpuConfig::gv100(), GpuId::new(0), map);
     let run = gpu.execute_kernel(&trace);
     let profile = profile_run(&run, window);
     let mut out = String::new();
-    let _ = writeln!(out, "profile of `{}` ({}B FinePack windows):", trace.name, window);
+    let _ = writeln!(
+        out,
+        "profile of `{}` ({}B FinePack windows):",
+        trace.name, window
+    );
     let _ = writeln!(
         out,
         "  remote payload: {} bytes total, {} unique (rewrite factor {:.2})",
@@ -968,7 +1125,11 @@ pub(crate) fn analyze(args: &Args) -> Result<String, String> {
         "  spatial locality: {:.1} consecutive stores per window run          (upper bound on FinePack packing from locality alone)",
         profile.window_run_length
     );
-    let mut dsts: Vec<(usize, u64)> = profile.per_destination.iter().map(|(d, c)| (*d, *c)).collect();
+    let mut dsts: Vec<(usize, u64)> = profile
+        .per_destination
+        .iter()
+        .map(|(d, c)| (*d, *c))
+        .collect();
     dsts.sort_unstable();
     for (d, count) in dsts {
         let _ = writeln!(out, "  -> GPU{d}: {count} stores");
@@ -977,8 +1138,8 @@ pub(crate) fn analyze(args: &Args) -> Result<String, String> {
 }
 
 /// `inspect --trace <file>`
-pub(crate) fn inspect(args: &Args) -> Result<String, String> {
-    args.expect_only(&["trace"]).map_err(|e| e.to_string())?;
+pub(crate) fn inspect(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["trace"])?;
     let trace = load_trace(args)?;
     let mut out = String::new();
     let _ = writeln!(out, "trace `{}`:", trace.name);
@@ -1017,37 +1178,46 @@ mod tests {
         .unwrap();
         assert!(rec.contains("jacobi.g0.i0.fpkt"));
         let path = format!("{dir_s}/jacobi.g0.i0.fpkt");
-        let rep = replay(&Args::parse(["replay", "--trace", &path, "--gpus", "2"]).unwrap())
-            .unwrap();
+        let rep =
+            replay(&Args::parse(["replay", "--trace", &path, "--gpus", "2"]).unwrap()).unwrap();
         assert!(rep.contains("remote stores"));
         let ins = inspect(&Args::parse(["inspect", "--trace", &path]).unwrap()).unwrap();
         assert!(ins.contains("warp stores"));
-        let ana = analyze(&Args::parse(["analyze", "--trace", &path, "--gpus", "2"]).unwrap())
-            .unwrap();
+        let ana =
+            analyze(&Args::parse(["analyze", "--trace", &path, "--gpus", "2"]).unwrap()).unwrap();
         assert!(ana.contains("rewrite factor"));
         assert!(ana.contains("-> GPU1"));
-        let bad = analyze(
-            &Args::parse(["analyze", "--trace", &path, "--window-bytes", "1000"]).unwrap(),
-        );
+        let bad =
+            analyze(&Args::parse(["analyze", "--trace", &path, "--window-bytes", "1000"]).unwrap());
         assert!(bad.is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn replay_missing_file_errors() {
-        let e = replay(&Args::parse(["replay", "--trace", "/nonexistent.fpkt"]).unwrap())
-            .unwrap_err();
-        assert!(e.contains("nonexistent"));
+        let e =
+            replay(&Args::parse(["replay", "--trace", "/nonexistent.fpkt"]).unwrap()).unwrap_err();
+        assert!(e.to_string().contains("nonexistent"));
+        assert!(matches!(e, CliError::Io { .. }));
     }
 
     #[test]
     fn suite_runs_tiny() {
         let out = suite_table(
-            &Args::parse(["suite", "--gpus", "2", "--scale-down", "16", "--iterations", "1"])
-                .unwrap(),
+            &Args::parse([
+                "suite",
+                "--gpus",
+                "2",
+                "--scale-down",
+                "16",
+                "--iterations",
+                "1",
+            ])
+            .unwrap(),
         )
         .unwrap();
-        assert!(out.contains("jacobi") && out.contains("hit"));
+        assert!(!out.partial);
+        assert!(out.text.contains("jacobi") && out.text.contains("hit"));
     }
 
     #[test]
@@ -1119,9 +1289,7 @@ mod tests {
 
     #[test]
     fn bad_fault_options_are_rejected() {
-        let bad_profile = run_app(
-            &Args::parse(["run", "--fault-profile", "gremlins"]).unwrap(),
-        );
+        let bad_profile = run_app(&Args::parse(["run", "--fault-profile", "gremlins"]).unwrap());
         assert!(bad_profile.is_err());
         let bad_ber = run_app(&Args::parse(["run", "--ber", "2.0"]).unwrap());
         assert!(bad_ber.is_err());
@@ -1131,7 +1299,15 @@ mod tests {
 
     #[test]
     fn suite_jobs_flag_is_output_invariant() {
-        let base = ["suite", "--gpus", "2", "--scale-down", "16", "--iterations", "1"];
+        let base = [
+            "suite",
+            "--gpus",
+            "2",
+            "--scale-down",
+            "16",
+            "--iterations",
+            "1",
+        ];
         let serial = {
             let mut a: Vec<&str> = base.to_vec();
             a.extend(["--jobs", "1"]);
@@ -1143,6 +1319,81 @@ mod tests {
             suite_table(&Args::parse(a).unwrap()).unwrap()
         };
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn supervision_flags_are_validated() {
+        for bad in [
+            vec!["suite", "--chaos", "2.0"],
+            vec!["suite", "--chaos", "lots"],
+            vec!["suite", "--retries", "-1"],
+            vec!["suite", "--run-budget", "0"],
+            vec!["suite", "--run-budget", "events=ten"],
+            vec!["suite", "--run-budget", "cycles=5"],
+        ] {
+            let a = Args::parse(bad.clone()).unwrap();
+            assert!(suite_table(&a).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn run_budget_spec_parses_all_forms() {
+        let parse = |spec: &str| {
+            run_budget_from(&Args::parse(["suite", "--run-budget", spec]).unwrap())
+                .unwrap()
+                .unwrap()
+        };
+        assert_eq!(parse("5000").max_events, Some(5000));
+        let full = parse("events=10,sim-ms=20,stall=30");
+        assert_eq!(full.max_events, Some(10));
+        assert_eq!(full.max_sim_time, Some(SimTime::from_ms(20)));
+        assert_eq!(full.max_events_since_progress, Some(30));
+    }
+
+    #[test]
+    fn suite_with_tiny_budget_reports_partial_and_failed_points() {
+        let out = suite_table(
+            &Args::parse([
+                "suite",
+                "--gpus",
+                "2",
+                "--scale-down",
+                "16",
+                "--iterations",
+                "1",
+                "--run-budget",
+                "3",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.partial, "{}", out.text);
+        assert!(out.text.contains("failed points"), "{}", out.text);
+        assert!(out.text.contains("event ceiling"), "{}", out.text);
+        assert!(out.text.contains("exiting with code 3"), "{}", out.text);
+    }
+
+    #[test]
+    fn run_with_tiny_budget_reports_dead_paradigms() {
+        let out = run_app(
+            &Args::parse([
+                "run",
+                "--app",
+                "jacobi",
+                "--gpus",
+                "2",
+                "--scale-down",
+                "16",
+                "--iterations",
+                "1",
+                "--run-budget",
+                "3",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("dead"), "{out}");
+        assert!(out.contains("run budget exceeded"), "{out}");
     }
 
     #[test]
@@ -1246,7 +1497,10 @@ mod tests {
         assert!(rendered.contains("(csv)"), "{rendered}");
         let csv = std::fs::read_to_string(csv_s).unwrap();
         assert!(csv.starts_with("time_ps,gpu,rwq_entries"), "{}", &csv[..60]);
-        assert!(csv.lines().count() > 1, "no samples at the default interval");
+        assert!(
+            csv.lines().count() > 1,
+            "no samples at the default interval"
+        );
         let _ = std::fs::remove_file(&csv_file);
 
         let bad = trace(&Args::parse(["trace", "--format", "xml"]).unwrap());

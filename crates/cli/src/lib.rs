@@ -20,20 +20,62 @@
 //!
 //! Sweep commands take `--jobs N` to fan out over a worker pool; the
 //! output is byte-identical for every `N` (parallelism changes only
-//! wall-clock time, never results).
+//! wall-clock time, never results). The `suite` sweep additionally
+//! runs under a supervisor: `--retries`, `--chaos`, and `--run-budget`
+//! control panic isolation, deterministic fault injection, and run
+//! budgets, and partial results exit with a distinct code (see
+//! [`EXIT_PARTIAL`]).
 //!
 //! The library surface exists so the dispatcher is unit-testable; the
-//! binary (`src/main.rs`) is a thin wrapper around [`run`].
+//! binary (`src/main.rs`) is a thin wrapper around [`execute`].
 
 #![warn(missing_docs)]
 
 mod args;
 mod commands;
+mod error;
 
 pub use args::{ArgError, Args};
+pub use error::{CliError, CmdOut, EXIT_CLEAN, EXIT_ERROR, EXIT_PARTIAL};
 
 /// Executes a command line (without the program name) and returns the
-/// report text to print.
+/// report text plus its completion status (clean or partial).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands, bad options, I/O
+/// failures, or simulation errors; map it to a process exit code with
+/// [`CliError::exit_code`].
+pub fn execute<I, S>(argv: I) -> Result<CmdOut, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = Args::parse(argv)?;
+    match args.subcommand() {
+        None | Some("help") => Ok(CmdOut::clean(commands::help())),
+        Some("goodput") => commands::goodput(&args).map(CmdOut::clean),
+        Some("run") => commands::run_app(&args).map(CmdOut::clean),
+        Some("suite") => commands::suite_table(&args),
+        Some("sweep-subheader") => commands::sweep_subheader(&args).map(CmdOut::clean),
+        Some("faults") => commands::faults(&args).map(CmdOut::clean),
+        Some("bench") => commands::bench(&args).map(CmdOut::clean),
+        Some("trace") => commands::trace(&args).map(CmdOut::clean),
+        Some("audit") => commands::audit(&args).map(CmdOut::clean),
+        Some("area") => commands::area(&args).map(CmdOut::clean),
+        Some("record") => commands::record(&args).map(CmdOut::clean),
+        Some("replay") => commands::replay(&args).map(CmdOut::clean),
+        Some("inspect") => commands::inspect(&args).map(CmdOut::clean),
+        Some("analyze") => commands::analyze(&args).map(CmdOut::clean),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command `{other}` (try `help`)"
+        ))),
+    }
+}
+
+/// [`execute`] reduced to strings: the report text, or a human-readable
+/// error. Kept for tests and embedding; the partial/clean distinction
+/// is dropped.
 ///
 /// # Errors
 ///
@@ -51,24 +93,7 @@ where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
-    let args = Args::parse(argv).map_err(|e| e.to_string())?;
-    match args.subcommand() {
-        None | Some("help") => Ok(commands::help()),
-        Some("goodput") => commands::goodput(&args).map_err(|e| e.to_string()),
-        Some("run") => commands::run_app(&args).map_err(|e| e.to_string()),
-        Some("suite") => commands::suite_table(&args).map_err(|e| e.to_string()),
-        Some("sweep-subheader") => commands::sweep_subheader(&args).map_err(|e| e.to_string()),
-        Some("faults") => commands::faults(&args).map_err(|e| e.to_string()),
-        Some("bench") => commands::bench(&args),
-        Some("trace") => commands::trace(&args),
-        Some("audit") => commands::audit(&args),
-        Some("area") => commands::area(&args).map_err(|e| e.to_string()),
-        Some("record") => commands::record(&args),
-        Some("replay") => commands::replay(&args),
-        Some("inspect") => commands::inspect(&args),
-        Some("analyze") => commands::analyze(&args),
-        Some(other) => Err(format!("unknown command `{other}` (try `help`)")),
-    }
+    execute(argv).map(|out| out.text).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

@@ -111,7 +111,10 @@ mod tests {
         let m = ConfigPacketModel::new();
         let eff_small = m.relative_efficiency(&[16u32; 42]);
         let eff_large = m.relative_efficiency(&[64u32; 42]);
-        assert!(eff_small < 0.82, "small stores should be >18% worse: {eff_small}");
+        assert!(
+            eff_small < 0.82,
+            "small stores should be >18% worse: {eff_small}"
+        );
         assert!(eff_large > 0.75, "large stores close the gap: {eff_large}");
     }
 

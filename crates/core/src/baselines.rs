@@ -17,7 +17,9 @@ use protocol::FramingModel;
 use sim_engine::{DetRng, SimTime};
 
 use crate::config::FinePackError;
-use crate::egress::{EgressMetrics, EgressPath, OutputBuffer, PacketStores, PayloadMode, WirePacket};
+use crate::egress::{
+    EgressMetrics, EgressPath, OutputBuffer, PacketStores, PayloadMode, WirePacket,
+};
 use crate::rwq::FlushedEntry;
 
 /// Per-destination cacheline combining buffer with FIFO eviction.
@@ -191,11 +193,12 @@ impl EgressPath for WriteCombiningEgress {
         self.metrics.stores_in += 1;
         self.metrics.bytes_in += u64::from(store.len());
         let mut overwritten = 0u64;
-        let evicted = self
-            .buffers
-            .entry(store.dst)
-            .or_default()
-            .insert(store.addr, &store.data, self.capacity, &mut overwritten);
+        let evicted = self.buffers.entry(store.dst).or_default().insert(
+            store.addr,
+            &store.data,
+            self.capacity,
+            &mut overwritten,
+        );
         self.metrics.overwritten_bytes += overwritten;
         match evicted {
             Some((_, entry, merged)) => Ok(self.emit_entry(store.dst, entry, merged)),
@@ -342,11 +345,12 @@ impl EgressPath for GpsEgress {
             return Ok(Vec::new());
         }
         let mut overwritten = 0u64;
-        let evicted = self
-            .buffers
-            .entry(store.dst)
-            .or_default()
-            .insert(store.addr, &store.data, self.capacity, &mut overwritten);
+        let evicted = self.buffers.entry(store.dst).or_default().insert(
+            store.addr,
+            &store.data,
+            self.capacity,
+            &mut overwritten,
+        );
         self.metrics.overwritten_bytes += overwritten;
         match evicted {
             Some((_, entry, merged)) => Ok(self.emit_entry(store.dst, entry, merged)),

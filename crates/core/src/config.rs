@@ -373,8 +373,7 @@ mod tests {
     fn tiny_window_is_allowed() {
         // Table II's 2-byte format has a 64B window, smaller than one
         // 128B queue entry; the packetizer handles the split.
-        let cfg = FinePackConfig::paper(4)
-            .with_subheader(SubheaderFormat::new(2).unwrap());
+        let cfg = FinePackConfig::paper(4).with_subheader(SubheaderFormat::new(2).unwrap());
         cfg.validate();
     }
 }

@@ -566,7 +566,11 @@ impl EgressPath for FinePackEgress {
         };
         let mut out = Vec::new();
         for dst in self.rwq.non_empty_dsts() {
-            let idle_since = self.last_activity.get(&dst).copied().unwrap_or(SimTime::ZERO);
+            let idle_since = self
+                .last_activity
+                .get(&dst)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
             if now.saturating_sub(idle_since) >= timeout {
                 for batch in self.rwq.flush_dst_all(dst, crate::FlushReason::Timeout) {
                     out.extend(self.emit_batch(batch));
@@ -752,7 +756,9 @@ mod tests {
             FramingModel::pcie_gen4(),
         );
         for i in 0..40u64 {
-            let pkts = fp.push(&store(1, 0x1_0000 + i * 200, 8), SimTime::ZERO).unwrap();
+            let pkts = fp
+                .push(&store(1, 0x1_0000 + i * 200, 8), SimTime::ZERO)
+                .unwrap();
             assert!(pkts.is_empty());
         }
         let pkts = fp.release();
@@ -794,8 +800,7 @@ mod tests {
     #[test]
     fn sector_quantized_p2p_over_transfers() {
         let mut exact = RawP2pEgress::new(FramingModel::pcie_gen4());
-        let mut quant =
-            RawP2pEgress::new(FramingModel::pcie_gen4()).with_sector_quantization(32);
+        let mut quant = RawP2pEgress::new(FramingModel::pcie_gen4()).with_sector_quantization(32);
         // An 8B store straddling a 32B sector boundary: 2 sectors move.
         let s = store(1, 0x101c, 8);
         let a = exact.push(&s, SimTime::ZERO).unwrap();
@@ -905,16 +910,14 @@ mod tests {
             FramingModel::pcie_gen4(),
         )
         .with_flush_timeout(SimTime::from_us(1));
-        fp.push(&store(1, 0x1000, 8), SimTime::from_ns(100)).unwrap();
+        fp.push(&store(1, 0x1000, 8), SimTime::from_ns(100))
+            .unwrap();
         // Not yet idle long enough.
         assert!(fp.advance(SimTime::from_ns(600)).is_empty());
         // Past the timeout: the buffered store leaves.
         let pkts = fp.advance(SimTime::from_us(2));
         assert_eq!(pkts.len(), 1);
-        assert_eq!(
-            fp.metrics().flushes_for(crate::FlushReason::Timeout),
-            1
-        );
+        assert_eq!(fp.metrics().flushes_for(crate::FlushReason::Timeout), 1);
         // Without a timeout, advance never flushes.
         let mut plain = FinePackEgress::new(
             GpuId::new(0),

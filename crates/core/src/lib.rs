@@ -73,7 +73,9 @@ mod rwq;
 pub use alt_design::ConfigPacketModel;
 pub use area::AreaModel;
 pub use baselines::{GpsEgress, WriteCombiningEgress};
-pub use config::{AllocationPolicy, FinePackConfig, FinePackError, SubheaderFormat, LENGTH_FIELD_BITS};
+pub use config::{
+    AllocationPolicy, FinePackConfig, FinePackError, SubheaderFormat, LENGTH_FIELD_BITS,
+};
 pub use depacketizer::Depacketizer;
 pub use egress::{
     EgressMetrics, EgressPath, FinePackEgress, OutputBuffer, PacketStores, PayloadMode,

@@ -253,8 +253,7 @@ mod tests {
         let wire = p.encode();
         let header = TlpHeader::decode(&wire).unwrap();
         assert_eq!(header.requester_id, 255u16);
-        let back =
-            FinePackPacket::decode(&wire, p.subheader, p.src, p.dst).expect("roundtrip");
+        let back = FinePackPacket::decode(&wire, p.subheader, p.src, p.dst).expect("roundtrip");
         assert_eq!(back.src, GpuId::new(u8::MAX));
         assert_eq!(back.subpackets, p.subpackets);
     }
@@ -316,8 +315,12 @@ mod tests {
         let hdr = TlpHeader::mem_write(0, 0x1000, 8);
         let mut wire = hdr.encode().to_vec();
         wire.extend_from_slice(&[0u8; 8]);
-        let err =
-            FinePackPacket::decode(&wire, SubheaderFormat::paper(), GpuId::new(0), GpuId::new(1));
+        let err = FinePackPacket::decode(
+            &wire,
+            SubheaderFormat::paper(),
+            GpuId::new(0),
+            GpuId::new(1),
+        );
         assert!(err.is_err());
     }
 

@@ -134,7 +134,8 @@ mod tests {
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
         // Insert full 128B lines so the budget math is simple.
         for i in 0..2u64 {
-            rwq.insert(&store(0x1000 + i * 128, vec![i as u8; 128])).unwrap();
+            rwq.insert(&store(0x1000 + i * 128, vec![i as u8; 128]))
+                .unwrap();
         }
         let mut batches = rwq.flush_all(FlushReason::Release);
         // Force a third entry into the same batch artificially to make the
@@ -188,11 +189,9 @@ mod tests {
         // (merged runs may concatenate adjacent stores, but these are 96B
         // apart with 12B payloads, so they stay distinct).
         assert_eq!(unpacked.len(), stores.len());
-        let mut got: Vec<(u64, Vec<u8>)> =
-            unpacked.into_iter().map(|s| (s.addr, s.data)).collect();
+        let mut got: Vec<(u64, Vec<u8>)> = unpacked.into_iter().map(|s| (s.addr, s.data)).collect();
         got.sort_by_key(|(a, _)| *a);
-        let mut want: Vec<(u64, Vec<u8>)> =
-            stores.into_iter().map(|s| (s.addr, s.data)).collect();
+        let mut want: Vec<(u64, Vec<u8>)> = stores.into_iter().map(|s| (s.addr, s.data)).collect();
         want.sort_by_key(|(a, _)| *a);
         assert_eq!(got, want);
     }

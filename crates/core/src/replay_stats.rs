@@ -110,7 +110,8 @@ impl ReplayAmplification {
         for (a, b) in self.by_reason.iter_mut().zip(other.by_reason.iter()) {
             *a += b;
         }
-        self.replayed_packet_sizes.merge(&other.replayed_packet_sizes);
+        self.replayed_packet_sizes
+            .merge(&other.replayed_packet_sizes);
         self.packets_replayed += other.packets_replayed;
         self.total_replayed += other.total_replayed;
     }

@@ -123,7 +123,10 @@ pub struct FlushedBatch {
 impl FlushedBatch {
     /// Total valid payload bytes across entries.
     pub fn valid_bytes(&self) -> u64 {
-        self.entries.iter().map(|e| u64::from(e.valid_bytes())).sum()
+        self.entries
+            .iter()
+            .map(|e| u64::from(e.valid_bytes()))
+            .sum()
     }
 }
 
@@ -417,8 +420,7 @@ impl RemoteWriteQueue {
                 .or_insert_with(|| Partition::new(store.dst));
             debug_assert_eq!(partition.dst, store.dst);
             let matching = partition.windows.iter().position(|w| {
-                w.base == wanted_base
-                    && store.end() <= w.base + subheader.addressable_range()
+                w.base == wanted_base && store.end() <= w.base + subheader.addressable_range()
             });
             match matching {
                 Some(idx) => {
@@ -522,8 +524,7 @@ impl RemoteWriteQueue {
                         self.stats.entry_hits += 1;
                     }
                     None => {
-                        w.available_payload =
-                            charge_payload(w.available_payload, len + sub_bytes);
+                        w.available_payload = charge_payload(w.available_payload, len + sub_bytes);
                         w.entries
                             .insert(line_addr, new_slot(entry_bytes, line_off, &store.data));
                         self.stats.entry_misses += 1;
@@ -671,7 +672,10 @@ mod tests {
         let err = q.insert(&store(0, 0x1000, vec![1; 4])).unwrap_err();
         assert!(matches!(
             err,
-            FinePackError::SelfRoute { gpu: 0, addr: 0x1000 }
+            FinePackError::SelfRoute {
+                gpu: 0,
+                addr: 0x1000
+            }
         ));
         assert_eq!(q.buffered_entries(), 0);
         assert_eq!(q.stats().stores_received, 0);
@@ -692,7 +696,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            FinePackError::SelfRoute { gpu: 255, addr: 0x1000 }
+            FinePackError::SelfRoute {
+                gpu: 255,
+                addr: 0x1000
+            }
         ));
     }
 
@@ -732,7 +739,10 @@ mod tests {
     #[test]
     fn first_store_sets_window() {
         let mut q = rwq();
-        assert!(q.insert(&store(1, 0x1234_5678, vec![1; 4])).unwrap().is_none());
+        assert!(q
+            .insert(&store(1, 0x1234_5678, vec![1; 4]))
+            .unwrap()
+            .is_none());
         assert_eq!(q.buffered_entries(), 1);
         assert_eq!(q.stats().entry_misses, 1);
     }
@@ -787,7 +797,9 @@ mod tests {
         let mut q = rwq();
         // Paper config: 1GB window.
         q.insert(&store(1, 0x1000, vec![1; 4])).unwrap();
-        let flushed = q.insert(&store(1, (2u64 << 30) + 0x1000, vec![2; 4])).unwrap();
+        let flushed = q
+            .insert(&store(1, (2u64 << 30) + 0x1000, vec![2; 4]))
+            .unwrap();
         let batch = flushed.expect("window miss must flush");
         assert_eq!(batch.reason, FlushReason::WindowMiss);
         assert_eq!(batch.valid_bytes(), 4);
@@ -938,9 +950,7 @@ mod tests {
     #[test]
     fn multi_window_lru_eviction() {
         let sub = crate::SubheaderFormat::new(4).unwrap();
-        let cfg = FinePackConfig::paper(4)
-            .with_subheader(sub)
-            .with_windows(2);
+        let cfg = FinePackConfig::paper(4).with_subheader(sub).with_windows(2);
         let mut q = RemoteWriteQueue::new(GpuId::new(0), cfg);
         let w = 4u64 << 20;
         // Open windows A, B, then touch A again; a third region must
@@ -976,8 +986,7 @@ mod tests {
 
     #[test]
     fn dynamic_allocation_evicts_globally_lru_window() {
-        let cfg = FinePackConfig::paper(4)
-            .with_allocation(crate::AllocationPolicy::DynamicShared);
+        let cfg = FinePackConfig::paper(4).with_allocation(crate::AllocationPolicy::DynamicShared);
         let mut q = RemoteWriteQueue::new(GpuId::new(0), cfg);
         // Fill the pool: 191 lines to dst 1, then 1 to dst 2 (the newest).
         for i in 0..191u64 {
@@ -994,8 +1003,7 @@ mod tests {
 
     #[test]
     fn dynamic_allocation_preserves_final_values() {
-        let cfg = FinePackConfig::paper(4)
-            .with_allocation(crate::AllocationPolicy::DynamicShared);
+        let cfg = FinePackConfig::paper(4).with_allocation(crate::AllocationPolicy::DynamicShared);
         let mut q = RemoteWriteQueue::new(GpuId::new(0), cfg);
         q.insert(&store(1, 0x1000, vec![1; 8])).unwrap();
         q.insert(&store(1, 0x1000, vec![9; 8])).unwrap();

@@ -48,8 +48,8 @@ fn arbitrary_masks_roundtrip() {
             .map(|_| random_entry(&mut rng))
             .collect();
         let sub = rng.next_in_range(2, 7) as u32;
-        let cfg = FinePackConfig::paper(4)
-            .with_subheader(SubheaderFormat::new(sub).expect("2..=6"));
+        let cfg =
+            FinePackConfig::paper(4).with_subheader(SubheaderFormat::new(sub).expect("2..=6"));
         let window_base = 0x4000_0000u64;
         let batch = build_batch(raw, window_base);
         // Expected masked bytes.

@@ -24,7 +24,9 @@ fn build(d: u8, l: u64, o: u32, n: u32, v: u8) -> RemoteStore {
         src: GpuId::new(0),
         dst: GpuId::new(d),
         addr: 0x1_0000_0000 + l * 128 + u64::from(o),
-        data: (0..n).map(|i| v.wrapping_mul(31).wrapping_add(i as u8)).collect(),
+        data: (0..n)
+            .map(|i| v.wrapping_mul(31).wrapping_add(i as u8))
+            .collect(),
     }
 }
 
@@ -44,22 +46,21 @@ fn rwq_flush_is_last_writer_wins() {
         let mut expected: HashMap<(u8, u64), u8> = HashMap::new();
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), FinePackConfig::paper(4));
         let mut emitted: HashMap<(u8, u64), u8> = HashMap::new();
-        let absorb =
-            |batches: Vec<finepack::FlushedBatch>, out: &mut HashMap<(u8, u64), u8>| {
-                for b in batches {
-                    let dst = b.dst.index() as u8;
-                    for e in &b.entries {
-                        for (off, len) in e.runs() {
-                            for i in 0..len {
-                                out.insert(
-                                    (dst, e.line_addr + u64::from(off + i)),
-                                    e.data[(off + i) as usize],
-                                );
-                            }
+        let absorb = |batches: Vec<finepack::FlushedBatch>, out: &mut HashMap<(u8, u64), u8>| {
+            for b in batches {
+                let dst = b.dst.index() as u8;
+                for e in &b.entries {
+                    for (off, len) in e.runs() {
+                        for i in 0..len {
+                            out.insert(
+                                (dst, e.line_addr + u64::from(off + i)),
+                                e.data[(off + i) as usize],
+                            );
                         }
                     }
                 }
-            };
+            }
+        };
         for (d, l, o, n, v) in raw {
             let s = build(d, l, o, n, v);
             for (i, byte) in s.data.iter().enumerate() {
@@ -103,8 +104,8 @@ fn packetizer_respects_format() {
     let mut rng = DetRng::new(0xC0_0003, "packetizer");
     for _ in 0..64 {
         let bytes = rng.next_in_range(2, 7) as u32;
-        let cfg = FinePackConfig::paper(4)
-            .with_subheader(SubheaderFormat::new(bytes).expect("2..=6"));
+        let cfg =
+            FinePackConfig::paper(4).with_subheader(SubheaderFormat::new(bytes).expect("2..=6"));
         let mut rwq = RemoteWriteQueue::new(GpuId::new(0), cfg);
         let mut batches = Vec::new();
         for _ in 0..rng.next_in_range(1, 200) {

@@ -72,7 +72,10 @@ impl StoreProfile {
 /// assert_eq!(profile.unique_bytes, 128);
 /// ```
 pub fn profile_run(run: &KernelRun, window_bytes: u64) -> StoreProfile {
-    assert!(window_bytes.is_power_of_two(), "window must be a power of two");
+    assert!(
+        window_bytes.is_power_of_two(),
+        "window must be a power of two"
+    );
     let mut sizes = Histogram::new("store_size");
     let mut per_destination: HashMap<usize, u64> = HashMap::new();
     let mut unique: HashSet<u64> = HashSet::new();
@@ -122,7 +125,11 @@ mod tests {
     use crate::{AccessPattern, AddressMap, Gpu, GpuConfig, GpuId, KernelTrace, TraceOp};
 
     fn run_with(ops: Vec<TraceOp>) -> KernelRun {
-        let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(4, 16 << 30));
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(4, 16 << 30),
+        );
         let mut t = KernelTrace::new("t");
         t.ops = ops;
         gpu.execute_kernel(&t)

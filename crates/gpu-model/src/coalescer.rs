@@ -117,11 +117,7 @@ pub fn coalesce_warp_store(
 
 /// Classifies a coalesced transaction as local or remote and converts
 /// remote ones into [`RemoteStore`]s.
-pub fn route_txn(
-    map: &AddressMap,
-    src: GpuId,
-    txn: StoreTxn,
-) -> Result<RemoteStore, StoreTxn> {
+pub fn route_txn(map: &AddressMap, src: GpuId, txn: StoreTxn) -> Result<RemoteStore, StoreTxn> {
     let dst = map.owner(txn.addr);
     if dst == src {
         Err(txn)
@@ -177,13 +173,7 @@ mod tests {
     fn fully_scattered_yields_per_lane_txns() {
         // Each lane writes 8B to a distinct cache block.
         let addrs: Vec<u64> = (0..32).map(|i| 0x10_0000 + i * 4096).collect();
-        let txns = coalesce_warp_store(
-            &cfg(),
-            &AccessPattern::Scattered { addrs },
-            8,
-            u32::MAX,
-            0,
-        );
+        let txns = coalesce_warp_store(&cfg(), &AccessPattern::Scattered { addrs }, 8, u32::MAX, 0);
         assert_eq!(txns.len(), 32);
         assert!(txns.iter().all(|t| t.len() == 8));
     }

@@ -290,7 +290,11 @@ mod tests {
     use crate::trace::AccessPattern;
 
     fn small_gpu() -> Gpu {
-        Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 1 << 30))
+        Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(2, 1 << 30),
+        )
     }
 
     fn remote_store_op(addr_in_gpu1: u64) -> TraceOp {
@@ -338,7 +342,9 @@ mod tests {
         let gpu = small_gpu();
         let mut t = KernelTrace::new("r");
         for i in 0..16 {
-            t.push(TraceOp::Compute { cycles: 10 * (i % 5) });
+            t.push(TraceOp::Compute {
+                cycles: 10 * (i % 5),
+            });
             t.push(remote_store_op(u64::from(i) * 256));
         }
         let run = gpu.execute_kernel(&t);
@@ -373,7 +379,10 @@ mod tests {
             addr: (1 << 30) + 0x40,
             bytes: 8,
         });
-        t.push(TraceOp::RemoteLoad { addr: 0x40, bytes: 8 }); // local: free
+        t.push(TraceOp::RemoteLoad {
+            addr: 0x40,
+            bytes: 8,
+        }); // local: free
         let run = gpu.execute_kernel(&t);
         assert_eq!(run.probes.len(), 1);
         assert_eq!(run.stats.remote_loads, 1);

@@ -41,7 +41,9 @@ impl AccessPattern {
     /// the address vector.
     pub fn lane_addr(&self, lane: u32, bytes_per_lane: u32) -> u64 {
         match self {
-            AccessPattern::Contiguous { base } => base + u64::from(lane) * u64::from(bytes_per_lane),
+            AccessPattern::Contiguous { base } => {
+                base + u64::from(lane) * u64::from(bytes_per_lane)
+            }
             AccessPattern::Strided { base, stride } => base + u64::from(lane) * stride,
             AccessPattern::Scattered { addrs } => addrs[lane as usize],
         }

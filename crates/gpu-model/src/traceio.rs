@@ -310,7 +310,10 @@ mod tests {
     fn future_version_rejected() {
         let mut bytes = write_trace(&sample());
         bytes[4] = 99;
-        assert_eq!(read_trace(&bytes), Err(TraceIoError::UnsupportedVersion(99)));
+        assert_eq!(
+            read_trace(&bytes),
+            Err(TraceIoError::UnsupportedVersion(99))
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use std::collections::HashMap;
 
 use gpu_model::{
-    coalesce_warp_store, route_txn, AccessPattern, AddressMap, GpuConfig, GpuId, MemoryImage,
-    store_byte,
+    coalesce_warp_store, route_txn, store_byte, AccessPattern, AddressMap, GpuConfig, GpuId,
+    MemoryImage,
 };
 use sim_engine::DetRng;
 
@@ -31,7 +31,9 @@ fn coalescer_covers_exactly_the_written_bytes() {
         let seed = rng.next_u64();
         let txns = coalesce_warp_store(
             &cfg,
-            &AccessPattern::Scattered { addrs: addrs.clone() },
+            &AccessPattern::Scattered {
+                addrs: addrs.clone(),
+            },
             elem,
             mask,
             seed,
@@ -77,7 +79,10 @@ fn routing_partitions_by_ownership() {
         let line = rng.next_u64_below((4u64 << 30) / 128);
         let src = rng.next_u64_below(4) as u8;
         let addr = line * 128;
-        let txn = gpu_model::StoreTxn { addr, data: vec![7; 8] };
+        let txn = gpu_model::StoreTxn {
+            addr,
+            data: vec![7; 8],
+        };
         match route_txn(&map, GpuId::new(src), txn) {
             Ok(remote) => {
                 assert_ne!(remote.dst, GpuId::new(src));

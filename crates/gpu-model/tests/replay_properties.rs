@@ -45,7 +45,11 @@ fn random_trace(rng: &mut DetRng, name: &str, max_ops: u64) -> KernelTrace {
 }
 
 fn gpu() -> Gpu {
-    Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 1 << 30))
+    Gpu::new(
+        GpuConfig::tiny(),
+        GpuId::new(0),
+        AddressMap::new(2, 1 << 30),
+    )
 }
 
 /// Replay is a pure function of the trace.

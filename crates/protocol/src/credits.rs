@@ -418,7 +418,7 @@ mod tests {
         assert_eq!(tl.admit(t0, 64), Ok(())); // 2 PH, 8 PD
         tl.complete(64, SimTime::from_ns(5)); // UpdateFC lands at 15ns
         tl.complete(64, SimTime::from_ns(20)); // UpdateFC lands at 30ns
-        // A 128B write needs both completions' data credits back.
+                                               // A 128B write needs both completions' data credits back.
         assert_eq!(tl.admit(t0, 128), Err(SimTime::from_ns(30)));
         // A 64B write only needs the first.
         assert_eq!(tl.admit(SimTime::from_ns(2), 64), Err(SimTime::from_ns(15)));
@@ -446,14 +446,14 @@ mod tests {
             )
         );
         tl.complete(64, SimTime::from_ns(5)); // UpdateFC at 15ns
-        // Blocked probes never move the ledger.
+                                              // Blocked probes never move the ledger.
         let _ = tl.earliest_admission(SimTime::from_ns(6), 4096);
         assert_eq!(tl.totals().ph_returned, 0);
         tl.quiesce();
         let t = *tl.totals();
         assert_eq!((t.ph_returned, t.pd_returned), (1, 4));
         assert_eq!(t.in_flight(), (1, 2)); // the un-completed 17B write
-        // Merging sums component-wise.
+                                           // Merging sums component-wise.
         let mut sum = CreditTotals::default();
         sum.merge(&t);
         sum.merge(&t);

@@ -451,7 +451,7 @@ mod tests {
         assert_eq!(cxl.per_tlp_overhead(), pcie.per_tlp_overhead() + 4);
         assert_eq!(nv.per_tlp_overhead(), 16);
         assert_eq!(nv.wire_bytes(17), 16 + 32); // padded to 2 flits
-        // §IV-C: small-packet efficiency of PCIe and NVLink is similar.
+                                                // §IV-C: small-packet efficiency of PCIe and NVLink is similar.
         for size in [8u32, 16, 32] {
             let ratio = pcie.goodput(size).unwrap() / nv.goodput(size).unwrap();
             assert!((0.5..2.0).contains(&ratio), "size {size}: {ratio}");

@@ -303,7 +303,10 @@ pub struct DataLinkEndpoint {
 impl DataLinkEndpoint {
     /// Creates an idle endpoint.
     pub fn new(cfg: ReplayConfig, ber: BitErrorModel, rng: DetRng) -> Self {
-        assert!(cfg.buffer_tlps > 0, "replay buffer must hold at least 1 TLP");
+        assert!(
+            cfg.buffer_tlps > 0,
+            "replay buffer must hold at least 1 TLP"
+        );
         assert!(cfg.max_replay_num > 0, "REPLAY_NUM must allow one replay");
         DataLinkEndpoint {
             cfg,
@@ -336,7 +339,8 @@ impl DataLinkEndpoint {
 
     /// True if a transmission at `at` falls inside the outage window.
     pub fn in_outage(&self, at: SimTime) -> bool {
-        self.outage.is_some_and(|(from, until)| at >= from && at < until)
+        self.outage
+            .is_some_and(|(from, until)| at >= from && at < until)
     }
 
     /// Cumulative statistics.
@@ -820,7 +824,10 @@ mod tests {
             }
         }
         assert_eq!(ep.stats().tlps_delivered, 200);
-        assert!(replayed > 0, "a 5e-5 BER must corrupt something in 200 TLPs");
+        assert!(
+            replayed > 0,
+            "a 5e-5 BER must corrupt something in 200 TLPs"
+        );
         assert_eq!(ep.stats().replayed_bytes, replayed);
         assert_eq!(ep.outstanding(), 0);
     }
@@ -860,7 +867,11 @@ mod tests {
         ep.set_outage(SimTime::ZERO, SimTime::from_us(5));
         let t = ep.transmit(SimTime::ZERO, 256).unwrap();
         assert!(t.attempts > 1);
-        assert!(t.extra_delay >= SimTime::from_us(4), "delay {:?}", t.extra_delay);
+        assert!(
+            t.extra_delay >= SimTime::from_us(4),
+            "delay {:?}",
+            t.extra_delay
+        );
         assert_eq!(ep.stats().tlps_delivered, 1);
         ep.clear_outage();
         let t = ep.transmit(SimTime::from_us(10), 256).unwrap();

@@ -105,7 +105,10 @@ fn credit_account_exhaustion_and_release_property() {
                 fc.release(in_flight.swap_remove(idx));
             } else {
                 let expect_fit = in_flight.len() < ph_max as usize
-                    && in_flight.iter().map(|p| p.div_ceil(PD_UNIT_BYTES)).sum::<u32>()
+                    && in_flight
+                        .iter()
+                        .map(|p| p.div_ceil(PD_UNIT_BYTES))
+                        .sum::<u32>()
                         + payload.div_ceil(PD_UNIT_BYTES)
                         <= pd_max;
                 assert_eq!(fc.can_send(payload), expect_fit, "round {round}");

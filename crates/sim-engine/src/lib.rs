@@ -15,6 +15,9 @@
 //!   is exactly reproducible.
 //! - [`WorkerPool`] / [`par_map_deterministic`]: deterministic parallel
 //!   sweep execution — ordered results, index-derived task seeds.
+//! - [`map_supervised`] / [`TaskFailure`] / [`RetryPolicy`] /
+//!   [`ChaosConfig`]: supervised sweep execution — panic isolation,
+//!   bounded deterministic retries, chaos injection.
 //! - [`WallClock`] / [`ThroughputReport`]: harness self-measurement
 //!   (events per wall second, simulated time per wall second).
 //! - [`Table`] / [`geomean`]: plain-text result reporting for the
@@ -44,6 +47,7 @@ mod perf;
 mod report;
 mod rng;
 mod stats;
+mod supervise;
 mod time;
 
 pub use bandwidth::Bandwidth;
@@ -54,4 +58,7 @@ pub use perf::{ThroughputReport, WallClock};
 pub use report::{geomean, Table};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, Running};
+pub use supervise::{
+    map_supervised, ChaosConfig, QuietPanicGuard, RetryPolicy, TaskFailure, TaskReport,
+};
 pub use time::{Frequency, SimTime};

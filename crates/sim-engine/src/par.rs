@@ -34,9 +34,20 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::rng::DetRng;
+
+/// Locks a slot mutex, tolerating poison.
+///
+/// Slot mutexes guard per-index cells that exactly one worker ever
+/// touches, and no invariant spans a panic inside `f` (the closure runs
+/// with no lock held). A poisoned slot therefore carries intact data:
+/// recover it instead of cascading a sibling worker's `.expect` panic on
+/// top of the original one.
+pub(crate) fn lock_tolerant<T>(slot: &Mutex<T>) -> MutexGuard<'_, T> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Derives the seed for task `task_index` of a sweep rooted at
 /// `root_seed`.
@@ -46,9 +57,10 @@ use crate::rng::DetRng;
 /// get unrelated streams. Deriving from the *index* (not from a shared
 /// RNG) is what keeps a task's draws independent of execution order.
 pub fn derive_task_seed(root_seed: u64, task_index: u64) -> u64 {
-    let mut z = root_seed ^ task_index
-        .wrapping_add(1)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut z = root_seed
+        ^ task_index
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -62,6 +74,13 @@ pub struct TaskCtx {
     pub index: usize,
     /// Seed derived from the sweep's root seed and `index`.
     pub seed: u64,
+    /// Zero-based attempt number under supervised execution (see
+    /// [`map_supervised`](crate::map_supervised)). Always 0 on the
+    /// unsupervised paths. The *seed* is attempt-independent — retries
+    /// replay the same derived stream — so deterministic components
+    /// reproduce exactly, while chaos/diagnostic streams may fold the
+    /// attempt into their label to vary per attempt.
+    pub attempt: u32,
 }
 
 impl TaskCtx {
@@ -96,6 +115,7 @@ where
     let ctx = |index: usize| TaskCtx {
         index,
         seed: derive_task_seed(root_seed, index as u64),
+        attempt: 0,
     };
     if jobs == 1 || n <= 1 {
         // The historical serial path: inline, in order, no threads.
@@ -105,7 +125,8 @@ where
             .map(|(i, t)| f(ctx(i), t))
             .collect();
     }
-    let task_slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let task_slots: Vec<Mutex<Option<T>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let result_slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -115,13 +136,11 @@ where
                 if i >= n {
                     break;
                 }
-                let task = task_slots[i]
-                    .lock()
-                    .expect("task slot lock")
+                let task = lock_tolerant(&task_slots[i])
                     .take()
                     .expect("each task index is claimed exactly once");
                 let result = f(ctx(i), task);
-                *result_slots[i].lock().expect("result slot lock") = Some(result);
+                *lock_tolerant(&result_slots[i]) = Some(result);
             });
         }
     });
@@ -129,7 +148,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("worker panics propagate before collection")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every claimed task stored a result")
         })
         .collect()
@@ -302,5 +321,47 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn worker_panic_does_not_cascade_to_siblings() {
+        // One panicking task must not poison sibling workers into their
+        // own slot-lock panics: every other task still completes, and
+        // the propagated panic is the scope's, not a PoisonError cascade.
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_deterministic(4, 0, (0..32u32).collect(), |_, x| {
+                if x == 3 {
+                    panic!("original task panic");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::SeqCst), 31);
+    }
+
+    #[test]
+    fn slot_locks_tolerate_poison() {
+        // Poison a slot mutex by panicking while holding its guard, then
+        // confirm the tolerant accessor still yields the intact value.
+        let slot = Mutex::new(Some(41u32));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = slot.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(slot.is_poisoned());
+        let v = lock_tolerant(&slot).take();
+        assert_eq!(v, Some(41));
+    }
+
+    #[test]
+    fn attempt_is_zero_on_unsupervised_paths() {
+        for jobs in [1, 4] {
+            let attempts =
+                par_map_deterministic(jobs, 5, (0..8u32).collect(), |ctx, _| ctx.attempt);
+            assert!(attempts.iter().all(|&a| a == 0), "jobs={jobs}");
+        }
     }
 }

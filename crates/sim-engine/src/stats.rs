@@ -184,11 +184,7 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
-        let below: u64 = self
-            .buckets
-            .range(..=v)
-            .map(|(_, count)| *count)
-            .sum();
+        let below: u64 = self.buckets.range(..=v).map(|(_, count)| *count).sum();
         Some(below as f64 / self.total as f64)
     }
 

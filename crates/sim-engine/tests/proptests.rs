@@ -92,7 +92,10 @@ fn geomean_is_bounded() {
         let g = geomean(&vals).expect("positive inputs");
         let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vals.iter().cloned().fold(0.0f64, f64::max);
-        assert!(g >= min * 0.999 && g <= max * 1.001, "g={g} not in [{min},{max}]");
+        assert!(
+            g >= min * 0.999 && g <= max * 1.001,
+            "g={g} not in [{min},{max}]"
+        );
     }
 }
 

@@ -186,10 +186,7 @@ fn run_totals(
     // paradigms carry their wire/data split in the egress metrics.
     let (dma_wire, dma_data) = if report.paradigm == Paradigm::BulkDma {
         let data = report.traffic.useful + report.traffic.wasted;
-        (
-            report.traffic.protocol - report.replayed_bytes + data,
-            data,
-        )
+        (report.traffic.protocol - report.replayed_bytes + data, data)
     } else {
         (0, 0)
     };

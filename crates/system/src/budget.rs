@@ -1,0 +1,237 @@
+//! Run budgets: structured termination for runaway or livelocked runs.
+//!
+//! A buggy topology, a pathological credit configuration, or a fault
+//! profile interacting badly with retries can keep the [`Runner`]'s
+//! event loop legal-but-useless: time advances, events churn, nothing
+//! commits. A [`RunBudget`] bounds the run three ways — a cumulative
+//! event ceiling, a simulated-time ceiling, and a forward-progress
+//! watchdog — and a tripped bound surfaces as
+//! [`RunError::BudgetExceeded`](crate::RunError::BudgetExceeded)
+//! carrying a [`BudgetTrip`] with a [`RunnerDiag`] snapshot, instead of
+//! a hang the user has to `kill -9` and guess about.
+//!
+//! Budgets are *diagnostic* bounds, not scheduling: a run that never
+//! trips them is byte-identical to the same run with no budget at all.
+//!
+//! [`Runner`]: crate::Runner
+
+use sim_engine::SimTime;
+
+/// Execution ceilings for one [`Runner`](crate::Runner)'s lifetime
+/// (cumulative across its iterations). `None` fields are unlimited.
+///
+/// # Examples
+///
+/// ```
+/// use sim_engine::SimTime;
+/// use system::RunBudget;
+///
+/// let budget = RunBudget::unlimited()
+///     .with_max_events(1_000_000)
+///     .with_max_sim_time(SimTime::from_ms(100))
+///     .with_progress_watchdog(100_000);
+/// budget.validate();
+/// assert!(!budget.is_unlimited());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Ceiling on events processed by the runner's event loops (store
+    /// events, retries, DMA legs), summed over every iteration.
+    pub max_events: Option<u64>,
+    /// Ceiling on run-global simulated time (the sum of completed
+    /// iterations plus the current iteration's clock).
+    pub max_sim_time: Option<SimTime>,
+    /// Forward-progress watchdog: maximum events processed since the
+    /// last commit (a packet drained into destination memory) or flush
+    /// advance (the egress path produced packets). Pick a limit well
+    /// above one iteration's compute-only event count — issue events
+    /// that merely buffer into the write queue do not count as
+    /// progress.
+    pub max_events_since_progress: Option<u64>,
+}
+
+impl RunBudget {
+    /// The identity budget: no ceiling on anything.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Bounds total events processed.
+    pub fn with_max_events(mut self, limit: u64) -> Self {
+        self.max_events = Some(limit);
+        self
+    }
+
+    /// Bounds run-global simulated time.
+    pub fn with_max_sim_time(mut self, limit: SimTime) -> Self {
+        self.max_sim_time = Some(limit);
+        self
+    }
+
+    /// Bounds events processed without forward progress.
+    pub fn with_progress_watchdog(mut self, limit: u64) -> Self {
+        self.max_events_since_progress = Some(limit);
+        self
+    }
+
+    /// True when no ceiling is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none()
+            && self.max_sim_time.is_none()
+            && self.max_events_since_progress.is_none()
+    }
+
+    /// Validates the ceilings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configured ceiling is zero (a zero budget would
+    /// trip before the first event and can only be a mistake).
+    pub fn validate(&self) {
+        if let Some(limit) = self.max_events {
+            assert!(limit > 0, "event budget must be positive");
+        }
+        if let Some(limit) = self.max_sim_time {
+            assert!(!limit.is_zero(), "sim-time budget must be positive");
+        }
+        if let Some(limit) = self.max_events_since_progress {
+            assert!(limit > 0, "progress watchdog must be positive");
+        }
+    }
+}
+
+/// Which [`RunBudget`] ceiling tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The cumulative event ceiling.
+    Events {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The simulated-time ceiling.
+    SimTime {
+        /// The configured limit.
+        limit: SimTime,
+    },
+    /// The forward-progress watchdog.
+    Watchdog {
+        /// The configured limit on events without progress.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetKind::Events { limit } => write!(f, "event ceiling ({limit} events)"),
+            BudgetKind::SimTime { limit } => write!(f, "sim-time ceiling ({limit})"),
+            BudgetKind::Watchdog { limit } => {
+                write!(f, "progress watchdog ({limit} events without progress)")
+            }
+        }
+    }
+}
+
+/// Diagnostic snapshot of the runner at the moment a budget tripped —
+/// the facts needed to tell a livelock from an under-budgeted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerDiag {
+    /// Run-global simulated time at the trip.
+    pub now: SimTime,
+    /// Events processed so far (cumulative across iterations).
+    pub sim_events: u64,
+    /// Events still pending in the current iteration's queue.
+    pub pending_events: u64,
+    /// Events processed since the last commit/flush advance.
+    pub events_since_progress: u64,
+    /// Per-GPU cumulative SM stall clocks for the current iteration
+    /// (credited mode; zeros under open-loop flow control).
+    pub stall: Vec<SimTime>,
+    /// `(header, data)` credit units in flight across the fabric.
+    pub fc_in_flight: (u64, u64),
+}
+
+impl std::fmt::Display for RunnerDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let max_stall = self.stall.iter().copied().max().unwrap_or(SimTime::ZERO);
+        write!(
+            f,
+            "at {}: {} events processed, {} pending, {} since progress, \
+             max GPU stall {}, credits in flight (PH {}, PD {})",
+            self.now,
+            self.sim_events,
+            self.pending_events,
+            self.events_since_progress,
+            max_stall,
+            self.fc_in_flight.0,
+            self.fc_in_flight.1
+        )
+    }
+}
+
+/// A tripped run budget: which ceiling, plus the diagnostic snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetTrip {
+    /// The ceiling that tripped.
+    pub kind: BudgetKind,
+    /// The runner's state at the trip.
+    pub diag: RunnerDiag,
+}
+
+impl std::fmt::Display for BudgetTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} tripped {}", self.kind, self.diag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose_and_validate() {
+        let b = RunBudget::unlimited()
+            .with_max_events(10)
+            .with_progress_watchdog(5);
+        b.validate();
+        assert_eq!(b.max_events, Some(10));
+        assert_eq!(b.max_events_since_progress, Some(5));
+        assert!(b.max_sim_time.is_none());
+        assert!(!b.is_unlimited());
+        assert!(RunBudget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget must be positive")]
+    fn zero_event_budget_rejected() {
+        RunBudget::unlimited().with_max_events(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sim-time budget must be positive")]
+    fn zero_sim_time_budget_rejected() {
+        RunBudget::unlimited()
+            .with_max_sim_time(SimTime::ZERO)
+            .validate();
+    }
+
+    #[test]
+    fn trip_renders_kind_and_diagnostics() {
+        let trip = BudgetTrip {
+            kind: BudgetKind::Watchdog { limit: 1000 },
+            diag: RunnerDiag {
+                now: SimTime::from_us(3),
+                sim_events: 1234,
+                pending_events: 7,
+                events_since_progress: 1001,
+                stall: vec![SimTime::ZERO, SimTime::from_ns(40)],
+                fc_in_flight: (2, 16),
+            },
+        };
+        let msg = trip.to_string();
+        assert!(msg.contains("progress watchdog (1000"), "{msg}");
+        assert!(msg.contains("1234 events processed"), "{msg}");
+        assert!(msg.contains("7 pending"), "{msg}");
+        assert!(msg.contains("PH 2, PD 16"), "{msg}");
+    }
+}

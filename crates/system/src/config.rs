@@ -8,6 +8,7 @@ use sim_engine::SimTime;
 
 use protocol::{CreditAccount, MAX_PAYLOAD_BYTES};
 
+use crate::budget::RunBudget;
 use crate::fault::FaultProfile;
 use crate::topology::Topology;
 
@@ -133,6 +134,10 @@ pub struct SystemConfig {
     pub fault: Option<FaultProfile>,
     /// Flow-control regime for peer-to-peer store traffic.
     pub flow_control: FlowControlMode,
+    /// Optional run budget (event ceiling, sim-time ceiling, progress
+    /// watchdog); `None` runs unbounded. A run that never trips its
+    /// budget is byte-identical to the same run without one.
+    pub run_budget: Option<RunBudget>,
 }
 
 impl SystemConfig {
@@ -158,6 +163,7 @@ impl SystemConfig {
             seed: 0xF14E_9ACC,
             fault: None,
             flow_control: FlowControlMode::Credited(CreditConfig::paper()),
+            run_budget: None,
         }
     }
 
@@ -197,6 +203,16 @@ impl SystemConfig {
         self
     }
 
+    /// Bounds runs with `budget`: a tripped ceiling terminates the run
+    /// with a structured [`RunError::BudgetExceeded`] diagnostic
+    /// instead of churning or livelocking.
+    ///
+    /// [`RunError::BudgetExceeded`]: crate::RunError::BudgetExceeded
+    pub fn with_run_budget(mut self, budget: RunBudget) -> Self {
+        self.run_budget = Some(budget);
+        self
+    }
+
     /// Convenience: the original open-loop analytic timing model.
     pub fn open_loop(self) -> Self {
         self.with_flow_control(FlowControlMode::Open)
@@ -214,6 +230,9 @@ impl SystemConfig {
         assert!(self.combining_entries > 0);
         if let Some(fault) = &self.fault {
             fault.validate();
+        }
+        if let Some(budget) = &self.run_budget {
+            budget.validate();
         }
         if let Topology::TwoLevel { gpus_per_leaf } = self.topology {
             assert!(

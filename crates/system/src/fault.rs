@@ -8,6 +8,8 @@
 use protocol::{ReplayConfig, ReplayError, ReplayStats};
 use sim_engine::SimTime;
 
+use crate::budget::BudgetTrip;
+
 /// A transient (or permanent) outage on one GPU's egress link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outage {
@@ -171,7 +173,17 @@ pub enum RunError {
         /// The bound it exceeded.
         limit: SimTime,
     },
+    /// A [`RunBudget`](crate::RunBudget) ceiling tripped — the run was
+    /// terminated with a diagnostic snapshot instead of churning or
+    /// livelocking forever. Boxed like `LinkDown` so the hot `Result`
+    /// stays register-sized on the `Ok` path.
+    BudgetExceeded(Box<BudgetTrip>),
 }
+
+/// The supervised harness's name for the runner's error type: every way
+/// a run can terminate without completing (link death, stall watchdog,
+/// budget trip).
+pub type RunnerError = RunError;
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -187,6 +199,7 @@ impl std::fmt::Display for RunError {
                 "no forward progress: delivery from GPU{gpu} entering at {at} \
                  would land at {landed}, past the {limit} stall bound"
             ),
+            RunError::BudgetExceeded(trip) => write!(f, "run budget exceeded: {trip}"),
         }
     }
 }
@@ -195,7 +208,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::LinkDown(fault) => Some(fault.as_ref()),
-            RunError::Stalled { .. } => None,
+            RunError::Stalled { .. } | RunError::BudgetExceeded(_) => None,
         }
     }
 }
@@ -206,9 +219,11 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let p = FaultProfile::new(1e-10)
-            .with_degrade(0.5)
-            .with_outage(2, SimTime::from_us(5), SimTime::from_us(9));
+        let p = FaultProfile::new(1e-10).with_degrade(0.5).with_outage(
+            2,
+            SimTime::from_us(5),
+            SimTime::from_us(9),
+        );
         p.validate();
         assert_eq!(p.outage.unwrap().gpu, 2);
         assert_eq!(p.degrade, Some(0.5));

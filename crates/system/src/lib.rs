@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 mod audit;
+mod budget;
 mod config;
 mod experiment;
 mod fault;
@@ -40,13 +41,15 @@ mod runner;
 mod topology;
 
 pub use audit::{audit_config_for, audit_run, AuditOutcome};
+pub use budget::{BudgetKind, BudgetTrip, RunBudget, RunnerDiag};
 pub use config::{CreditConfig, FlowControlMode, SystemConfig};
 pub use experiment::{
     bandwidth_sweep, dma_plan, fault_sweep, geomean_speedup, prepare_apps, run_suite,
-    single_gpu_time, speedup_row, speedup_row_prepared, subheader_sweep, FaultSweepPoint,
-    PreparedApp, PreparedWorkload, SpeedupRow, SuiteResult,
+    run_suite_supervised, single_gpu_time, speedup_row, speedup_row_prepared, subheader_sweep,
+    FaultSweepPoint, PreparedApp, PreparedWorkload, SpeedupRow, SuitePoint, SuiteResult,
+    SupervisedSuite, Supervision,
 };
-pub use fault::{FabricFault, FaultProfile, Outage, RunError};
+pub use fault::{FabricFault, FaultProfile, Outage, RunError, RunnerError};
 pub use link::{Fabric, FcStats, Link, LinkDelivery};
 pub use paradigm::Paradigm;
 pub use report::{RunReport, TrafficBreakdown, UniqueTracker};

@@ -431,8 +431,8 @@ mod tests {
     fn fault_free_dll_is_transparent() {
         use crate::FaultProfile;
         let mut plain = Fabric::new(2, bw(), SimTime::from_ns(500));
-        let mut faulty = Fabric::new(2, bw(), SimTime::from_ns(500))
-            .with_faults(FaultProfile::new(0.0), 42);
+        let mut faulty =
+            Fabric::new(2, bw(), SimTime::from_ns(500)).with_faults(FaultProfile::new(0.0), 42);
         for i in 0..4u64 {
             let at = SimTime::from_us(i);
             let a = plain.send(at, GpuId::new(0), GpuId::new(1), 32_000);
@@ -451,8 +451,8 @@ mod tests {
     #[test]
     fn bit_errors_add_wire_bytes_and_delay() {
         use crate::FaultProfile;
-        let mut faulty = Fabric::new(2, bw(), SimTime::ZERO)
-            .with_faults(FaultProfile::new(1e-6), 7);
+        let mut faulty =
+            Fabric::new(2, bw(), SimTime::ZERO).with_faults(FaultProfile::new(1e-6), 7);
         let mut clean_total = SimTime::ZERO;
         let mut landed = SimTime::ZERO;
         for _ in 0..50 {
@@ -483,10 +483,7 @@ mod tests {
             .try_send(SimTime::ZERO, GpuId::new(0), GpuId::new(1), 4096)
             .unwrap_err();
         assert_eq!(err.link, "egress0");
-        assert!(matches!(
-            err.error,
-            protocol::ReplayError::LinkDown { .. }
-        ));
+        assert!(matches!(err.error, protocol::ReplayError::LinkDown { .. }));
         // The reverse direction still works.
         assert!(faulty
             .try_send(SimTime::ZERO, GpuId::new(1), GpuId::new(0), 4096)

@@ -9,25 +9,41 @@ use gpu_model::{GpuId, KernelRun, MemoryImage};
 use sim_engine::{Bandwidth, EventQueue, SimTime};
 use telemetry::{EventKind, Sample, TraceEvent, TraceHandle};
 
+use crate::budget::{BudgetKind, BudgetTrip, RunnerDiag};
 use crate::config::SystemConfig;
 use crate::fault::RunError;
-use crate::topology::{RoutedFabric, SendOutcome};
 use crate::paradigm::Paradigm;
 use crate::report::{RunReport, TrafficBreakdown, UniqueTracker};
+use crate::topology::{RoutedFabric, SendOutcome};
 
 /// One DMA transfer leg: (source, destination, payload bytes).
 pub type DmaPlan = Vec<(GpuId, GpuId, u64)>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    Store { gpu: usize, idx: usize },
-    Atomic { gpu: usize, idx: usize },
-    Probe { gpu: usize, idx: usize },
-    Fence { gpu: usize },
-    KernelEnd { gpu: usize },
+    Store {
+        gpu: usize,
+        idx: usize,
+    },
+    Atomic {
+        gpu: usize,
+        idx: usize,
+    },
+    Probe {
+        gpu: usize,
+        idx: usize,
+    },
+    Fence {
+        gpu: usize,
+    },
+    KernelEnd {
+        gpu: usize,
+    },
     /// Credited mode only: the GPU's output buffer was blocked on link
     /// credits; retry draining when the earliest `UpdateFC` lands.
-    Retry { gpu: usize },
+    Retry {
+        gpu: usize,
+    },
 }
 
 /// What one output-buffer drain pass achieved.
@@ -82,6 +98,9 @@ pub struct Runner {
     iterations: u32,
     replay_amp: ReplayAmplification,
     sim_events: u64,
+    /// Events processed since the last commit/flush advance — the
+    /// progress-watchdog clock (see [`crate::RunBudget`]).
+    events_since_progress: u64,
     trace: TraceHandle,
     sample_every: Option<SimTime>,
 }
@@ -136,8 +155,7 @@ impl Runner {
             paths,
             fabric,
             unique: UniqueTracker::new(),
-            images: track_memory
-                .then(|| (0..cfg.num_gpus).map(|_| MemoryImage::new()).collect()),
+            images: track_memory.then(|| (0..cfg.num_gpus).map(|_| MemoryImage::new()).collect()),
             hbm: cfg.gpu.hbm_bandwidth,
             dma_wire_bytes: 0,
             dma_data_bytes: 0,
@@ -148,9 +166,49 @@ impl Runner {
             iterations: 0,
             replay_amp: ReplayAmplification::new(),
             sim_events: 0,
+            events_since_progress: 0,
             trace: TraceHandle::off(),
             sample_every: None,
         }
+    }
+
+    /// Checks every configured [`crate::RunBudget`] ceiling at
+    /// iteration-local time `now` with `pending` events still queued,
+    /// returning a structured trip with a diagnostic snapshot when one
+    /// is exceeded. `stall` carries the iteration's per-GPU SM stall
+    /// clocks (empty outside the store-paradigm loop).
+    fn check_budget(
+        &self,
+        now: SimTime,
+        pending: usize,
+        stall: &[SimTime],
+    ) -> Result<(), RunError> {
+        let Some(budget) = self.cfg.run_budget else {
+            return Ok(());
+        };
+        let kind = if let Some(limit) = budget.max_events.filter(|l| self.sim_events > *l) {
+            BudgetKind::Events { limit }
+        } else if let Some(limit) = budget.max_sim_time.filter(|l| self.total_time + now > *l) {
+            BudgetKind::SimTime { limit }
+        } else if let Some(limit) = budget
+            .max_events_since_progress
+            .filter(|l| self.events_since_progress > *l)
+        {
+            BudgetKind::Watchdog { limit }
+        } else {
+            return Ok(());
+        };
+        Err(RunError::BudgetExceeded(Box::new(BudgetTrip {
+            kind,
+            diag: RunnerDiag {
+                now: self.total_time + now,
+                sim_events: self.sim_events,
+                pending_events: pending as u64,
+                events_since_progress: self.events_since_progress,
+                stall: stall.to_vec(),
+                fc_in_flight: self.fabric.fc_in_flight_total(),
+            },
+        })))
     }
 
     /// Attaches a trace handle; subsequent iterations record lifecycle
@@ -187,12 +245,7 @@ impl Runner {
     /// added, by diffing the per-reason counters around it. Counting
     /// from the aggregates keeps trace flush counts equal to
     /// `flushes_by_reason` by construction.
-    fn record_flush_delta(
-        &self,
-        gpu: usize,
-        at: SimTime,
-        before: [u64; FlushReason::ALL.len()],
-    ) {
+    fn record_flush_delta(&self, gpu: usize, at: SimTime, before: [u64; FlushReason::ALL.len()]) {
         let after = self.paths[gpu]
             .as_ref()
             .expect("store paradigm")
@@ -406,7 +459,10 @@ impl Runner {
     ///
     /// [`RunError::LinkDown`] when a link exhausts its retrain budget;
     /// [`RunError::Stalled`] when a delivery exceeds the fault
-    /// profile's stall bound.
+    /// profile's stall bound; [`RunError::BudgetExceeded`] when a
+    /// configured [`crate::RunBudget`] ceiling trips (the runner should
+    /// be discarded after any error — partial iteration state is not
+    /// rolled back).
     ///
     /// # Panics
     ///
@@ -448,7 +504,11 @@ impl Runner {
             Paradigm::BulkDma => {
                 for (src, dst, bytes) in dma_plan {
                     self.sim_events += 1;
+                    // DMA legs always progress: the watchdog is a
+                    // store-loop concern, but the event and sim-time
+                    // ceilings still bound runaway plans.
                     let start = runs[src.index()].kernel_time + self.cfg.dma_sw_overhead;
+                    self.check_budget(start, 0, &[])?;
                     let wire = self.cfg.framing.bulk_wire_bytes(*bytes);
                     let landed = self
                         .fabric
@@ -517,7 +577,9 @@ impl Runner {
                 let mut next_sample = sample_step.unwrap_or(SimTime::ZERO);
                 while let Some(ev) = queue.pop() {
                     self.sim_events += 1;
+                    self.events_since_progress += 1;
                     let now = ev.time;
+                    self.check_budget(now, queue.len(), &stall)?;
                     if let Some(step) = sample_step {
                         while next_sample <= now {
                             self.take_samples(next_sample);
@@ -527,6 +589,9 @@ impl Runner {
                     if let Ev::Retry { gpu } = ev.payload {
                         retry_at[gpu] = None;
                         let out = self.pump(gpu, now)?;
+                        if out.last_drained > SimTime::ZERO {
+                            self.events_since_progress = 0;
+                        }
                         last_delivery = last_delivery.max(out.last_drained);
                         if let Some(until) = out.blocked_until {
                             if retry_at[gpu].is_none_or(|r| until < r) {
@@ -557,17 +622,35 @@ impl Runner {
                     );
                     if credited && is_mem_op {
                         loop {
-                            if self.paths[gpu].as_ref().expect("store paradigm").can_accept() {
+                            if self.paths[gpu]
+                                .as_ref()
+                                .expect("store paradigm")
+                                .can_accept()
+                            {
                                 break;
                             }
                             let out = self.pump(gpu, eff)?;
+                            if out.last_drained > SimTime::ZERO {
+                                self.events_since_progress = 0;
+                            }
                             last_delivery = last_delivery.max(out.last_drained);
-                            if self.paths[gpu].as_ref().expect("store paradigm").can_accept() {
+                            if self.paths[gpu]
+                                .as_ref()
+                                .expect("store paradigm")
+                                .can_accept()
+                            {
                                 break;
                             }
                             let until = out
                                 .blocked_until
                                 .expect("a still-full buffer implies a blocked head");
+                            // Each blocked wait advances simulated time
+                            // without popping an event, so a stalled
+                            // stream (e.g. credits that effectively
+                            // never return) could spin here past every
+                            // pop-time check: budget the wait itself.
+                            self.events_since_progress += 1;
+                            self.check_budget(until, queue.len(), &stall)?;
                             let waited = until.saturating_sub(eff);
                             self.trace.record(TraceEvent {
                                 time: eff,
@@ -653,6 +736,12 @@ impl Runner {
                     // processing for the same GPU.
                     let path = self.paths[gpu].as_mut().expect("store paradigm");
                     packets.extend(path.advance(eff));
+                    if !packets.is_empty() {
+                        // A flush advanced: the path packetized buffered
+                        // stores. Progress for the watchdog even if the
+                        // packets then wait on credits.
+                        self.events_since_progress = 0;
+                    }
                     if let Some(before) = flushes_before {
                         self.record_flush_delta(gpu, eff, before);
                     }
@@ -665,6 +754,9 @@ impl Runner {
                                 .extend(packets);
                         }
                         let out = self.pump(gpu, eff)?;
+                        if out.last_drained > SimTime::ZERO {
+                            self.events_since_progress = 0;
+                        }
                         last_delivery = last_delivery.max(out.last_drained);
                         if let Some(until) = out.blocked_until {
                             if retry_at[gpu].is_none_or(|r| until < r) {
@@ -778,14 +870,18 @@ mod tests {
         let spec = RunSpec::tiny();
         let app = Pagerank::default();
         let runs = runs_for(&app, &cfg, &spec);
-        let times: Vec<SimTime> = [Paradigm::InfiniteBw, Paradigm::FinePack, Paradigm::P2pStores]
-            .into_iter()
-            .map(|p| {
-                let mut r = Runner::new(cfg, p, 0.0, false);
-                r.run_iteration(&runs, &[]);
-                r.finish("pagerank", 0.8).total_time
-            })
-            .collect();
+        let times: Vec<SimTime> = [
+            Paradigm::InfiniteBw,
+            Paradigm::FinePack,
+            Paradigm::P2pStores,
+        ]
+        .into_iter()
+        .map(|p| {
+            let mut r = Runner::new(cfg, p, 0.0, false);
+            r.run_iteration(&runs, &[]);
+            r.finish("pagerank", 0.8).total_time
+        })
+        .collect();
         assert!(times[0] <= times[1], "inf {} vs fp {}", times[0], times[1]);
         assert!(times[1] < times[2], "fp {} vs p2p {}", times[1], times[2]);
     }

@@ -211,7 +211,8 @@ impl RoutedFabric {
         dst: GpuId,
         bytes: u64,
     ) -> Result<SimTime, Box<crate::FabricFault>> {
-        self.route_transmit(at, src, dst, bytes).map(|r| r.delivered)
+        self.route_transmit(at, src, dst, bytes)
+            .map(|r| r.delivered)
     }
 
     /// The timed traversal shared by open and credited sends, reporting
@@ -516,14 +517,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "must divide")]
     fn bad_leaf_size_panics() {
-        let _ = RoutedFabric::new(Topology::TwoLevel { gpus_per_leaf: 3 }, 8, bw(), SimTime::ZERO);
+        let _ = RoutedFabric::new(
+            Topology::TwoLevel { gpus_per_leaf: 3 },
+            8,
+            bw(),
+            SimTime::ZERO,
+        );
     }
 
     #[test]
     fn credited_send_with_generous_pool_matches_open_send() {
         let mut open = RoutedFabric::new(Topology::SingleSwitch, 4, bw(), SimTime::from_ns(500));
-        let mut credited = RoutedFabric::new(Topology::SingleSwitch, 4, bw(), SimTime::from_ns(500))
-            .with_flow_control(CreditConfig::generous());
+        let mut credited =
+            RoutedFabric::new(Topology::SingleSwitch, 4, bw(), SimTime::from_ns(500))
+                .with_flow_control(CreditConfig::generous());
         for i in 0..8u64 {
             let at = SimTime::from_ns(i * 40);
             let a = open

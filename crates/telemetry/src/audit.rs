@@ -358,7 +358,11 @@ impl AuditCollector {
     ///
     /// Panics if the auditor holds any violation.
     pub fn assert_clean(&self) {
-        assert!(self.is_clean(), "conservation audit failed\n{}", self.render_report());
+        assert!(
+            self.is_clean(),
+            "conservation audit failed\n{}",
+            self.render_report()
+        );
     }
 
     /// Renders the per-law report: a count per law plus the retained
@@ -388,9 +392,8 @@ impl AuditCollector {
     fn check_issue_clock(&mut self, gpu: u8, time: SimTime, what: &'static str) {
         let last = self.issue_clock.get(&gpu).copied().unwrap_or(SimTime::ZERO);
         if time < last {
-            let detail = format!(
-                "gpu {gpu}: {what} at {time:?} after an issue-track event at {last:?}"
-            );
+            let detail =
+                format!("gpu {gpu}: {what} at {time:?} after an issue-track event at {last:?}");
             self.flag(Law::CausalSanity, detail);
         } else {
             self.issue_clock.insert(gpu, time);
@@ -426,9 +429,7 @@ impl AuditCollector {
             if seen != *expected {
                 self.flag(
                     Law::CausalSanity,
-                    format!(
-                        "flush '{label}': {seen} events but the report counts {expected}"
-                    ),
+                    format!("flush '{label}': {seen} events but the report counts {expected}"),
                 );
             }
         }
@@ -491,8 +492,16 @@ impl AuditCollector {
         let checks = [
             ("egress wire bytes", self.wire_sum, totals.egress_wire_bytes),
             ("egress packets", self.packet_count, totals.egress_packets),
-            ("committed data bytes", self.commit_data_sum, totals.egress_data_bytes),
-            ("bulk DMA wire bytes", self.dma_wire_sum, totals.dma_wire_bytes),
+            (
+                "committed data bytes",
+                self.commit_data_sum,
+                totals.egress_data_bytes,
+            ),
+            (
+                "bulk DMA wire bytes",
+                self.dma_wire_sum,
+                totals.dma_wire_bytes,
+            ),
             ("DLL replay bytes", self.replay_sum, totals.replayed_bytes),
         ];
         for (what, stream, report) in checks {
@@ -703,6 +712,14 @@ impl TraceCollector for AuditCollector {
                     );
                 }
             }
+            // Harness supervision events sit outside any GPU's timeline
+            // (their `gpu` field carries a task index) and outside the
+            // conservation laws: the supervisor replays whole runs, so a
+            // retried task's streams are audited per run, not across
+            // attempts.
+            EventKind::TaskStart { .. }
+            | EventKind::TaskRetry { .. }
+            | EventKind::TaskFailed { .. } => {}
         }
     }
 
@@ -727,10 +744,7 @@ impl TraceCollector for AuditCollector {
             {
                 self.flag(
                     Law::CausalSanity,
-                    format!(
-                        "cumulative sample counters decreased on gpu {}",
-                        sample.gpu
-                    ),
+                    format!("cumulative sample counters decreased on gpu {}", sample.gpu),
                 );
             }
         }
@@ -779,12 +793,15 @@ mod tests {
     /// commit.
     fn clean_stream(audit: &mut AuditCollector) {
         let t = SimTime::from_ns;
+        audit.record(ev(t(1), 0, EventKind::StoreIssued { dst: 1, bytes: 8 }));
         audit.record(ev(
             t(1),
             0,
-            EventKind::StoreIssued { dst: 1, bytes: 8 },
+            EventKind::RwqInsert {
+                dst: 1,
+                merged: false,
+            },
         ));
-        audit.record(ev(t(1), 0, EventKind::RwqInsert { dst: 1, merged: false }));
         audit.record(ev(t(5), 0, EventKind::Flush { reason: "release" }));
         audit.record(ev(
             t(5),
@@ -962,7 +979,14 @@ mod tests {
                 done: t(9),
             },
         ));
-        audit.record(ev(t(9), 1, EventKind::Commit { data_bytes: 8, done: t(10) }));
+        audit.record(ev(
+            t(9),
+            1,
+            EventKind::Commit {
+                data_bytes: 8,
+                done: t(10),
+            },
+        ));
         let totals = RunTotals {
             egress_wire_bytes: 40,
             egress_data_bytes: 8,

@@ -182,14 +182,18 @@ impl TraceHandle {
     /// Records `event`, shifted by the handle's base time.
     pub fn record(&self, event: TraceEvent) {
         if let Some(c) = &self.collector {
-            c.lock().expect("trace collector lock").record(event.shifted(self.base));
+            c.lock()
+                .expect("trace collector lock")
+                .record(event.shifted(self.base));
         }
     }
 
     /// Records `sample`, shifted by the handle's base time.
     pub fn sample(&self, sample: Sample) {
         if let Some(c) = &self.collector {
-            c.lock().expect("trace collector lock").sample(sample.shifted(self.base));
+            c.lock()
+                .expect("trace collector lock")
+                .sample(sample.shifted(self.base));
         }
     }
 }

@@ -14,11 +14,12 @@ use sim_engine::SimTime;
 use crate::event::{EventKind, Sample, TraceEvent};
 
 /// Track ids within each GPU's process, in rendering order.
-const TRACKS: [(u32, &str); 4] = [
+const TRACKS: [(u32, &str); 5] = [
     (0, "sm (store stream)"),
     (1, "rwq (coalescing)"),
     (2, "wire (egress TLPs)"),
     (3, "commit (ingress drain)"),
+    (4, "harness (supervision)"),
 ];
 
 fn track_of(kind: &EventKind) -> u32 {
@@ -34,6 +35,9 @@ fn track_of(kind: &EventKind) -> u32 {
         | EventKind::DllReplay { .. }
         | EventKind::CreditBlocked { .. } => 2,
         EventKind::Commit { .. } => 3,
+        EventKind::TaskStart { .. }
+        | EventKind::TaskRetry { .. }
+        | EventKind::TaskFailed { .. } => 4,
     }
 }
 
@@ -156,6 +160,18 @@ pub fn chrome_trace(events: &[TraceEvent], samples: &[Sample]) -> String {
             EventKind::KernelEnd => format!(
                 "{{\"name\":\"kernel-end\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
                  \"ts\":{ts:.6},\"args\":{{}}}}"
+            ),
+            EventKind::TaskStart { task } => format!(
+                "{{\"name\":\"task-start\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{ts:.6},\"args\":{{\"task\":{task}}}}}"
+            ),
+            EventKind::TaskRetry { task, attempt } => format!(
+                "{{\"name\":\"task-retry\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{ts:.6},\"args\":{{\"task\":{task},\"attempt\":{attempt}}}}}"
+            ),
+            EventKind::TaskFailed { task, attempts } => format!(
+                "{{\"name\":\"task-failed\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{ts:.6},\"args\":{{\"task\":{task},\"attempts\":{attempts}}}}}"
             ),
         };
         row(&mut out, &body);

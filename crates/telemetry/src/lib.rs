@@ -45,9 +45,7 @@ mod collect;
 mod event;
 mod export;
 
-pub use audit::{
-    AuditCollector, AuditConfig, CreditLedger, Law, RunTotals, Violation, WireMath,
-};
+pub use audit::{AuditCollector, AuditConfig, CreditLedger, Law, RunTotals, Violation, WireMath};
 pub use collect::{NullCollector, RingCollector, TraceCollector, TraceHandle};
 pub use event::{EventKind, Sample, TraceEvent};
 pub use export::{chrome_trace, time_series_csv};

@@ -60,7 +60,10 @@ impl RmatParams {
 /// Panics if the quadrant probabilities are not a sub-distribution.
 pub fn generate_rmat(params: &RmatParams, rng: &mut DetRng) -> Vec<(u32, u32)> {
     let (a, b, c) = params.probs;
-    assert!(a > 0.0 && b > 0.0 && c > 0.0 && a + b + c < 1.0, "bad quadrant probs");
+    assert!(
+        a > 0.0 && b > 0.0 && c > 0.0 && a + b + c < 1.0,
+        "bad quadrant probs"
+    );
     let mut edges = Vec::with_capacity(params.edges() as usize);
     for _ in 0..params.edges() {
         let (mut src, mut dst) = (0u32, 0u32);
@@ -162,29 +165,28 @@ impl Workload for PagerankGraph {
         // rank contributions into 32-lane warp scatter stores.
         let mut lanes: Vec<u64> = Vec::with_capacity(32);
         let mut stores = Vec::new();
-        let flush =
-            |lanes: &mut Vec<u64>, stores: &mut Vec<TraceOp>, rng: &mut DetRng| {
-                if lanes.is_empty() {
-                    return;
-                }
-                let mask = if lanes.len() == 32 {
-                    u32::MAX
-                } else {
-                    (1u32 << lanes.len()) - 1
-                };
-                while lanes.len() < 32 {
-                    let last = *lanes.last().expect("non-empty");
-                    lanes.push(last);
-                }
-                stores.push(TraceOp::WarpStore {
-                    pattern: gpu_model::AccessPattern::Scattered {
-                        addrs: std::mem::take(lanes),
-                    },
-                    bytes_per_lane: 4,
-                    active_mask: mask,
-                    value_seed: rng.next_u64_below(u64::MAX),
-                });
+        let flush = |lanes: &mut Vec<u64>, stores: &mut Vec<TraceOp>, rng: &mut DetRng| {
+            if lanes.is_empty() {
+                return;
+            }
+            let mask = if lanes.len() == 32 {
+                u32::MAX
+            } else {
+                (1u32 << lanes.len()) - 1
             };
+            while lanes.len() < 32 {
+                let last = *lanes.last().expect("non-empty");
+                lanes.push(last);
+            }
+            stores.push(TraceOp::WarpStore {
+                pattern: gpu_model::AccessPattern::Scattered {
+                    addrs: std::mem::take(lanes),
+                },
+                bytes_per_lane: 4,
+                active_mask: mask,
+                value_seed: rng.next_u64_below(u64::MAX),
+            });
+        };
         for (i, (src, dst)) in self.edges.iter().enumerate() {
             if !(i as u64).is_multiple_of(stride) {
                 continue;
@@ -208,7 +210,8 @@ impl Workload for PagerankGraph {
 
     fn dma_bytes_per_gpu(&self, spec: &RunSpec) -> u64 {
         // The rank-vector partition this GPU would ship per iteration.
-        let unique = self.params.vertices() * 4 / u64::from(spec.num_gpus.max(2))
+        let unique = self.params.vertices() * 4
+            / u64::from(spec.num_gpus.max(2))
             / u64::from(spec.scale_down);
         (unique as f64 * self.dma_overtransfer) as u64
     }
@@ -247,13 +250,13 @@ mod tests {
             out_degree[*s as usize] += 1;
         }
         out_degree.sort_unstable_by(|a, b| b.cmp(a));
-        let top = out_degree[..v / 100].iter().map(|d| u64::from(*d)).sum::<u64>();
+        let top = out_degree[..v / 100]
+            .iter()
+            .map(|d| u64::from(*d))
+            .sum::<u64>();
         let total = g.edges().len() as u64;
         // The top 1% of vertices must own far more than 1% of edges.
-        assert!(
-            top * 10 > total,
-            "top 1% owns only {top} of {total} edges"
-        );
+        assert!(top * 10 > total, "top 1% owns only {top} of {total} edges");
     }
 
     #[test]
@@ -282,7 +285,11 @@ mod tests {
         spec.num_gpus = 2;
         let trace = g.trace(&spec, 0, GpuId::new(0));
         assert!(trace.store_count() > 0);
-        let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 16 << 30));
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(2, 16 << 30),
+        );
         let run = gpu.execute_kernel(&trace);
         assert!(run.stats.remote_stores > 0);
         // 4B rank contributions; high-degree vertices merge into wider runs.
@@ -306,7 +313,11 @@ mod tests {
         let g = small();
         let mut spec = RunSpec::tiny();
         spec.num_gpus = 2;
-        let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 16 << 30));
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(2, 16 << 30),
+        );
         let run = gpu.execute_kernel(&g.trace(&spec, 0, GpuId::new(0)));
         let framing = FramingModel::pcie_gen4();
         let mut fp = FinePackEgress::new(GpuId::new(0), FinePackConfig::paper(2), framing);

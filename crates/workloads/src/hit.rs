@@ -116,7 +116,11 @@ mod tests {
         let hit_trace = Hit::default().trace(&spec, 0, GpuId::new(0));
         let pr_trace = crate::pagerank::Pagerank::default().trace(&spec, 0, GpuId::new(0));
         let volume = |t: &KernelTrace| {
-            let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(4, 16 << 30));
+            let gpu = Gpu::new(
+                GpuConfig::tiny(),
+                GpuId::new(0),
+                AddressMap::new(4, 16 << 30),
+            );
             gpu.execute_kernel(t).stats.remote_bytes
         };
         assert!(volume(&hit_trace) > volume(&pr_trace));

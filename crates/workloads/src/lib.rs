@@ -90,7 +90,16 @@ mod tests {
         let names: Vec<&str> = s.iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
-            vec!["jacobi", "pagerank", "sssp", "als", "ct", "eqwp", "diffusion", "hit"]
+            vec![
+                "jacobi",
+                "pagerank",
+                "sssp",
+                "als",
+                "ct",
+                "eqwp",
+                "diffusion",
+                "hit"
+            ]
         );
     }
 

@@ -179,7 +179,11 @@ mod tests {
     fn trace_matches_parameterized_jacobi_shape() {
         let app = JacobiMatrix::new(system());
         let spec = RunSpec::tiny();
-        let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 16 << 30));
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(2, 16 << 30),
+        );
         let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
         assert!(run.stats.remote_stores > 0);
         assert_eq!(run.stats.mean_remote_size(), Some(128.0));
@@ -191,7 +195,11 @@ mod tests {
         let mut spec = RunSpec::tiny();
         spec.num_gpus = 4;
         let bytes = |g: u8| {
-            let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(g), AddressMap::new(4, 16 << 30));
+            let gpu = Gpu::new(
+                GpuConfig::tiny(),
+                GpuId::new(g),
+                AddressMap::new(4, 16 << 30),
+            );
             gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(g)))
                 .stats
                 .remote_bytes
@@ -206,7 +214,11 @@ mod tests {
         let app = JacobiMatrix::new(system());
         let mut spec = RunSpec::tiny();
         spec.num_gpus = 1;
-        let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(1, 16 << 30));
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(1, 16 << 30),
+        );
         let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
         assert_eq!(run.stats.remote_stores, 0);
         assert!(run.stats.local_stores > 0);

@@ -8,9 +8,9 @@
 use gpu_model::{GpuId, KernelTrace};
 
 use crate::assembler::{interleave, scatter_ops, SlotDist};
-use gpu_model::TraceOp;
 use crate::common::{bytes_per_target, per_gpu_compute_cycles, slot_base, stream_rng, targets};
 use crate::spec::{CommPattern, RunSpec, Workload};
+use gpu_model::TraceOp;
 
 /// The SSSP workload.
 #[derive(Debug, Clone, Copy)]
@@ -148,7 +148,11 @@ mod tests {
         // ratio than PageRank's (2.2 vs 1.8 rewrite factor).
         let spec = RunSpec::paper(4);
         let unique_ratio = |trace: &KernelTrace, id: u8, n: u8| {
-            let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(id), AddressMap::new(n, 16 << 30));
+            let gpu = Gpu::new(
+                GpuConfig::tiny(),
+                GpuId::new(id),
+                AddressMap::new(n, 16 << 30),
+            );
             let run = gpu.execute_kernel(trace);
             let mut addrs: Vec<u64> = run.egress.iter().map(|t| t.store.addr).collect();
             let total = addrs.len() as f64;

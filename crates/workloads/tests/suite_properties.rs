@@ -27,7 +27,10 @@ fn different_seeds_change_irregular_traces() {
     spec_a.seed = 1;
     spec_b.seed = 2;
     for name in ["pagerank", "sssp", "als", "ct", "hit"] {
-        let app = suite().into_iter().find(|a| a.name() == name).expect("in suite");
+        let app = suite()
+            .into_iter()
+            .find(|a| a.name() == name)
+            .expect("in suite");
         let a = app.trace(&spec_a, 0, GpuId::new(0));
         let b = app.trace(&spec_b, 0, GpuId::new(0));
         assert_ne!(a, b, "{name} ignored the seed");
@@ -53,7 +56,12 @@ fn remote_stores_target_only_peer_app_regions() {
         for g in 0..4u8 {
             let run = replay(app.as_ref(), &spec, g);
             for t in &run.egress {
-                assert_ne!(t.store.dst, GpuId::new(g), "{} stored to itself", app.name());
+                assert_ne!(
+                    t.store.dst,
+                    GpuId::new(g),
+                    "{} stored to itself",
+                    app.name()
+                );
                 let region_base = app_region_base(t.store.dst);
                 assert!(
                     t.store.addr >= region_base,
@@ -85,7 +93,10 @@ fn store_size_profiles_match_fig4_expectations() {
         ("hit", 40.0, 14.0),
     ];
     for (name, max, min) in expectations {
-        let app = suite().into_iter().find(|a| a.name() == name).expect("in suite");
+        let app = suite()
+            .into_iter()
+            .find(|a| a.name() == name)
+            .expect("in suite");
         let run = replay(app.as_ref(), &spec, 1);
         let mean = run.stats.mean_remote_size().expect("has remote stores");
         assert!(

@@ -69,7 +69,11 @@ fn store_sizes_track_granularity() {
             .region_bytes(64 << 20)
             .build();
         let spec = RunSpec::tiny();
-        let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 16 << 30));
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(2, 16 << 30),
+        );
         let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
         let p = profile_run(&run, 1 << 30);
         let expect = u64::from(group) * 8;
@@ -90,7 +94,11 @@ fn rewrite_knob_is_observable() {
             .bytes_per_gpu(128 << 10)
             .build();
         let spec = RunSpec::tiny();
-        let gpu = Gpu::new(GpuConfig::tiny(), GpuId::new(0), AddressMap::new(2, 16 << 30));
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(2, 16 << 30),
+        );
         let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
         let p = profile_run(&run, 1 << 30);
         if rewrite >= 2.0 {

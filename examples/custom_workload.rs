@@ -40,7 +40,12 @@ fn main() {
         .compute_wall_us(32.0)
         .dma_overtransfer(3.0)
         .build();
-    evaluate("graph-like (4B zipf scatter, rewrite 2.0)", &graphish, &cfg, &spec);
+    evaluate(
+        "graph-like (4B zipf scatter, rewrite 2.0)",
+        &graphish,
+        &cfg,
+        &spec,
+    );
 
     // Profile 2: a stencil-like app — fully coalesced halo pushes.
     // P2P stores are already fine; FinePack adds little.

@@ -18,7 +18,12 @@ fn main() {
 
     println!("PCIe goodput by store size (payload / wire bytes):\n");
     for p in &curve {
-        println!("{:>6}B  {}  {:>5.1}%", p.size, bar(p.pcie, 50), 100.0 * p.pcie);
+        println!(
+            "{:>6}B  {}  {:>5.1}%",
+            p.size,
+            bar(p.pcie, 50),
+            100.0 * p.pcie
+        );
     }
 
     println!("\nNVLink goodput (note the flit-alignment spikes the paper footnotes):\n");

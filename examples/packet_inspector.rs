@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (0x4000_1000, vec![0xAD; 8]), // overwrites the first store
         (0x4000_3080, vec![0xEE; 2]),
     ];
-    println!("inserting {} stores into the remote write queue:", stores.len());
+    println!(
+        "inserting {} stores into the remote write queue:",
+        stores.len()
+    );
     for (addr, data) in &stores {
         println!("  store {:>2}B @ {addr:#x}", data.len());
         rwq.insert(&RemoteStore {
@@ -71,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         header.tlp_type, header.length_bytes, header.address, header.first_be
     );
 
-    println!("\nsub-transactions ({} sub-header bytes each):", cfg.subheader.bytes());
+    println!(
+        "\nsub-transactions ({} sub-header bytes each):",
+        cfg.subheader.bytes()
+    );
     let mut pos = 16;
     for sub in &packet.subpackets {
         let sh = cfg.subheader.bytes() as usize;

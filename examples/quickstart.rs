@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table III hardware: 4 GPUs, PCIe 4.0 framing, 5-byte sub-headers.
     let config = FinePackConfig::paper(4);
     let framing = FramingModel::pcie_gen4();
-    println!("FinePack config: {} sub-headers, {}B max payload,", config.subheader, config.max_payload);
+    println!(
+        "FinePack config: {} sub-headers, {}B max payload,",
+        config.subheader, config.max_payload
+    );
     println!(
         "                 {} RWQ entries total ({}KB data SRAM)\n",
         config.total_entries(),
@@ -55,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fp = finepack.metrics();
     let p2p = raw_p2p.metrics();
-    println!("{} stores of 8B each ({} payload bytes offered):\n", fp.stores_in, fp.bytes_in);
+    println!(
+        "{} stores of 8B each ({} payload bytes offered):\n",
+        fp.stores_in, fp.bytes_in
+    );
     println!("              packets   wire bytes   protocol   elided-by-overwrite");
     println!(
         "raw P2P       {:>7}   {:>10}   {:>8}   {:>8}",

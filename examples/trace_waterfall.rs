@@ -108,7 +108,11 @@ fn main() {
         SimTime::from_ps(span as u64).as_us_f64()
     );
     for (i, r) in shown.iter().enumerate() {
-        let (a, b, c) = (col(r.start), col(r.landed).max(col(r.start) + 1), col(r.drained));
+        let (a, b, c) = (
+            col(r.start),
+            col(r.landed).max(col(r.start) + 1),
+            col(r.drained),
+        );
         let mut bar = String::new();
         bar.push_str(&" ".repeat(a));
         bar.push_str(&"=".repeat(b - a));
@@ -134,6 +138,9 @@ fn main() {
         packed as f64 / rows.len() as f64,
         report.total_time
     );
-    println!("aggregate cross-check: egress reported {} packets", report.egress.packets);
+    println!(
+        "aggregate cross-check: egress reported {} packets",
+        report.egress.packets
+    );
     assert_eq!(rows.len() as u64, report.egress.packets);
 }

@@ -24,7 +24,8 @@ fn identical_seeds_reproduce_reports_exactly() {
                 app.name()
             );
             assert_eq!(
-                ra.egress.packets, rb.egress.packets,
+                ra.egress.packets,
+                rb.egress.packets,
                 "{} {p} packets",
                 app.name()
             );
@@ -47,7 +48,10 @@ fn different_seeds_change_irregular_timings() {
     // staying in the same statistical regime.
     assert_ne!(a.traffic.total(), b.traffic.total());
     let ratio = a.total_time.as_secs_f64() / b.total_time.as_secs_f64();
-    assert!((0.8..1.25).contains(&ratio), "seed changed the regime: {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "seed changed the regime: {ratio}"
+    );
 }
 
 #[test]

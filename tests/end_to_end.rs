@@ -3,8 +3,7 @@
 //! application and paradigm on a scaled-down system.
 
 use system::{
-    geomean_speedup, single_gpu_time, speedup_row, Paradigm, PreparedWorkload, Runner,
-    SystemConfig,
+    geomean_speedup, single_gpu_time, speedup_row, Paradigm, PreparedWorkload, Runner, SystemConfig,
 };
 use workloads::{suite, RunSpec, Workload};
 
@@ -67,7 +66,11 @@ fn finepack_never_moves_more_bytes_than_raw_p2p() {
         // raw P2P rather than strictly faster.
         let fp_t = fp.total_time.as_secs_f64();
         let p2p_t = p2p.total_time.as_secs_f64();
-        assert!(fp_t <= p2p_t * 1.05, "{}: fp {fp_t} vs p2p {p2p_t}", app.name());
+        assert!(
+            fp_t <= p2p_t * 1.05,
+            "{}: fp {fp_t} vs p2p {p2p_t}",
+            app.name()
+        );
     }
 }
 

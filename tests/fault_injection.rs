@@ -138,8 +138,8 @@ fn fault_injection_is_deterministic_per_seed() {
 #[test]
 fn stuck_link_fails_with_diagnostic() {
     let spec = RunSpec::tiny();
-    let cfg = SystemConfig::paper(2)
-        .with_faults(FaultProfile::new(0.0).stuck_link(0, SimTime::ZERO));
+    let cfg =
+        SystemConfig::paper(2).with_faults(FaultProfile::new(0.0).stuck_link(0, SimTime::ZERO));
     let app = Pagerank::default();
     let runs = runs_for(&app, &cfg, &spec);
 

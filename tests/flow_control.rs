@@ -112,15 +112,22 @@ fn transparency_survives_backpressure() {
     let runs = runs_for(&app, &cfg, &spec);
     let image_for = |p: Paradigm| -> Vec<MemoryImage> {
         let mut r = Runner::new(cfg, p, 0.0, true);
-        r.try_run_iteration(&runs, &[]).expect("starved run survives");
+        r.try_run_iteration(&runs, &[])
+            .expect("starved run survives");
         r.images().unwrap().to_vec()
     };
     let p2p = image_for(Paradigm::P2pStores);
     let fp = image_for(Paradigm::FinePack);
     let wc = image_for(Paradigm::WriteCombining);
     for g in 0..2 {
-        assert!(p2p[g].same_contents(&fp[g]), "finepack image differs on GPU{g}");
-        assert!(p2p[g].same_contents(&wc[g]), "write-combining image differs on GPU{g}");
+        assert!(
+            p2p[g].same_contents(&fp[g]),
+            "finepack image differs on GPU{g}"
+        );
+        assert!(
+            p2p[g].same_contents(&wc[g]),
+            "write-combining image differs on GPU{g}"
+        );
     }
 }
 
@@ -159,7 +166,8 @@ fn faults_compose_with_credits() {
     let runs = runs_for(&app, &cfg, &spec);
     let run_once = || {
         let mut r = Runner::new(cfg, Paradigm::FinePack, 0.0, true);
-        r.try_run_iteration(&runs, &[]).expect("faulty starved run survives");
+        r.try_run_iteration(&runs, &[])
+            .expect("faulty starved run survives");
         let images = r.images().unwrap().to_vec();
         (r.finish("pagerank", 0.8), images)
     };
@@ -170,7 +178,10 @@ fn faults_compose_with_credits() {
     assert_eq!(ra.replayed_bytes, rb.replayed_bytes);
     assert!(ra.stall_time > SimTime::ZERO);
     for g in 0..2 {
-        assert!(ia[g].same_contents(&ib[g]), "faulty runs diverged on GPU{g}");
+        assert!(
+            ia[g].same_contents(&ib[g]),
+            "faulty runs diverged on GPU{g}"
+        );
     }
     // And against the clean open-loop image: still transparent.
     let mut clean = Runner::new(
@@ -182,6 +193,9 @@ fn faults_compose_with_credits() {
     clean.try_run_iteration(&runs, &[]).unwrap();
     let ic = clean.images().unwrap().to_vec();
     for g in 0..2 {
-        assert!(ia[g].same_contents(&ic[g]), "backpressure+faults changed GPU{g}'s image");
+        assert!(
+            ia[g].same_contents(&ic[g]),
+            "backpressure+faults changed GPU{g}'s image"
+        );
     }
 }

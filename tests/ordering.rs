@@ -55,9 +55,7 @@ fn legal_shuffle(packets: &[WirePacket], seed: u64) -> Vec<&WirePacket> {
     let mut cursors = [0usize; 4];
     let mut out = Vec::with_capacity(packets.len());
     while out.len() < packets.len() {
-        let live: Vec<usize> = (0..4)
-            .filter(|d| cursors[*d] < streams[*d].len())
-            .collect();
+        let live: Vec<usize> = (0..4).filter(|d| cursors[*d] < streams[*d].len()).collect();
         let pick = live[rng.next_u64_below(live.len() as u64) as usize];
         out.push(streams[pick][cursors[pick]]);
         cursors[pick] += 1;

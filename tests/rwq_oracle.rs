@@ -40,8 +40,7 @@ impl Oracle {
         let line = store.addr & !u64::from(cfg.entry_bytes - 1);
         let mut flush = None;
         if let Some(w) = self.open.get(&dst) {
-            let in_window =
-                store.addr >= w.base && store.end() <= w.base + sub.addressable_range();
+            let in_window = store.addr >= w.base && store.end() <= w.base + sub.addressable_range();
             let line_present = w.lines.contains(&line);
             let fresh_bytes = (store.addr..store.end())
                 .filter(|a| !w.bytes.contains_key(a))
@@ -52,8 +51,7 @@ impl Oracle {
                 store.len() + sub.bytes()
             };
             let payload_ok = w.payload_used + cost <= cfg.max_payload;
-            let entries_ok =
-                line_present || w.lines.len() < cfg.entries_per_partition as usize;
+            let entries_ok = line_present || w.lines.len() < cfg.entries_per_partition as usize;
             if !in_window || !payload_ok || !entries_ok {
                 let reason = if !in_window {
                     FlushReason::WindowMiss

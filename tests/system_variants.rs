@@ -29,9 +29,8 @@ fn two_level_topology_never_beats_flat_switch() {
 #[test]
 fn dynamic_allocation_is_transparent_and_competitive() {
     let (base, spec) = tiny4();
-    let dyn_cfg = base.with_finepack(
-        FinePackConfig::paper(4).with_allocation(AllocationPolicy::DynamicShared),
-    );
+    let dyn_cfg = base
+        .with_finepack(FinePackConfig::paper(4).with_allocation(AllocationPolicy::DynamicShared));
     for app in suite() {
         let prep = PreparedWorkload::new(app.as_ref(), &base, &spec);
         let stat = prep.run(&base, Paradigm::FinePack);

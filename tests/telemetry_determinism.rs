@@ -29,7 +29,9 @@ fn tracing_never_perturbs_results() {
                 )
                 .expect("null-collector run");
             let (handle, ring) = TraceHandle::ring(1 << 20, 1 << 20);
-            let ringed = prep.try_run_traced(&cfg, p, handle, every).expect("ring run");
+            let ringed = prep
+                .try_run_traced(&cfg, p, handle, every)
+                .expect("ring run");
             let rendered = format!("{plain:?}");
             assert_eq!(
                 rendered,
@@ -111,9 +113,7 @@ fn flush_event_counts_match_aggregates() {
         for reason in finepack::FlushReason::ALL {
             let in_trace = collector
                 .events()
-                .filter(
-                    |e| matches!(e.kind, EventKind::Flush { reason: r } if r == reason.label()),
-                )
+                .filter(|e| matches!(e.kind, EventKind::Flush { reason: r } if r == reason.label()))
                 .count() as u64;
             assert_eq!(
                 in_trace,
@@ -159,8 +159,16 @@ fn iteration_rebase_yields_monotone_global_times() {
         .filter(|e| e.kind == EventKind::KernelEnd)
         .map(|e| e.time)
         .collect();
-    assert_eq!(kernel_ends.len(), 3 * 2, "one kernel-end per GPU per iteration");
-    let span = kernel_ends.iter().max().unwrap().saturating_sub(*kernel_ends.iter().min().unwrap());
+    assert_eq!(
+        kernel_ends.len(),
+        3 * 2,
+        "one kernel-end per GPU per iteration"
+    );
+    let span = kernel_ends
+        .iter()
+        .max()
+        .unwrap()
+        .saturating_sub(*kernel_ends.iter().min().unwrap());
     assert!(
         span.as_ps() > 0,
         "kernel-end events collapsed onto one iteration"

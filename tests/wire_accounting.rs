@@ -46,7 +46,11 @@ fn per_packet_and_cumulative_accounting_agree() {
         let stores = random_stores(&mut rng, 300);
         let framing = FramingModel::pcie_gen4();
         let paths: Vec<Box<dyn EgressPath>> = vec![
-            Box::new(FinePackEgress::new(GpuId::new(0), FinePackConfig::paper(4), framing)),
+            Box::new(FinePackEgress::new(
+                GpuId::new(0),
+                FinePackConfig::paper(4),
+                framing,
+            )),
             Box::new(RawP2pEgress::new(framing)),
             Box::new(WriteCombiningEgress::new(GpuId::new(0), framing, 64)),
             Box::new(GpsEgress::new(GpuId::new(0), framing, 64, 0.3, 7)),
@@ -84,7 +88,10 @@ fn finepack_payload_budget_and_conservation() {
         for p in &packets {
             // wire = overhead + DW-padded payload; payload <= max.
             let payload = p.wire_bytes - overhead;
-            assert!(payload <= u64::from(cfg.max_payload) + 3, "payload {payload}");
+            assert!(
+                payload <= u64::from(cfg.max_payload) + 3,
+                "payload {payload}"
+            );
         }
         let m = fp.metrics();
         assert_eq!(m.bytes_in, m.data_bytes + m.overwritten_bytes);
@@ -114,8 +121,8 @@ fn rwq_capacity_and_budget() {
             assert!(b.entries.len() <= cfg.entries_per_partition as usize);
             // Budget as the register tracks it: merged bytes + one
             // sub-header per entry allocation.
-            let budget = b.valid_bytes()
-                + u64::from(cfg.subheader.bytes()) * b.entries.len() as u64;
+            let budget =
+                b.valid_bytes() + u64::from(cfg.subheader.bytes()) * b.entries.len() as u64;
             assert!(budget <= u64::from(cfg.max_payload), "budget {budget}");
             // Window containment: every entry's valid bytes lie inside
             // the batch window.
@@ -124,8 +131,7 @@ fn rwq_capacity_and_budget() {
                     let start = e.line_addr + u64::from(off);
                     assert!(start >= b.window_base);
                     assert!(
-                        start + u64::from(len)
-                            <= b.window_base + cfg.subheader.addressable_range()
+                        start + u64::from(len) <= b.window_base + cfg.subheader.addressable_range()
                     );
                 }
             }

@@ -31,13 +31,14 @@ COMMANDS:
   run              simulate one app across paradigms
                    --app <name> [--gpus N] [--pcie 4|5|6]
                    [--iterations K] [--scale-down S] [--windows W]
-                   [--flow-control open|credited]
+                   [--flow-control open|credited] [--intra-jobs N]
                    [--ber RATE] [--fault-profile clean|noisy|outage|degraded|stuck]
   suite            Fig 9 table for the whole application suite, run
                    under the supervisor (panic isolation, retries,
                    budgets, chaos injection)
                    [--gpus N] [--pcie 4|5|6] [--scale-down S]
                    [--flow-control open|credited] [--jobs N]
+                   [--intra-jobs N]
                    [--retries N] [--chaos RATE] [--run-budget SPEC]
   goodput          goodput-vs-size curve (Fig 2)
                    [--framing pcie|cxl|nvlink]
@@ -47,19 +48,20 @@ COMMANDS:
                    faulty data link layer
                    [--app <name>] [--gpus N] [--paradigm <name>]
                    [--scale-down S] [--iterations K] [--jobs N]
-                   [--flow-control open|credited]
+                   [--flow-control open|credited] [--intra-jobs N]
                    [--fault-profile clean|noisy|outage|degraded|stuck]
   bench            harness self-benchmark: serial vs parallel suite wall
-                   clock, written as JSON
+                   clock plus intra-run sharding throughput, written as
+                   JSON
                    [--gpus N] [--pcie 4|5|6] [--scale-down S]
                    [--iterations K] [--seed S] [--jobs N]
-                   [--flow-control open|credited]
+                   [--intra-jobs N] [--flow-control open|credited]
                    [--out FILE (default BENCH_harness.json)]
   trace            run one (app, paradigm) with event tracing and write
                    a Chrome trace_event JSON (chrome://tracing /
                    Perfetto) or a CSV time series
                    [--app <name>] [--paradigm <name>] [--gpus N]
-                   [--iterations K] [--scale-down S]
+                   [--iterations K] [--scale-down S] [--intra-jobs N]
                    [--format chrome|csv] [--out FILE]
                    [--sample-interval NS (default 100; 0 disables)]
                    [--capacity EVENTS (ring size, default 1048576)]
@@ -69,6 +71,7 @@ COMMANDS:
                    configuration matrix; non-zero exit on any violation
                    [--app <name>] [--paradigm <name>] [--gpus N]
                    [--iterations K] [--scale-down S] [--seed S]
+                   [--intra-jobs N]
   area             FinePack SRAM footprint (§VI-B) [--gpus N]
   record           synthesize traces to disk
                    --app <name> --out <dir> [--gpus N] [--iterations K]
@@ -92,6 +95,14 @@ JOBS: `--jobs N` fans sweeps out over N worker threads (default: the
 machine's available parallelism; `--jobs 1` forces the serial path).
 Output is byte-identical for every N — parallelism never changes
 results, only wall-clock time.
+
+INTRA-JOBS: `--intra-jobs N` shards the event core of each single run
+across N worker threads (per-GPU/link-domain shards under a
+conservative lookahead window; default 1 = serial event loop). Reports,
+traces, and audits are bit-identical for every N. Prefer `--jobs` when
+a sweep has many points to fan out; prefer `--intra-jobs` for one big
+run (many GPUs, few sweep points). The two compose multiplicatively —
+keep jobs x intra-jobs near the machine's core count.
 
 SUPERVISION (suite): `--retries N` re-runs a failed sweep point up to N
 extra times with the same derived seed (only the attempt index changes);
@@ -157,7 +168,44 @@ fn system_from(args: &Args, spec: &RunSpec) -> Result<SystemConfig, ArgError> {
     if let Some(budget) = run_budget_from(args)? {
         cfg = cfg.with_run_budget(budget);
     }
-    Ok(cfg)
+    Ok(cfg.with_intra_jobs(intra_jobs_from(args, 1)?))
+}
+
+/// Parses `--intra-jobs N`: worker threads sharding the event core of
+/// each single run (see DESIGN.md §12). Results are bit-identical for
+/// every value; `default` is 1 (serial event loop) everywhere except
+/// `bench`, which defaults to the machine's available parallelism.
+fn intra_jobs_from(args: &Args, default: usize) -> Result<usize, ArgError> {
+    let jobs: usize = args.get_parsed("intra-jobs", default, "positive shard-worker count")?;
+    if jobs == 0 {
+        return Err(ArgError::Invalid {
+            key: "intra-jobs".into(),
+            value: "0".into(),
+            expected: "positive shard-worker count",
+        });
+    }
+    Ok(jobs)
+}
+
+/// The machine's available parallelism (1 when undetectable).
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The single-core caveat `suite` and `bench` print when thread knobs
+/// cannot buy wall-clock time on this machine. Independent of the
+/// `--jobs`/`--intra-jobs` values so output stays byte-identical across
+/// them.
+fn single_core_warning(out: &mut String) {
+    if available_parallelism() == 1 {
+        let _ = writeln!(
+            out,
+            "warning: this machine reports a single available core; \
+             --jobs/--intra-jobs cannot reduce wall-clock time here"
+        );
+    }
 }
 
 /// Parses `--run-budget SPEC`: a plain integer (event ceiling) or a
@@ -345,6 +393,7 @@ pub(crate) fn run_app(args: &Args) -> Result<String, CliError> {
         "seed",
         "windows",
         "flow-control",
+        "intra-jobs",
         "ber",
         "fault-profile",
         "run-budget",
@@ -434,13 +483,16 @@ pub(crate) fn faults(args: &Args) -> Result<String, CliError> {
         "seed",
         "jobs",
         "flow-control",
+        "intra-jobs",
         "fault-profile",
     ])?;
     let app = find_app(args.get_or("app", "pagerank"))?;
     let spec = spec_from(args)?;
     let pool = pool_from(args)?;
     let paradigm = find_paradigm(args.get_or("paradigm", "finepack"))?;
-    let mut cfg = SystemConfig::paper(spec.num_gpus).with_flow_control(flow_control_from(args)?);
+    let mut cfg = SystemConfig::paper(spec.num_gpus)
+        .with_flow_control(flow_control_from(args)?)
+        .with_intra_jobs(intra_jobs_from(args, 1)?);
     if let Some(profile) = fault_profile_from(args)? {
         cfg = cfg.with_faults(profile);
     }
@@ -513,6 +565,7 @@ pub(crate) fn suite_table(args: &Args) -> Result<CmdOut, CliError> {
         "seed",
         "jobs",
         "flow-control",
+        "intra-jobs",
         "retries",
         "chaos",
         "run-budget",
@@ -587,6 +640,7 @@ pub(crate) fn suite_table(args: &Args) -> Result<CmdOut, CliError> {
         }
         let _ = writeln!(out, "partial results: exiting with code 3");
     }
+    single_core_warning(&mut out);
     Ok(CmdOut { text: out, partial })
 }
 
@@ -659,6 +713,7 @@ pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
         "seed",
         "windows",
         "flow-control",
+        "intra-jobs",
         "ber",
         "fault-profile",
         "run-budget",
@@ -788,9 +843,11 @@ pub(crate) fn audit(args: &Args) -> Result<String, CliError> {
         "iterations",
         "scale-down",
         "seed",
+        "intra-jobs",
     ])?;
     let app = find_app(args.get_or("app", "jacobi"))?;
     let spec = spec_from(args)?;
+    let intra_jobs = intra_jobs_from(args, 1)?;
     let paradigms: Vec<Paradigm> = match args.get("paradigm") {
         Some(name) => vec![find_paradigm(name)?],
         None => vec![
@@ -833,7 +890,9 @@ pub(crate) fn audit(args: &Args) -> Result<String, CliError> {
             for (fault_name, profile) in &faults {
                 for &paradigm in &paradigms {
                     for (alloc_name, alloc) in allocations_for(paradigm) {
-                        let mut cfg = SystemConfig::paper(spec.num_gpus).with_pcie_gen(gen);
+                        let mut cfg = SystemConfig::paper(spec.num_gpus)
+                            .with_pcie_gen(gen)
+                            .with_intra_jobs(intra_jobs);
                         if open {
                             cfg = cfg.with_flow_control(FlowControlMode::Open);
                         }
@@ -918,12 +977,17 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         "seed",
         "jobs",
         "flow-control",
+        "intra-jobs",
         "run-budget",
         "out",
     ])?;
     let spec = spec_from(args)?;
-    let cfg = system_from(args, &spec)?;
+    // The sweep comparison keeps runs serial inside so the jobs axis is
+    // the only variable; the intra-run section below owns the
+    // `--intra-jobs` axis (default: the machine's parallelism).
+    let cfg = system_from(args, &spec)?.with_intra_jobs(1);
     let pool = pool_from(args)?;
+    let intra_jobs = intra_jobs_from(args, available_parallelism())?;
     let out_path = args.get_or("out", "BENCH_harness.json");
     let apps = suite();
 
@@ -935,24 +999,57 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
     let (parallel, parallel_rows) = timed_suite(&apps, &cfg, &spec, &pool);
     let deterministic = serial_rows == parallel_rows;
     let speedup = parallel.speedup_over(&serial);
+
+    // Intra-run sharding throughput: one serial-pool suite pass over an
+    // 8-GPU system, event core serial vs sharded across `intra_jobs`
+    // workers. Big single runs are exactly where intra-run sharding is
+    // meant to pay off, independent of sweep fan-out.
+    const INTRA_GPUS: u8 = 8;
+    let mut spec8 = RunSpec::paper(INTRA_GPUS);
+    spec8.iterations = spec.iterations;
+    spec8.scale_down = spec.scale_down;
+    spec8.seed = spec.seed;
+    spec8.validate();
+    let cfg8 = SystemConfig::paper(INTRA_GPUS)
+        .with_pcie_gen(cfg.pcie_gen)
+        .with_flow_control(cfg.flow_control);
+    let _ = run_suite(&apps, &cfg8, &spec8, &Paradigm::FIG9, &WorkerPool::serial());
+    let (intra_serial, intra_serial_rows) = timed_suite(
+        &apps,
+        &cfg8.with_intra_jobs(1),
+        &spec8,
+        &WorkerPool::serial(),
+    );
+    let (intra_sharded, intra_sharded_rows) = timed_suite(
+        &apps,
+        &cfg8.with_intra_jobs(intra_jobs),
+        &spec8,
+        &WorkerPool::serial(),
+    );
+    let intra_deterministic = intra_serial_rows == intra_sharded_rows;
+    let intra_speedup = intra_sharded.speedup_over(&intra_serial);
+
     // A sub-1.0 "speedup" on a box with one usable core is thread
     // overhead, not a harness regression: record the machine's
     // parallelism alongside the numbers so consumers can tell.
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let available = available_parallelism();
     let single_core = available == 1 || pool.jobs() == 1;
 
     let json = format!(
         "{{\n  \"bench\": \"harness\",\n  \"gpus\": {},\n  \"pcie\": \"{}\",\n  \
          \"iterations\": {},\n  \"scale_down\": {},\n  \"seed\": {},\n  \"apps\": {},\n  \
-         \"jobs\": {},\n  \"available_parallelism\": {},\n  \"single_core\": {},\n  \
+         \"jobs\": {},\n  \"intra_jobs\": {},\n  \"available_parallelism\": {},\n  \
+         \"single_core\": {},\n  \
          \"sim_events\": {},\n  \"sim_time_ps\": {},\n  \
          \"serial\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \
          \"sim_ps_per_wall_sec\": {:.1} }},\n  \
          \"parallel\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \
          \"sim_ps_per_wall_sec\": {:.1} }},\n  \"speedup\": {:.3},\n  \
-         \"parallel_efficiency\": {:.3},\n  \"deterministic\": {}\n}}\n",
+         \"parallel_efficiency\": {:.3},\n  \"deterministic\": {},\n  \
+         \"intra_run\": {{ \"gpus\": {}, \"intra_jobs\": {}, \
+         \"serial\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1} }}, \
+         \"sharded\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1} }}, \
+         \"speedup\": {:.3}, \"deterministic\": {} }}\n}}\n",
         spec.num_gpus,
         cfg.pcie_gen,
         spec.iterations,
@@ -960,6 +1057,7 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         spec.seed,
         apps.len(),
         pool.jobs(),
+        intra_jobs,
         available,
         single_core,
         serial.events,
@@ -973,6 +1071,14 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         speedup,
         speedup / pool.jobs() as f64,
         deterministic,
+        INTRA_GPUS,
+        intra_jobs,
+        intra_serial.wall.as_secs_f64(),
+        intra_serial.events_per_sec(),
+        intra_sharded.wall.as_secs_f64(),
+        intra_sharded.events_per_sec(),
+        intra_speedup,
+        intra_deterministic,
     );
     std::fs::write(out_path, &json).map_err(|e| CliError::io(out_path, e))?;
 
@@ -1002,6 +1108,13 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         out,
         "  speedup: {speedup:.2}x  deterministic: {deterministic}  -> {out_path}"
     );
+    let _ = writeln!(
+        out,
+        "  intra-run ({INTRA_GPUS} GPUs): serial {:.2} ms, {intra_jobs} shard workers {:.2} ms, \
+         speedup {intra_speedup:.2}x  deterministic: {intra_deterministic}",
+        1e3 * intra_serial.wall.as_secs_f64(),
+        1e3 * intra_sharded.wall.as_secs_f64(),
+    );
     if single_core {
         let _ = writeln!(
             out,
@@ -1010,10 +1123,16 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
             pool.jobs()
         );
     }
+    single_core_warning(&mut out);
     if !deterministic {
         return Err(CliError::Failed(format!(
             "parallel suite output diverged from serial (jobs = {})",
             pool.jobs()
+        )));
+    }
+    if !intra_deterministic {
+        return Err(CliError::Failed(format!(
+            "sharded suite output diverged from serial (intra-jobs = {intra_jobs})"
         )));
     }
     Ok(out)

@@ -9,7 +9,7 @@ use crate::paradigm::Paradigm;
 
 /// Tracks unique bytes written per iteration (128B-line byte masks), to
 /// separate "useful" from "redundant" transfers in Fig 10's sense.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct UniqueTracker {
     lines: HashMap<u64, u128>,
     unique_total: u64,

@@ -1,11 +1,13 @@
 //! Micro-benchmarks of FinePack's hot hardware-model paths:
-//! remote-write-queue insertion, packetization, wire encode/decode, and
-//! L1 warp-store coalescing. These bound the simulator's throughput and
-//! double as regression guards for the data structures.
+//! remote-write-queue insertion, packetization, wire encode/decode, L1
+//! warp-store coalescing, and the simulator's event queue. These bound
+//! the simulator's throughput and double as regression guards for the
+//! data structures.
 //!
-//! Plain `Instant`-based timing (median of repeated batches) keeps the
-//! harness dependency-free; absolute numbers are indicative, not
-//! statistically rigorous.
+//! Harness discipline mirrors `finepack-sim bench`: each path runs
+//! explicit untimed warmup batches, then N measured reps reported as
+//! mean and sample standard deviation. Plain `Instant` timing keeps the
+//! harness dependency-free; absolute numbers are machine-dependent.
 
 use std::time::Instant;
 
@@ -15,7 +17,10 @@ use finepack::{
 };
 use gpu_model::{coalesce_warp_store, AccessPattern, GpuConfig, GpuId, RemoteStore};
 use protocol::FramingModel;
-use sim_engine::{SimTime, Table};
+use sim_engine::{EventQueue, SimTime, Table};
+
+/// Untimed warmup batches before each measured path.
+const WARMUP: usize = 3;
 
 fn stores(n: u64, stride: u64, len: usize) -> Vec<RemoteStore> {
     (0..n)
@@ -28,26 +33,39 @@ fn stores(n: u64, stride: u64, len: usize) -> Vec<RemoteStore> {
         .collect()
 }
 
-/// Runs `f` for `reps` timed batches and returns the median ns per batch
-/// divided by `elems` (ns per element).
-fn time_per_elem<F: FnMut() -> R, R>(reps: usize, elems: u64, mut f: F) -> f64 {
-    let mut samples: Vec<u128> = (0..reps)
+/// Runs `f` for [`WARMUP`] untimed batches, then `reps` timed batches;
+/// returns `(mean, sigma)` ns per element (sample standard deviation,
+/// n-1 denominator).
+fn time_per_elem<F: FnMut() -> R, R>(reps: usize, elems: u64, mut f: F) -> (f64, f64) {
+    for _ in 0..WARMUP {
+        std::hint::black_box(f());
+    }
+    let samples: Vec<f64> = (0..reps.max(2))
         .map(|_| {
             let t0 = Instant::now();
             std::hint::black_box(f());
-            t0.elapsed().as_nanos()
+            t0.elapsed().as_nanos() as f64 / elems as f64
         })
         .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2] as f64 / elems as f64
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+    (mean, var.sqrt())
 }
 
 fn main() {
     let mut table = Table::new(
-        "hot-path micro-benchmarks (median ns per element)",
-        &["path", "ns/elem"],
+        format!(
+            "hot-path micro-benchmarks (ns per element, {WARMUP} warmup + N reps, mean and sigma)"
+        ),
+        &["path", "ns/elem", "sigma"],
     );
-    let mut row = |name: &str, ns: f64| table.row(&[name.to_string(), format!("{ns:.1}")]);
+    let mut row = |name: &str, (mean, sigma): (f64, f64)| {
+        table.row(&[
+            name.to_string(),
+            format!("{mean:.1}"),
+            format!("{sigma:.1}"),
+        ]);
+    };
 
     // Remote-write-queue insertion, scattered vs dense stores.
     for (name, stride, len) in [
@@ -61,6 +79,33 @@ fn main() {
                 let _ = rwq.insert(s).expect("valid store");
             }
             rwq.flush_all(FlushReason::Release)
+        });
+        row(name, ns);
+    }
+
+    // Event-queue schedule+pop churn: the serial core's innermost loop.
+    // Uniform spacing exercises the calendar's bucket scan; the heap
+    // variant is the differential-testing reference backend.
+    for (name, heap) in [
+        ("event_queue/calendar_64k", false),
+        ("event_queue/heap_64k", true),
+    ] {
+        const N: u64 = 65_536;
+        let ns = time_per_elem(11, N, || {
+            let mut q: EventQueue<u32> = if heap {
+                EventQueue::with_heap()
+            } else {
+                EventQueue::with_capacity(N as usize)
+            };
+            q.reserve_for_span(N as usize, SimTime::from_ps(N * 700));
+            for i in 0..N {
+                q.schedule(SimTime::from_ps(i * 700), i as u32);
+            }
+            let mut popped = 0u64;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            popped
         });
         row(name, ns);
     }

@@ -10,7 +10,8 @@ use sim_engine::{
     ChaosConfig, QuietPanicGuard, RetryPolicy, SimTime, ThroughputReport, WallClock, WorkerPool,
 };
 use system::{
-    audit_run, fault_sweep, run_suite, run_suite_supervised, single_gpu_time, subheader_sweep,
+    audit_run, fault_sweep, run_suite_prepared, run_suite_supervised, single_gpu_time,
+    subheader_sweep,
     CreditConfig, FaultProfile, FlowControlMode, Paradigm, PreparedWorkload, RunBudget,
     Supervision, SystemConfig,
 };
@@ -52,10 +53,15 @@ COMMANDS:
                    [--fault-profile clean|noisy|outage|degraded|stuck]
   bench            harness self-benchmark: serial vs parallel suite wall
                    clock plus intra-run sharding throughput, written as
-                   JSON
+                   JSON; workload prep is untimed, then each variant
+                   runs warmup passes followed by measured reps
+                   reported as mean and sigma
                    [--gpus N] [--pcie 4|5|6] [--scale-down S]
                    [--iterations K] [--seed S] [--jobs N]
                    [--intra-jobs N] [--flow-control open|credited]
+                   [--warmup N (default 1)] [--reps N (default 3)]
+                   [--min-events-per-sec F (fail below this serial
+                   throughput; 0 disables the gate)]
                    [--out FILE (default BENCH_harness.json)]
   trace            run one (app, paradigm) with event tracing and write
                    a Chrome trace_event JSON (chrome://tracing /
@@ -952,18 +958,62 @@ pub(crate) fn audit(args: &Args) -> Result<String, CliError> {
     }
 }
 
-/// One timed `run_suite` pass, reduced to a throughput report plus the
-/// `Debug`-rendered rows used for the determinism cross-check.
-fn timed_suite(
-    apps: &[Box<dyn Workload>],
+/// One timed pass over an already-prepared suite, reduced to a
+/// throughput report plus the `Debug`-rendered rows used for the
+/// determinism cross-check. Workload elaboration and single-GPU
+/// baselines happen before the clock starts, so the measurement covers
+/// the event core alone.
+fn timed_prepared(
+    apps: &[system::PreparedApp],
     cfg: &SystemConfig,
-    spec: &workloads::RunSpec,
     pool: &WorkerPool,
 ) -> (ThroughputReport, String) {
     let clock = WallClock::start();
-    let result = run_suite(apps, cfg, spec, &Paradigm::FIG9, pool);
+    let result = run_suite_prepared(apps, cfg, &Paradigm::FIG9, pool);
     let report = ThroughputReport::new(clock.elapsed(), result.sim_events, result.sim_time);
     (report, format!("{:?}", result.rows))
+}
+
+/// Mean and sample standard deviation (σ, n-1 denominator; zero for a
+/// single measurement).
+fn mean_sigma(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = if xs.len() > 1 {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    (mean, var.sqrt())
+}
+
+/// Runs `reps` timed passes after `warmup` untimed ones, returning the
+/// per-rep reports, the first pass's rendered rows, and whether every
+/// rep (warmup included) produced identical rows.
+fn measured_reps(
+    apps: &[system::PreparedApp],
+    cfg: &SystemConfig,
+    pool: &WorkerPool,
+    warmup: u32,
+    reps: u32,
+) -> (Vec<ThroughputReport>, String, bool) {
+    let mut rows: Option<String> = None;
+    let mut stable = true;
+    let mut check = |r: String| match &rows {
+        None => rows = Some(r),
+        Some(first) => stable &= *first == r,
+    };
+    for _ in 0..warmup {
+        let (_, r) = timed_prepared(apps, cfg, pool);
+        check(r);
+    }
+    let mut reports = Vec::with_capacity(reps as usize);
+    for _ in 0..reps.max(1) {
+        let (report, r) = timed_prepared(apps, cfg, pool);
+        check(r);
+        reports.push(report);
+    }
+    (reports, rows.expect("at least one rep"), stable)
 }
 
 /// `bench ...`: times the full suite serially and under the worker
@@ -980,6 +1030,9 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         "intra-jobs",
         "run-budget",
         "out",
+        "warmup",
+        "reps",
+        "min-events-per-sec",
     ])?;
     let spec = spec_from(args)?;
     // The sweep comparison keeps runs serial inside so the jobs axis is
@@ -989,16 +1042,42 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
     let pool = pool_from(args)?;
     let intra_jobs = intra_jobs_from(args, available_parallelism())?;
     let out_path = args.get_or("out", "BENCH_harness.json");
+    let warmup: u32 = args.get_parsed("warmup", 1u32, "warm-up pass count")?;
+    let reps: u32 = args.get_parsed("reps", 3u32, "positive measured-rep count")?;
+    let floor: f64 = args.get_parsed("min-events-per-sec", 0.0f64, "serial events/s floor")?;
     let apps = suite();
 
-    // Warm-up pass so neither timed pass pays first-touch costs
-    // (page faults, lazy allocator growth) the other does not.
-    let _ = run_suite(&apps, &cfg, &spec, &Paradigm::FIG9, &WorkerPool::serial());
+    // Elaborate traces and single-GPU baselines once, outside every
+    // timed region: the benchmark measures event-core throughput, not
+    // workload preparation. Prep cost is still reported, separately.
+    let prep_clock = WallClock::start();
+    let prepared = system::prepare_apps(&apps, &cfg, &spec, &WorkerPool::serial());
+    let prep_seconds = prep_clock.elapsed().as_secs_f64();
 
-    let (serial, serial_rows) = timed_suite(&apps, &cfg, &spec, &WorkerPool::serial());
-    let (parallel, parallel_rows) = timed_suite(&apps, &cfg, &spec, &pool);
-    let deterministic = serial_rows == parallel_rows;
-    let speedup = parallel.speedup_over(&serial);
+    // Warm-up passes pay first-touch costs (page faults, lazy allocator
+    // growth) so no measured rep does; then `reps` measured passes give
+    // a mean and a dispersion instead of a single noisy sample.
+    let (serial_reps, serial_rows, serial_stable) = measured_reps(
+        &prepared,
+        &cfg,
+        &WorkerPool::serial(),
+        warmup,
+        reps,
+    );
+    let (parallel_reps, parallel_rows, parallel_stable) =
+        measured_reps(&prepared, &cfg, &pool, 0, reps);
+    let deterministic = serial_stable && parallel_stable && serial_rows == parallel_rows;
+    let eps = |r: &ThroughputReport| r.events_per_sec();
+    let wall = |r: &ThroughputReport| r.wall.as_secs_f64();
+    let (serial_eps, serial_eps_sigma) =
+        mean_sigma(&serial_reps.iter().map(eps).collect::<Vec<_>>());
+    let (serial_wall, serial_wall_sigma) =
+        mean_sigma(&serial_reps.iter().map(wall).collect::<Vec<_>>());
+    let (parallel_eps, parallel_eps_sigma) =
+        mean_sigma(&parallel_reps.iter().map(eps).collect::<Vec<_>>());
+    let (parallel_wall, parallel_wall_sigma) =
+        mean_sigma(&parallel_reps.iter().map(wall).collect::<Vec<_>>());
+    let speedup = serial_wall / parallel_wall.max(f64::MIN_POSITIVE);
 
     // Intra-run sharding throughput: one serial-pool suite pass over an
     // 8-GPU system, event core serial vs sharded across `intra_jobs`
@@ -1013,17 +1092,15 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
     let cfg8 = SystemConfig::paper(INTRA_GPUS)
         .with_pcie_gen(cfg.pcie_gen)
         .with_flow_control(cfg.flow_control);
-    let _ = run_suite(&apps, &cfg8, &spec8, &Paradigm::FIG9, &WorkerPool::serial());
-    let (intra_serial, intra_serial_rows) = timed_suite(
-        &apps,
-        &cfg8.with_intra_jobs(1),
-        &spec8,
-        &WorkerPool::serial(),
-    );
-    let (intra_sharded, intra_sharded_rows) = timed_suite(
-        &apps,
+    let prep8_clock = WallClock::start();
+    let prepared8 = system::prepare_apps(&apps, &cfg8, &spec8, &WorkerPool::serial());
+    let prep8_seconds = prep8_clock.elapsed().as_secs_f64();
+    let _ = run_suite_prepared(&prepared8, &cfg8, &Paradigm::FIG9, &WorkerPool::serial());
+    let (intra_serial, intra_serial_rows) =
+        timed_prepared(&prepared8, &cfg8.with_intra_jobs(1), &WorkerPool::serial());
+    let (intra_sharded, intra_sharded_rows) = timed_prepared(
+        &prepared8,
         &cfg8.with_intra_jobs(intra_jobs),
-        &spec8,
         &WorkerPool::serial(),
     );
     let intra_deterministic = intra_serial_rows == intra_sharded_rows;
@@ -1035,21 +1112,27 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
     let available = available_parallelism();
     let single_core = available == 1 || pool.jobs() == 1;
 
+    let queue_backend = sim_engine::EventQueue::<u8>::new().backend_name();
     let json = format!(
-        "{{\n  \"bench\": \"harness\",\n  \"gpus\": {},\n  \"pcie\": \"{}\",\n  \
+        "{{\n  \"bench\": \"harness\",\n  \"queue_backend\": \"{}\",\n  \"gpus\": {},\n  \
+         \"pcie\": \"{}\",\n  \
          \"iterations\": {},\n  \"scale_down\": {},\n  \"seed\": {},\n  \"apps\": {},\n  \
          \"jobs\": {},\n  \"intra_jobs\": {},\n  \"available_parallelism\": {},\n  \
-         \"single_core\": {},\n  \
+         \"single_core\": {},\n  \"warmup_reps\": {},\n  \"measured_reps\": {},\n  \
+         \"prep_seconds\": {:.6},\n  \
          \"sim_events\": {},\n  \"sim_time_ps\": {},\n  \
-         \"serial\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \
+         \"serial\": {{ \"wall_seconds\": {:.6}, \"wall_seconds_sigma\": {:.6}, \
+         \"events_per_sec\": {:.1}, \"events_per_sec_sigma\": {:.1}, \
          \"sim_ps_per_wall_sec\": {:.1} }},\n  \
-         \"parallel\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \
+         \"parallel\": {{ \"wall_seconds\": {:.6}, \"wall_seconds_sigma\": {:.6}, \
+         \"events_per_sec\": {:.1}, \"events_per_sec_sigma\": {:.1}, \
          \"sim_ps_per_wall_sec\": {:.1} }},\n  \"speedup\": {:.3},\n  \
          \"parallel_efficiency\": {:.3},\n  \"deterministic\": {},\n  \
-         \"intra_run\": {{ \"gpus\": {}, \"intra_jobs\": {}, \
+         \"intra_run\": {{ \"gpus\": {}, \"intra_jobs\": {}, \"prep_seconds\": {:.6}, \
          \"serial\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1} }}, \
          \"sharded\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1} }}, \
          \"speedup\": {:.3}, \"deterministic\": {} }}\n}}\n",
+        queue_backend,
         spec.num_gpus,
         cfg.pcie_gen,
         spec.iterations,
@@ -1060,19 +1143,27 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         intra_jobs,
         available,
         single_core,
-        serial.events,
-        serial.sim_time.as_ps(),
-        serial.wall.as_secs_f64(),
-        serial.events_per_sec(),
-        serial.sim_ps_per_wall_sec(),
-        parallel.wall.as_secs_f64(),
-        parallel.events_per_sec(),
-        parallel.sim_ps_per_wall_sec(),
+        warmup,
+        serial_reps.len(),
+        prep_seconds,
+        serial_reps[0].events,
+        serial_reps[0].sim_time.as_ps(),
+        serial_wall,
+        serial_wall_sigma,
+        serial_eps,
+        serial_eps_sigma,
+        serial_reps[0].sim_time.as_ps() as f64 / serial_wall.max(f64::MIN_POSITIVE),
+        parallel_wall,
+        parallel_wall_sigma,
+        parallel_eps,
+        parallel_eps_sigma,
+        parallel_reps[0].sim_time.as_ps() as f64 / parallel_wall.max(f64::MIN_POSITIVE),
         speedup,
         speedup / pool.jobs() as f64,
         deterministic,
         INTRA_GPUS,
         intra_jobs,
+        prep8_seconds,
         intra_serial.wall.as_secs_f64(),
         intra_serial.events_per_sec(),
         intra_sharded.wall.as_secs_f64(),
@@ -1085,24 +1176,30 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "harness bench: {} apps x {} paradigms, {} GPUs, scale-down {}",
+        "harness bench: {} apps x {} paradigms, {} GPUs, scale-down {}, \
+         {} queue, {warmup} warmup + {} reps (prep {:.0} ms untimed)",
         apps.len(),
         Paradigm::FIG9.len(),
         spec.num_gpus,
-        spec.scale_down
+        spec.scale_down,
+        queue_backend,
+        serial_reps.len(),
+        1e3 * prep_seconds,
     );
     let _ = writeln!(
         out,
-        "  serial   (1 job):  {:>9.2} ms, {:.0} events/s",
-        1e3 * serial.wall.as_secs_f64(),
-        serial.events_per_sec()
+        "  serial   (1 job):  {:>9.2} ms, {:.0} events/s (sigma {:.0})",
+        1e3 * serial_wall,
+        serial_eps,
+        serial_eps_sigma,
     );
     let _ = writeln!(
         out,
-        "  parallel ({} jobs): {:>8.2} ms, {:.0} events/s",
+        "  parallel ({} jobs): {:>8.2} ms, {:.0} events/s (sigma {:.0})",
         pool.jobs(),
-        1e3 * parallel.wall.as_secs_f64(),
-        parallel.events_per_sec()
+        1e3 * parallel_wall,
+        parallel_eps,
+        parallel_eps_sigma,
     );
     let _ = writeln!(
         out,
@@ -1134,6 +1231,24 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Failed(format!(
             "sharded suite output diverged from serial (intra-jobs = {intra_jobs})"
         )));
+    }
+    // The CI regression gate: fail when mean serial throughput drops
+    // below the committed floor. Overridable per invocation by passing
+    // a lower (or zero) `--min-events-per-sec`.
+    if floor > 0.0 && serial_eps < floor {
+        let _ = writeln!(
+            out,
+            "FAIL: serial throughput {serial_eps:.0} events/s is below the floor \
+             {floor:.0} (sigma {serial_eps_sigma:.0}); lower or drop \
+             --min-events-per-sec to override"
+        );
+        return Err(CliError::Failed(out));
+    }
+    if floor > 0.0 {
+        let _ = writeln!(
+            out,
+            "  bench gate: {serial_eps:.0} events/s >= floor {floor:.0}"
+        );
     }
     Ok(out)
 }

@@ -39,12 +39,15 @@ fn span_mask(offset: u32, len: u32) -> u128 {
 
 impl LineBuffer {
     /// Inserts a store; returns an evicted line if capacity was exceeded.
+    /// With `buffer_payloads` off (timing-only runs) lines hold masks
+    /// only and flushed entries carry empty `data`.
     fn insert(
         &mut self,
         addr: u64,
         data: &[u8],
         capacity: usize,
         overwritten: &mut u64,
+        buffer_payloads: bool,
     ) -> Option<(u64, FlushedEntry, u64)> {
         let line_addr = addr & !127;
         let off = (addr - line_addr) as u32;
@@ -67,12 +70,19 @@ impl LineBuffer {
             Some((mask, buf, merged)) => {
                 *overwritten += u64::from((incoming & *mask).count_ones());
                 *mask |= incoming;
-                buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+                if buffer_payloads {
+                    buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+                }
                 *merged += 1;
             }
             None => {
-                let mut buf = vec![0u8; 128];
-                buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+                let buf = if buffer_payloads {
+                    let mut buf = vec![0u8; 128];
+                    buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+                    buf
+                } else {
+                    Vec::new()
+                };
                 self.lines.insert(line_addr, (incoming, buf, 1));
                 self.fifo.push_back(line_addr);
             }
@@ -193,11 +203,13 @@ impl EgressPath for WriteCombiningEgress {
         self.metrics.stores_in += 1;
         self.metrics.bytes_in += u64::from(store.len());
         let mut overwritten = 0u64;
+        let buffer_payloads = matches!(self.payload_mode, PayloadMode::Full);
         let evicted = self.buffers.entry(store.dst).or_default().insert(
             store.addr,
             &store.data,
             self.capacity,
             &mut overwritten,
+            buffer_payloads,
         );
         self.metrics.overwritten_bytes += overwritten;
         match evicted {
@@ -349,11 +361,13 @@ impl EgressPath for GpsEgress {
             return Ok(Vec::new());
         }
         let mut overwritten = 0u64;
+        let buffer_payloads = matches!(self.payload_mode, PayloadMode::Full);
         let evicted = self.buffers.entry(store.dst).or_default().insert(
             store.addr,
             &store.data,
             self.capacity,
             &mut overwritten,
+            buffer_payloads,
         );
         self.metrics.overwritten_bytes += overwritten;
         match evicted {

@@ -21,7 +21,7 @@ use sim_engine::{Histogram, SimTime};
 use telemetry::{EventKind, TraceEvent, TraceHandle};
 
 use crate::config::{FinePackConfig, FinePackError};
-use crate::packetizer::packetize;
+use crate::packetizer::packetize_layout;
 use crate::rwq::{FlushReason, RemoteWriteQueue};
 
 /// How much of each constituent store a [`WirePacket`] carries.
@@ -457,34 +457,58 @@ impl FinePackEgress {
     }
 
     fn emit_batch(&mut self, batch: crate::rwq::FlushedBatch) -> Vec<WirePacket> {
-        let packets = packetize(&batch, &self.config, self.src);
-        let n = packets.len() as u64;
+        // Layout pass only: payload bytes are copied at most once (Full
+        // mode) and never under Extents — timing-only runs pay zero
+        // payload allocation per TLP.
+        let layouts = packetize_layout(&batch, &self.config);
+        let n = layouts.len() as u64;
         self.metrics.overwritten_bytes += batch.overwritten_bytes;
         let reason_idx = crate::FlushReason::ALL
             .iter()
             .position(|r| *r == batch.reason)
             .expect("reason in ALL");
         self.metrics.flushes_by_reason[reason_idx] += 1;
-        let mut out = Vec::with_capacity(packets.len());
-        for (i, p) in packets.into_iter().enumerate() {
+        let subheader = self.config.subheader;
+        let mut out = Vec::with_capacity(layouts.len());
+        for (i, layout) in layouts.into_iter().enumerate() {
             // Attribute the batch's merged-store count across its packets
             // (nearly always a single packet per batch).
             let share = batch.stores_merged / n + u64::from((i as u64) < batch.stores_merged % n);
             self.metrics.stores_per_packet.record(share);
             self.metrics.packets += 1;
-            let wire = p.wire_bytes(&self.framing);
-            let data = u64::from(p.data_bytes());
+            let payload_bytes = layout.payload_bytes(subheader);
+            let wire = self.framing.wire_bytes(payload_bytes);
+            let data = u64::from(layout.data_bytes());
             self.metrics.wire_bytes += wire;
             self.metrics.data_bytes += data;
             let stores = match self.payload_mode {
-                PayloadMode::Full => PacketStores::Full(p.to_stores()),
-                PayloadMode::Extents => PacketStores::Extents(p.store_extents()),
+                PayloadMode::Full => PacketStores::Full(
+                    layout
+                        .chunks
+                        .iter()
+                        .map(|c| RemoteStore {
+                            src: self.src,
+                            dst: batch.dst,
+                            addr: layout.base_addr + c.offset,
+                            data: batch.entries[c.entry_idx].data
+                                [c.data_off..c.data_off + c.len as usize]
+                                .to_vec(),
+                        })
+                        .collect(),
+                ),
+                PayloadMode::Extents => PacketStores::Extents(
+                    layout
+                        .chunks
+                        .iter()
+                        .map(|c| (layout.base_addr + c.offset, c.len))
+                        .collect(),
+                ),
             };
             out.push(WirePacket {
-                dst: p.dst,
+                dst: batch.dst,
                 wire_bytes: wire,
                 data_bytes: data,
-                payload_bytes: p.payload_bytes(),
+                payload_bytes,
                 reason: Some(batch.reason),
                 stores,
             });
@@ -616,6 +640,10 @@ impl EgressPath for FinePackEgress {
 
     fn set_payload_mode(&mut self, mode: PayloadMode) {
         self.payload_mode = mode;
+        // Timing-only runs never read payload bytes back: turn off the
+        // queue's per-entry line buffering so inserts copy nothing.
+        self.rwq
+            .set_buffer_payloads(matches!(mode, PayloadMode::Full));
     }
 
     fn set_trace(&mut self, trace: TraceHandle) {

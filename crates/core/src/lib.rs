@@ -82,6 +82,6 @@ pub use egress::{
     RawP2pEgress, WirePacket,
 };
 pub use packet::{FinePackPacket, SubPacket};
-pub use packetizer::packetize;
+pub use packetizer::{packetize, packetize_layout, LayoutChunk, PacketLayout};
 pub use replay_stats::ReplayAmplification;
-pub use rwq::{FlushReason, FlushedBatch, FlushedEntry, RemoteWriteQueue, RwqStats};
+pub use rwq::{FlushReason, FlushedBatch, FlushedEntry, MaskRuns, RemoteWriteQueue, RwqStats};

@@ -5,9 +5,53 @@
 
 use gpu_model::GpuId;
 
-use crate::config::FinePackConfig;
+use crate::config::{FinePackConfig, SubheaderFormat};
 use crate::packet::{FinePackPacket, SubPacket};
 use crate::rwq::FlushedBatch;
+
+/// One packed store's position inside a [`PacketLayout`]: which batch
+/// entry it came from and where its bytes live — no payload is copied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutChunk {
+    /// Index into the batch's `entries`.
+    pub entry_idx: usize,
+    /// Byte offset of the chunk within that entry's `data`.
+    pub data_off: usize,
+    /// Chunk length in bytes.
+    pub len: u32,
+    /// Byte offset from the packet's base address.
+    pub offset: u64,
+}
+
+/// The shape of one outgoing FinePack transaction, computed without
+/// touching payload bytes.
+///
+/// This is the packetizer's zero-copy core: timing-only (extents-mode)
+/// egress consumes layouts directly, and [`packetize`] materializes
+/// [`FinePackPacket`]s from them only when payload bytes are needed
+/// (functional runs, wire encode/decode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketLayout {
+    /// Base address shared by all chunks (window-aligned).
+    pub base_addr: u64,
+    /// The packed stores, in emission order.
+    pub chunks: Vec<LayoutChunk>,
+}
+
+impl PacketLayout {
+    /// Payload bytes of the outer transaction (sub-headers + data).
+    pub fn payload_bytes(&self, subheader: SubheaderFormat) -> u32 {
+        self.chunks
+            .iter()
+            .map(|c| subheader.bytes() + c.len)
+            .sum()
+    }
+
+    /// Data bytes carried (excluding sub-headers).
+    pub fn data_bytes(&self) -> u32 {
+        self.chunks.iter().map(|c| c.len).sum()
+    }
+}
 
 /// Packetizes one flushed batch into one or more FinePack transactions.
 ///
@@ -40,31 +84,57 @@ use crate::rwq::FlushedBatch;
 /// # Ok::<(), finepack::FinePackError>(())
 /// ```
 pub fn packetize(batch: &FlushedBatch, cfg: &FinePackConfig, src: GpuId) -> Vec<FinePackPacket> {
+    packetize_layout(batch, cfg)
+        .into_iter()
+        .map(|layout| FinePackPacket {
+            src,
+            dst: batch.dst,
+            base_addr: layout.base_addr,
+            subheader: cfg.subheader,
+            subpackets: layout
+                .chunks
+                .into_iter()
+                .map(|c| SubPacket {
+                    offset: c.offset,
+                    data: batch.entries[c.entry_idx].data
+                        [c.data_off..c.data_off + c.len as usize]
+                        .to_vec(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The layout pass behind [`packetize`]: computes every packet's base
+/// address and chunk placement without copying any payload bytes.
+///
+/// Split rules are identical to [`packetize`] (they share this code): a
+/// fresh packet starts whenever a run crosses into a different address
+/// window or adding the next chunk would exceed the configured maximum
+/// payload.
+pub fn packetize_layout(batch: &FlushedBatch, cfg: &FinePackConfig) -> Vec<PacketLayout> {
     if batch.entries.is_empty() {
         return Vec::new();
     }
     let subheader = cfg.subheader;
     let range = subheader.addressable_range();
     let mut packets = Vec::new();
-    let mut current: Vec<SubPacket> = Vec::new();
+    let mut current: Vec<LayoutChunk> = Vec::new();
     let mut payload: u32 = 0;
     let mut base = batch.window_base;
 
-    let mut emit = |base: u64, current: &mut Vec<SubPacket>, payload: &mut u32| {
+    let mut emit = |base: u64, current: &mut Vec<LayoutChunk>, payload: &mut u32| {
         if !current.is_empty() {
-            packets.push(FinePackPacket {
-                src,
-                dst: batch.dst,
+            packets.push(PacketLayout {
                 base_addr: base,
-                subheader,
-                subpackets: std::mem::take(current),
+                chunks: std::mem::take(current),
             });
             *payload = 0;
         }
     };
 
-    for entry in &batch.entries {
-        for (run_off, run_len) in entry.runs() {
+    for (entry_idx, entry) in batch.entries.iter().enumerate() {
+        for (run_off, run_len) in entry.runs_iter() {
             // Runs may straddle window boundaries when the addressable
             // range is smaller than a queue entry (2-byte sub-headers,
             // Table II): split them so every offset fits its field.
@@ -83,10 +153,11 @@ pub fn packetize(batch: &FlushedBatch, cfg: &FinePackConfig, src: GpuId) -> Vec<
                 if payload + cost > cfg.max_payload {
                     emit(base, &mut current, &mut payload);
                 }
-                let data_off = (start - entry.line_addr) as usize;
-                current.push(SubPacket {
+                current.push(LayoutChunk {
+                    entry_idx,
+                    data_off: (start - entry.line_addr) as usize,
+                    len: room,
                     offset: start - base,
-                    data: entry.data[data_off..data_off + room as usize].to_vec(),
                 });
                 payload += cost;
                 start += u64::from(room);

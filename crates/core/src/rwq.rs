@@ -78,28 +78,54 @@ impl FlushedEntry {
     /// Walks the full mask width, not `data.len()`: a mask bit beyond
     /// the allocated data would otherwise be dropped silently. Such an
     /// entry is malformed — the queue always sizes `data` to the line —
-    /// so it trips the debug assertion instead.
+    /// so it trips the debug assertion instead. (Entries flushed from a
+    /// queue with payload buffering disabled carry empty `data` by
+    /// design; their runs are timing-only and exempt.)
     pub fn runs(&self) -> Vec<(u32, u32)> {
         debug_assert!(
-            u128::BITS - self.mask.leading_zeros() <= self.data.len() as u32,
+            self.data.is_empty()
+                || u128::BITS - self.mask.leading_zeros() <= self.data.len() as u32,
             "mask bit {} set beyond entry data length {}",
             (u128::BITS - self.mask.leading_zeros()).saturating_sub(1),
             self.data.len()
         );
-        let mut runs = Vec::new();
-        let mut i = 0u32;
-        while i < u128::BITS {
-            if self.mask >> i & 1 == 1 {
-                let start = i;
-                while i < u128::BITS && self.mask >> i & 1 == 1 {
-                    i += 1;
-                }
-                runs.push((start, i - start));
-            } else {
-                i += 1;
-            }
+        self.runs_iter().collect()
+    }
+
+    /// Allocation-free form of [`FlushedEntry::runs`]: the packetizer's
+    /// hot loop iterates runs without materializing a `Vec`.
+    pub fn runs_iter(&self) -> MaskRuns {
+        MaskRuns { mask: self.mask }
+    }
+}
+
+/// Iterator over the contiguous set-bit runs of a byte mask, as
+/// `(start_offset, len)` pairs in ascending order.
+///
+/// Word-level run extraction: `trailing_zeros` jumps to the next run's
+/// start and `trailing_zeros` of the inverted remainder measures its
+/// length — each run costs two count instructions instead of a
+/// per-bit walk over the 128-bit mask.
+#[derive(Debug, Clone)]
+pub struct MaskRuns {
+    mask: u128,
+}
+
+impl Iterator for MaskRuns {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.mask == 0 {
+            return None;
         }
-        runs
+        let start = self.mask.trailing_zeros();
+        let len = (!(self.mask >> start)).trailing_zeros();
+        if start + len >= u128::BITS {
+            self.mask = 0;
+        } else {
+            self.mask &= !span_mask(start, len);
+        }
+        Some((start, len))
     }
 }
 
@@ -169,7 +195,11 @@ struct EntrySlot {
 struct Window {
     /// Masked (aligned) window base.
     base: u64,
-    entries: BTreeMap<u64, EntrySlot>,
+    /// Entry slots sorted ascending by line address. A sorted vector
+    /// beats a `BTreeMap` here: windows hold at most a few dozen
+    /// entries, lookups are a cache-friendly binary search, and flushing
+    /// moves the storage out wholesale with no per-node frees.
+    entries: Vec<(u64, EntrySlot)>,
     /// Remaining payload budget in bytes (the paper's available-payload-
     /// length register; full == `max_payload`, zero == full window).
     available_payload: u32,
@@ -297,6 +327,9 @@ pub struct RemoteWriteQueue {
     /// Global monotonic use stamp, for LRU decisions across windows
     /// (and across partitions under [`AllocationPolicy::DynamicShared`]).
     use_seq: u64,
+    /// When false (timing-only runs), entry slots hold masks but no
+    /// payload bytes: flushed entries carry empty `data`.
+    buffer_payloads: bool,
 }
 
 impl RemoteWriteQueue {
@@ -318,7 +351,24 @@ impl RemoteWriteQueue {
             partitions: BTreeMap::new(),
             stats: RwqStats::default(),
             use_seq: 0,
+            buffer_payloads: true,
         }
+    }
+
+    /// Controls whether entry slots buffer payload bytes.
+    ///
+    /// Timing-only runs never read the data back — masks alone determine
+    /// every packet boundary and byte count — so skipping the per-entry
+    /// line allocation and the per-store copy removes the queue's only
+    /// payload-proportional work. Flushed entries then carry empty
+    /// `data`; callers must not materialize [`FlushedEntry::runs`]-based
+    /// payloads in this mode. Switch only while the queue is empty.
+    pub fn set_buffer_payloads(&mut self, on: bool) {
+        debug_assert!(
+            self.buffered_entries() == 0,
+            "payload buffering toggled with entries in flight"
+        );
+        self.buffer_payloads = on;
     }
 
     /// The configuration in force.
@@ -403,6 +453,7 @@ impl RemoteWriteQueue {
         let max_windows = self.config.windows_per_partition as usize;
 
         self.stats.stores_received += 1;
+        let buffer_payloads = self.buffer_payloads;
         let line_addr = store.addr - u64::from(line_off);
         let wanted_base = subheader.window_base(store.addr);
         self.use_seq += 1;
@@ -425,9 +476,10 @@ impl RemoteWriteQueue {
             match matching {
                 Some(idx) => {
                     let w = &partition.windows[idx];
-                    let line_present = w.entries.contains_key(&line_addr);
-                    let cost = if line_present {
-                        let slot = &w.entries[&line_addr];
+                    let slot_idx = w.entries.binary_search_by_key(&line_addr, |(a, _)| *a);
+                    let line_present = slot_idx.is_ok();
+                    let cost = if let Ok(i) = slot_idx {
+                        let slot = &w.entries[i].1;
                         let incoming = span_mask(line_off, len);
                         (incoming & !slot.mask).count_ones()
                     } else {
@@ -511,33 +563,42 @@ impl RemoteWriteQueue {
                 w.last_use = use_seq;
                 w.stores_merged += 1;
                 let incoming = span_mask(line_off, len);
-                match w.entries.get_mut(&line_addr) {
-                    Some(slot) => {
+                match w.entries.binary_search_by_key(&line_addr, |(a, _)| *a) {
+                    Ok(i) => {
+                        let slot = &mut w.entries[i].1;
                         let overlap = (incoming & slot.mask).count_ones();
                         let fresh = (incoming & !slot.mask).count_ones();
                         w.overwritten_bytes += u64::from(overlap);
                         self.stats.overwritten_bytes += u64::from(overlap);
                         w.available_payload = charge_payload(w.available_payload, fresh);
                         slot.mask |= incoming;
-                        slot.data[line_off as usize..(line_off + len) as usize]
-                            .copy_from_slice(&store.data);
+                        if buffer_payloads {
+                            slot.data[line_off as usize..(line_off + len) as usize]
+                                .copy_from_slice(&store.data);
+                        }
                         self.stats.entry_hits += 1;
                     }
-                    None => {
+                    Err(i) => {
                         w.available_payload = charge_payload(w.available_payload, len + sub_bytes);
-                        w.entries
-                            .insert(line_addr, new_slot(entry_bytes, line_off, &store.data));
+                        w.entries.insert(
+                            i,
+                            (
+                                line_addr,
+                                new_slot(entry_bytes, line_off, &store.data, buffer_payloads),
+                            ),
+                        );
                         self.stats.entry_misses += 1;
                     }
                 }
             }
             None => {
                 // Open a fresh window with this store as its first.
-                let mut entries = BTreeMap::new();
-                entries.insert(line_addr, new_slot(entry_bytes, line_off, &store.data));
                 partition.windows.push(Window {
                     base: wanted_base,
-                    entries,
+                    entries: vec![(
+                        line_addr,
+                        new_slot(entry_bytes, line_off, &store.data, buffer_payloads),
+                    )],
                     available_payload: max_payload.saturating_sub(len + sub_bytes),
                     stores_merged: 1,
                     overwritten_bytes: 0,
@@ -640,9 +701,16 @@ impl RemoteWriteQueue {
     }
 }
 
-fn new_slot(entry_bytes: u32, line_off: u32, data: &[u8]) -> EntrySlot {
+fn new_slot(entry_bytes: u32, line_off: u32, data: &[u8], buffer_payloads: bool) -> EntrySlot {
+    let mask = span_mask(line_off, data.len() as u32);
+    if !buffer_payloads {
+        return EntrySlot {
+            mask,
+            data: Vec::new(),
+        };
+    }
     let mut slot = EntrySlot {
-        mask: span_mask(line_off, data.len() as u32),
+        mask,
         data: vec![0u8; entry_bytes as usize],
     };
     slot.data[line_off as usize..line_off as usize + data.len()].copy_from_slice(data);

@@ -192,8 +192,12 @@ impl CreditTotals {
 #[derive(Debug, Clone)]
 pub struct CreditTimeline {
     account: CreditAccount,
-    /// Encoded `UpdateFcPosted` DLLPs keyed by arrival time, sorted.
-    pending: VecDeque<(SimTime, [u8; DLLP_WIRE_BYTES as usize])>,
+    /// In-flight `UpdateFcPosted` credit returns keyed by arrival time,
+    /// sorted. Stored post-roundtrip: each entry's counts were encoded
+    /// into a wire [`Dllp`] and decoded back at [`CreditTimeline::
+    /// complete`] time, so they carry exactly what the wire carries —
+    /// without re-decoding on every admission probe.
+    pending: VecDeque<(SimTime, u8, u16)>,
     return_latency: SimTime,
     updates_received: u64,
     blocked_attempts: u64,
@@ -215,24 +219,15 @@ impl CreditTimeline {
 
     /// Applies every pending `UpdateFC` that has arrived by `at`.
     fn apply_updates(&mut self, at: SimTime) {
-        while let Some((when, wire)) = self.pending.front() {
+        while let Some((when, ph, pd)) = self.pending.front() {
             if *when > at {
                 break;
             }
-            let wire = *wire;
+            let (ph, pd) = (*ph, *pd);
             self.pending.pop_front();
-            match Dllp::decode(&wire).expect("self-encoded UpdateFC decodes") {
-                Dllp::UpdateFcPosted {
-                    header_credits,
-                    data_credits,
-                } => {
-                    self.account
-                        .release_units(u32::from(header_credits), u32::from(data_credits));
-                    self.totals.ph_returned += u64::from(header_credits);
-                    self.totals.pd_returned += u64::from(data_credits);
-                }
-                other => unreachable!("pending queue only holds UpdateFcPosted, got {other:?}"),
-            }
+            self.account.release_units(u32::from(ph), u32::from(pd));
+            self.totals.ph_returned += u64::from(ph);
+            self.totals.pd_returned += u64::from(pd);
             self.updates_received += 1;
         }
     }
@@ -248,14 +243,8 @@ impl CreditTimeline {
         }
         self.blocked_attempts += 1;
         let mut probe = self.account;
-        for (when, wire) in &self.pending {
-            if let Ok(Dllp::UpdateFcPosted {
-                header_credits,
-                data_credits,
-            }) = Dllp::decode(wire)
-            {
-                probe.release_units(u32::from(header_credits), u32::from(data_credits));
-            }
+        for (when, ph, pd) in &self.pending {
+            probe.release_units(u32::from(*ph), u32::from(*pd));
             if probe.can_send(payload) {
                 return *when;
             }
@@ -286,19 +275,35 @@ impl CreditTimeline {
     /// arriving one return latency later.
     pub fn complete(&mut self, payload: u32, drained_at: SimTime) {
         let (ph, pd) = CreditAccount::cost(payload);
-        let dllp = Dllp::UpdateFcPosted {
-            header_credits: u8::try_from(ph).expect("one header per TLP"),
-            data_credits: u16::try_from(pd).expect("12-bit data credits cover max payload"),
-        };
+        let ph = u8::try_from(ph).expect("one header per TLP");
+        let pd = u16::try_from(pd).expect("12-bit data credits cover max payload");
+        // The wire encoding is lossless for in-range counts (ph fits 8
+        // bits, pd fits 12), so the stored values are exactly what a
+        // real link would deliver; debug builds prove the round trip.
+        debug_assert_eq!(
+            Dllp::decode(
+                &Dllp::UpdateFcPosted {
+                    header_credits: ph,
+                    data_credits: pd,
+                }
+                .encode()
+            )
+            .expect("self-encoded UpdateFC decodes"),
+            Dllp::UpdateFcPosted {
+                header_credits: ph,
+                data_credits: pd,
+            },
+            "UpdateFcPosted must round-trip losslessly through the wire"
+        );
         let arrival = drained_at + self.return_latency;
         // Per-link drain times are non-decreasing, but hop floors can
         // reorder completions across calls: keep the queue sorted.
         let pos = self
             .pending
             .iter()
-            .rposition(|(when, _)| *when <= arrival)
+            .rposition(|(when, ..)| *when <= arrival)
             .map_or(0, |i| i + 1);
-        self.pending.insert(pos, (arrival, dllp.encode()));
+        self.pending.insert(pos, (arrival, ph, pd));
     }
 
     /// Applies every scheduled credit return immediately (barrier /

@@ -2,7 +2,7 @@
 //! driven by the engine's own deterministic RNG so the suite needs no
 //! external property-testing crate and every failure replays exactly.
 
-use sim_engine::{geomean, Bandwidth, DetRng, EventQueue, Histogram, SimTime};
+use sim_engine::{geomean, Bandwidth, DetRng, EventQueue, Histogram, ShardScheduler, SimTime};
 
 /// Events pop in non-decreasing time order regardless of insertion
 /// order, and ties preserve insertion order.
@@ -29,6 +29,83 @@ fn event_queue_is_a_stable_priority_queue() {
                 assert!(i0 < i1, "tie broke insertion order");
             }
         }
+    }
+}
+
+/// The calendar backend is observationally identical to the reference
+/// heap backend under randomized schedule/pop interleavings — including
+/// zero-delta self-schedules (an event scheduling another event at the
+/// current time, as drain loops do), same-time tie bursts, and spans
+/// ranging from a few picoseconds to years of simulated time.
+#[test]
+fn calendar_and_heap_backends_are_observationally_identical() {
+    let mut rng = DetRng::new(0x51_0007, "queue-differential");
+    for round in 0..60 {
+        let n = rng.next_in_range(1, 300) as usize;
+        // Vary the span exponentially so some rounds cram every event
+        // into a few buckets and others spread them over many years.
+        let span = 1u64 << rng.next_in_range(4, 44);
+        let mut cal = EventQueue::with_capacity(n);
+        if round % 2 == 0 {
+            cal.reserve_for_span(n, SimTime::from_ps(span));
+        }
+        let mut heap = EventQueue::with_heap();
+        for i in 0..n {
+            let t = SimTime::from_ps(rng.next_u64_below(span));
+            cal.schedule(t, i);
+            heap.schedule(t, i);
+        }
+        // Interleave pops with re-schedules: half the popped events
+        // re-enter at `now + delta`, where delta is often zero.
+        let mut budget = rng.next_in_range(0, 2 * n as u64);
+        let mut next_id = n;
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            match (a, b) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.time, y.time, "round {round}: pop times diverged");
+                    assert_eq!(x.payload, y.payload, "round {round}: pop order diverged");
+                    if budget > 0 && rng.next_u64_below(2) == 0 {
+                        budget -= 1;
+                        let delta = if rng.next_u64_below(3) == 0 {
+                            SimTime::ZERO
+                        } else {
+                            SimTime::from_ps(rng.next_u64_below(span / 2 + 1))
+                        };
+                        cal.schedule_in(delta, next_id);
+                        heap.schedule_in(delta, next_id);
+                        next_id += 1;
+                    }
+                }
+                (a, b) => panic!("round {round}: backends disagree on emptiness: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+/// `window_end_after` returns the smallest quantum multiple strictly
+/// after `t`: it always advances, lands on the grid, and jumping from
+/// just before a boundary versus exactly on it yields adjacent windows.
+#[test]
+fn shard_window_boundaries_advance_on_the_quantum_grid() {
+    let mut rng = DetRng::new(0x51_0008, "shard-window");
+    assert!(ShardScheduler::new(SimTime::ZERO).is_none());
+    for _ in 0..300 {
+        let q = rng.next_in_range(1, 1 << 30);
+        let s = ShardScheduler::new(SimTime::from_ps(q)).expect("non-zero quantum");
+        let t = rng.next_u64_below(1 << 40);
+        let end = s.window_end_after(SimTime::from_ps(t)).as_ps();
+        assert!(end > t, "window end must be strictly after t");
+        assert_eq!(end % q, 0, "window end must lie on the quantum grid");
+        assert!(end - t <= q, "window end must be the nearest boundary");
+        // A boundary jump: the end of the window starting exactly at
+        // `end` is one full quantum later.
+        assert_eq!(
+            s.window_end_after(SimTime::from_ps(end)).as_ps(),
+            end + q,
+            "jumping from a boundary must advance exactly one window"
+        );
     }
 }
 

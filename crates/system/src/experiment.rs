@@ -39,6 +39,11 @@ pub struct PreparedWorkload {
     /// Stats merged across GPUs and iterations, computed once at
     /// preparation time (sweeps used to re-merge on every call).
     merged: KernelStats,
+    /// Unique bytes written per iteration, computed once at preparation
+    /// time. The store stream is paradigm-independent, so every run of
+    /// this workload would otherwise replay the same line-map
+    /// aggregation.
+    unique_per_iter: Vec<u64>,
 }
 
 impl PreparedWorkload {
@@ -65,6 +70,18 @@ impl PreparedWorkload {
             })
             .collect();
         let merged = merge_stats(&runs);
+        let unique_per_iter = runs
+            .iter()
+            .map(|iter_runs| {
+                let mut tracker = crate::report::UniqueTracker::new();
+                for run in iter_runs {
+                    for t in run.egress.iter().chain(run.atomics.iter()) {
+                        tracker.add(t.store.addr, t.store.len());
+                    }
+                }
+                tracker.unique_bytes()
+            })
+            .collect();
         PreparedWorkload {
             name: app.name().to_string(),
             read_fraction: app.read_fraction(),
@@ -72,6 +89,7 @@ impl PreparedWorkload {
             runs,
             dma_plan: dma_plan(app, spec),
             merged,
+            unique_per_iter,
         }
     }
 
@@ -125,8 +143,8 @@ impl PreparedWorkload {
     /// Propagates [`RunError`] from the first failing iteration.
     pub fn try_run(&self, cfg: &SystemConfig, paradigm: Paradigm) -> Result<RunReport, RunError> {
         let mut runner = Runner::new(*cfg, paradigm, self.gps_unsubscribed, false);
-        for iter_runs in &self.runs {
-            runner.try_run_iteration(iter_runs, &self.dma_plan)?;
+        for (iter_runs, &unique) in self.runs.iter().zip(&self.unique_per_iter) {
+            runner.try_run_iteration_precomputed(iter_runs, &self.dma_plan, unique)?;
         }
         Ok(runner.finish(&self.name, self.read_fraction))
     }
@@ -150,8 +168,8 @@ impl PreparedWorkload {
     ) -> Result<RunReport, RunError> {
         let mut runner = Runner::new(*cfg, paradigm, self.gps_unsubscribed, false);
         runner.attach_trace(trace, sample_every);
-        for iter_runs in &self.runs {
-            runner.try_run_iteration(iter_runs, &self.dma_plan)?;
+        for (iter_runs, &unique) in self.runs.iter().zip(&self.unique_per_iter) {
+            runner.try_run_iteration_precomputed(iter_runs, &self.dma_plan, unique)?;
         }
         Ok(runner.finish(&self.name, self.read_fraction))
     }
@@ -410,6 +428,49 @@ pub fn run_suite(
             .collect();
         let row = SpeedupRow {
             app: app.name().to_string(),
+            speedups,
+        };
+        (row, events, sim_time)
+    });
+    let mut suite = SuiteResult {
+        rows: Vec::with_capacity(results.len()),
+        sim_events: 0,
+        sim_time: SimTime::ZERO,
+    };
+    for (row, events, sim_time) in results {
+        suite.rows.push(row);
+        suite.sim_events += events;
+        suite.sim_time += sim_time;
+    }
+    suite
+}
+
+/// [`run_suite`] over already-prepared apps: no trace replay and no
+/// single-GPU baseline re-simulation inside the measured region, so a
+/// timed pass over this function measures the event core alone. Rows
+/// are byte-identical to [`run_suite`]'s on the same inputs.
+pub fn run_suite_prepared(
+    apps: &[PreparedApp],
+    cfg: &SystemConfig,
+    paradigms: &[Paradigm],
+    pool: &WorkerPool,
+) -> SuiteResult {
+    let results = pool.map((0..apps.len()).collect(), |i| {
+        let app = &apps[i];
+        let t1 = app.single_gpu;
+        let mut events = 0u64;
+        let mut sim_time = SimTime::ZERO;
+        let speedups = paradigms
+            .iter()
+            .map(|p| {
+                let report = app.prepared.run(cfg, *p);
+                events += report.sim_events;
+                sim_time += report.total_time;
+                (*p, t1.as_secs_f64() / report.total_time.as_secs_f64())
+            })
+            .collect();
+        let row = SpeedupRow {
+            app: app.prepared.name().to_string(),
             speedups,
         };
         (row, events, sim_time)

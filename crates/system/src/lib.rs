@@ -45,7 +45,8 @@ pub use budget::{BudgetKind, BudgetTrip, RunBudget, RunnerDiag};
 pub use config::{CreditConfig, FlowControlMode, SystemConfig};
 pub use experiment::{
     bandwidth_sweep, dma_plan, fault_sweep, geomean_speedup, prepare_apps, run_suite,
-    run_suite_supervised, single_gpu_time, speedup_row, speedup_row_prepared, subheader_sweep,
+    run_suite_prepared, run_suite_supervised, single_gpu_time, speedup_row, speedup_row_prepared,
+    subheader_sweep,
     FaultSweepPoint, PreparedApp, PreparedWorkload, SpeedupRow, SuitePoint, SuiteResult,
     SupervisedSuite, Supervision,
 };

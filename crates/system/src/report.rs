@@ -7,11 +7,41 @@ use sim_engine::SimTime;
 
 use crate::paradigm::Paradigm;
 
+/// A multiply-xor hasher for line addresses (splitmix64 finalizer).
+///
+/// The tracker hashes one `u64` per 128B line of every traced store;
+/// SipHash's per-call setup dominates that workload, while map behavior
+/// (lookup/insert only, no iteration) never observes hash order — so a
+/// fast deterministic mix is both safe and measurably faster.
+#[derive(Debug, Default, Clone)]
+struct LineHasher(u64);
+
+impl std::hash::Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type LineMap = HashMap<u64, u128, std::hash::BuildHasherDefault<LineHasher>>;
+
 /// Tracks unique bytes written per iteration (128B-line byte masks), to
 /// separate "useful" from "redundant" transfers in Fig 10's sense.
 #[derive(Debug, Default, Clone)]
 pub struct UniqueTracker {
-    lines: HashMap<u64, u128>,
+    lines: LineMap,
     unique_total: u64,
 }
 
@@ -40,6 +70,16 @@ impl UniqueTracker {
             cur += u64::from(n);
             remaining -= n;
         }
+    }
+
+    /// Credits `bytes` already known to be unique — computed once at
+    /// workload-preparation time from the same (paradigm-independent)
+    /// store stream — without touching the line map. This is the fast
+    /// path the runner takes when the caller pre-aggregated an
+    /// iteration; results are identical to replaying the stream through
+    /// [`UniqueTracker::add`].
+    pub fn add_precomputed(&mut self, bytes: u64) {
+        self.unique_total += bytes;
     }
 
     /// Unique bytes recorded since the last [`UniqueTracker::barrier`].

@@ -83,18 +83,23 @@ struct GpuProbe {
 /// — per GPU: egress stores, atomics, probes, fences, kernel end — is
 /// load-bearing: it fixes the tie-break sequence numbers, so serial and
 /// sharded commit replays pop identical global orders.
-fn build_queue(runs: &[KernelRun]) -> EventQueue<Ev> {
+fn fill_queue(queue: &mut EventQueue<Ev>, runs: &[KernelRun]) {
     // Pre-size for the whole trace (plus a Retry slot per GPU) so
     // schedule/pop never reallocate in the hot loop.
     let trace_events: usize = runs
         .iter()
         .map(|r| r.egress.len() + r.atomics.len() + r.probes.len() + r.fences.len() + 1)
         .sum();
-    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(trace_events + runs.len());
+    queue.reset();
+    let span = runs
+        .iter()
+        .map(|r| r.kernel_time)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    queue.reserve_for_span(trace_events + runs.len(), span);
     for (g, run) in runs.iter().enumerate() {
-        schedule_gpu_events(&mut queue, g, run);
+        schedule_gpu_events(queue, g, run);
     }
-    queue
 }
 
 /// Schedules one GPU's pre-known events. Shard workers build per-GPU
@@ -238,9 +243,9 @@ fn elaborate_shard(
     let mut queues: Vec<EventQueue<Ev>> = gpus
         .map(|g| {
             let run = &runs[g];
-            let mut q = EventQueue::with_capacity(
-                run.egress.len() + run.atomics.len() + run.probes.len() + run.fences.len() + 1,
-            );
+            let n = run.egress.len() + run.atomics.len() + run.probes.len() + run.fences.len() + 1;
+            let mut q = EventQueue::with_capacity(n);
+            q.reserve_for_span(n, run.kernel_time);
             schedule_gpu_events(&mut q, g, run);
             q
         })
@@ -323,6 +328,10 @@ pub struct Runner {
     events_since_progress: u64,
     trace: TraceHandle,
     sample_every: Option<SimTime>,
+    /// The iteration event queue, recycled run to run so wheel buckets
+    /// and the learned bucket width survive between iterations (see
+    /// [`EventQueue::reset`]).
+    queue_scratch: EventQueue<Ev>,
 }
 
 impl Runner {
@@ -389,7 +398,24 @@ impl Runner {
             events_since_progress: 0,
             trace: TraceHandle::off(),
             sample_every: None,
+            queue_scratch: EventQueue::new(),
         }
+    }
+
+    /// Takes the recycled iteration queue, refilled with `runs`'
+    /// pre-scheduled events. Hand it back with [`Runner::recycle_queue`]
+    /// once the iteration drains so its allocations carry forward.
+    fn take_queue(&mut self, runs: &[KernelRun]) -> EventQueue<Ev> {
+        let mut queue = std::mem::take(&mut self.queue_scratch);
+        fill_queue(&mut queue, runs);
+        queue
+    }
+
+    /// Returns a drained iteration queue to the recycle slot. Skipped on
+    /// error paths (the scratch is then rebuilt from empty — errored
+    /// runs are abandoned anyway).
+    fn recycle_queue(&mut self, queue: EventQueue<Ev>) {
+        self.queue_scratch = queue;
     }
 
     /// Checks every configured [`crate::RunBudget`] ceiling at
@@ -583,6 +609,20 @@ impl Runner {
     /// Drains `gpu`'s output buffer head-first through the credited
     /// fabric, stopping at the first packet blocked on link credits.
     fn pump(&mut self, gpu: usize, at: SimTime) -> Result<PumpOutcome, RunError> {
+        if self.paths[gpu]
+            .as_ref()
+            .expect("store paradigm")
+            .output_ref()
+            .is_empty()
+        {
+            // Nothing buffered: an empty drain touches no state, so
+            // skip the detach/reattach — most events merge into the
+            // RWQ and emit no packets at all.
+            return Ok(PumpOutcome {
+                last_drained: SimTime::ZERO,
+                blocked_until: None,
+            });
+        }
         // Detach the buffer so the drain can borrow the fabric mutably;
         // the sharded commit drains shadow buffers through the same
         // body, which is what keeps the two modes call-identical.
@@ -603,11 +643,19 @@ impl Runner {
     ) -> Result<PumpOutcome, RunError> {
         let src = GpuId::new(gpu as u8);
         let stall_limit = self.cfg.fault.map(|f| f.max_stall);
+        // The data-link layer only exists under fault injection; without
+        // it, replayed bytes are identically zero — skip the per-packet
+        // all-links sweep.
+        let track_replay = self.cfg.fault.is_some();
         let mut last = SimTime::ZERO;
         let mut blocked_until = None;
         while let Some(head) = out.front() {
             let (dst, wire_bytes, payload_bytes) = (head.dst, head.wire_bytes, head.payload_bytes);
-            let replayed_before = self.fabric.replayed_bytes_total();
+            let replayed_before = if track_replay {
+                self.fabric.replayed_bytes_total()
+            } else {
+                0
+            };
             let outcome = self
                 .fabric
                 .try_send_credited(at, src, dst, wire_bytes, payload_bytes)
@@ -626,7 +674,11 @@ impl Runner {
                 }
             };
             let p = out.pop_front().expect("head just observed");
-            let replayed = self.fabric.replayed_bytes_total() - replayed_before;
+            let replayed = if track_replay {
+                self.fabric.replayed_bytes_total() - replayed_before
+            } else {
+                0
+            };
             self.replay_amp.record(p.reason, p.wire_bytes, replayed);
             if let Some(limit) = stall_limit {
                 if landed.saturating_sub(at) > limit {
@@ -691,6 +743,37 @@ impl Runner {
         runs: &[KernelRun],
         dma_plan: &[(GpuId, GpuId, u64)],
     ) -> Result<(), RunError> {
+        self.try_run_iteration_inner(runs, dma_plan, None)
+    }
+
+    /// [`Runner::try_run_iteration`] with the iteration's unique-byte
+    /// count already aggregated (see
+    /// [`UniqueTracker::add_precomputed`]): skips the per-store line-map
+    /// replay, which is paradigm-independent and therefore identical
+    /// across every run of the same prepared workload.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::try_run_iteration`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs.len()` differs from the configured GPU count.
+    pub fn try_run_iteration_precomputed(
+        &mut self,
+        runs: &[KernelRun],
+        dma_plan: &[(GpuId, GpuId, u64)],
+        unique_bytes: u64,
+    ) -> Result<(), RunError> {
+        self.try_run_iteration_inner(runs, dma_plan, Some(unique_bytes))
+    }
+
+    fn try_run_iteration_inner(
+        &mut self,
+        runs: &[KernelRun],
+        dma_plan: &[(GpuId, GpuId, u64)],
+        unique_bytes: Option<u64>,
+    ) -> Result<(), RunError> {
         assert_eq!(runs.len(), usize::from(self.cfg.num_gpus));
         if self.trace.is_on() {
             // Iteration timelines restart at zero: shift this
@@ -703,9 +786,14 @@ impl Runner {
         }
         // Unique-byte tracking is paradigm-independent: it reflects the
         // program's store stream.
-        for run in runs {
-            for t in run.egress.iter().chain(run.atomics.iter()) {
-                self.unique.add(t.store.addr, t.store.len());
+        match unique_bytes {
+            Some(bytes) => self.unique.add_precomputed(bytes),
+            None => {
+                for run in runs {
+                    for t in run.egress.iter().chain(run.atomics.iter()) {
+                        self.unique.add(t.store.addr, t.store.len());
+                    }
+                }
             }
         }
 
@@ -830,7 +918,7 @@ impl Runner {
         // fabric call sequence — is identical to open loop.
         let mut stall = vec![SimTime::ZERO; runs.len()];
         let mut retry_at: Vec<Option<SimTime>> = vec![None; runs.len()];
-        let mut queue = build_queue(runs);
+        let mut queue = self.take_queue(runs);
         let sample_step = self.sample_every.filter(|_| self.trace.is_on());
         let mut next_sample = sample_step.unwrap_or(SimTime::ZERO);
         while let Some(ev) = queue.pop() {
@@ -1012,6 +1100,7 @@ impl Runner {
                 .all(|p| p.output_ref().is_empty()),
             "event queue drained with packets stranded in an output buffer"
         );
+        self.recycle_queue(queue);
         Ok(())
     }
 
@@ -1184,7 +1273,7 @@ impl Runner {
     ) -> Result<bool, RunError> {
         let credited = self.cfg.flow_control.credits().is_some();
         let n = runs.len();
-        let mut queue = build_queue(runs);
+        let mut queue = self.take_queue(runs);
         // Stall clocks stay zero in any committed sharded run: the
         // vector exists because budget diagnostics carry it.
         let stall = vec![SimTime::ZERO; n];
@@ -1304,6 +1393,7 @@ impl Runner {
             shadow.iter().all(OutputBuffer::is_empty),
             "event queue drained with packets stranded in a shadow buffer"
         );
+        self.recycle_queue(queue);
         Ok(true)
     }
 

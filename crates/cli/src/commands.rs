@@ -1064,8 +1064,10 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         warmup,
         reps,
     );
+    // Same warmup for the pool: its first-touch costs (thread spawn,
+    // per-worker allocator growth) must not bias the speedup ratio.
     let (parallel_reps, parallel_rows, parallel_stable) =
-        measured_reps(&prepared, &cfg, &pool, 0, reps);
+        measured_reps(&prepared, &cfg, &pool, warmup, reps);
     let deterministic = serial_stable && parallel_stable && serial_rows == parallel_rows;
     let eps = |r: &ThroughputReport| r.events_per_sec();
     let wall = |r: &ThroughputReport| r.wall.as_secs_f64();

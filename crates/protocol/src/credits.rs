@@ -277,9 +277,15 @@ impl CreditTimeline {
         let (ph, pd) = CreditAccount::cost(payload);
         let ph = u8::try_from(ph).expect("one header per TLP");
         let pd = u16::try_from(pd).expect("12-bit data credits cover max payload");
-        // The wire encoding is lossless for in-range counts (ph fits 8
-        // bits, pd fits 12), so the stored values are exactly what a
-        // real link would deliver; debug builds prove the round trip.
+        // The wire encoding is lossless only for in-range counts (ph
+        // fits 8 bits, pd fits 12): enforce the field widths in every
+        // build so release behavior can never silently diverge from
+        // what `Dllp::encode` would accept on a real link.
+        assert!(
+            pd < 1 << 12,
+            "data credits exceed the 12-bit UpdateFC wire field: {pd}"
+        );
+        // Debug builds additionally prove the encode/decode round trip.
         debug_assert_eq!(
             Dllp::decode(
                 &Dllp::UpdateFcPosted {

@@ -267,17 +267,20 @@ impl<E> Calendar<E> {
             // previously learned bucket width.
             self.shift = self.target_shift(now);
         }
-        let nb = wheel_size_for(self.len().max(self.sized_for));
-        if nb != self.buckets.len() {
-            self.buckets.resize_with(nb, Vec::new);
-        }
-        self.mask = nb as u64 - 1;
+        // Drain every pending event off the wheel *before* re-sizing
+        // it: a shrinking resize would truncate tail buckets and drop
+        // whatever events they still hold.
         let mut pending: Vec<Event<E>> = Vec::with_capacity(self.len());
         pending.extend(self.due.drain());
         for b in &mut self.buckets {
             pending.append(b);
         }
         self.bucket_len = 0;
+        let nb = wheel_size_for(pending.len().max(self.sized_for));
+        if nb != self.buckets.len() {
+            self.buckets.resize_with(nb, Vec::new);
+        }
+        self.mask = nb as u64 - 1;
         self.direct_jumps = 0;
         self.cur_day = now.as_ps() >> self.shift;
         self.horizon = day_end(self.cur_day, self.shift);

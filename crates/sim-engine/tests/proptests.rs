@@ -84,6 +84,54 @@ fn calendar_and_heap_backends_are_observationally_identical() {
     }
 }
 
+/// A dense burst that grows the wheel (occupancy rebuilds) followed by
+/// a sparse tail spaced past one wheel revolution (direct-search jumps
+/// that eventually trigger a *shrinking* rebuild) must not lose events:
+/// the calendar pops every event, in exactly the heap oracle's order.
+#[test]
+fn shrinking_rebuild_drops_no_events() {
+    let mut rng = DetRng::new(0x51_0009, "queue-shrink");
+    for round in 0..20 {
+        let dense = rng.next_in_range(4_000, 12_000) as usize;
+        let tail = rng.next_in_range(50, 150) as usize;
+        let spacing = rng.next_in_range(32, 128);
+        let mut cal = EventQueue::new();
+        let mut heap = EventQueue::with_heap();
+        // Anchor at zero, then a dense burst *beyond the initial
+        // horizon* so the events land in wheel buckets and occupancy
+        // rebuilds grow the wheel well past its post-drain size.
+        cal.schedule(SimTime::ZERO, usize::MAX);
+        heap.schedule(SimTime::ZERO, usize::MAX);
+        let mut t = 100_000u64;
+        for i in 0..dense {
+            t += spacing + rng.next_u64_below(4);
+            cal.schedule(SimTime::from_ps(t), i);
+            heap.schedule(SimTime::from_ps(t), i);
+        }
+        // Sparse tail: each event just over one wheel revolution past
+        // the previous, so every pop in the tail needs a direct-search
+        // jump and the 8th jump forces a (shrinking) rebuild.
+        let revolution = 1u64 << 28; // > buckets.len() << learned shift
+        for i in 0..tail {
+            t += revolution + rng.next_u64_below(1 << 20);
+            cal.schedule(SimTime::from_ps(t), dense + i);
+            heap.schedule(SimTime::from_ps(t), dense + i);
+        }
+        let mut popped = 0usize;
+        while let Some(a) = cal.pop() {
+            let b = heap.pop().expect("heap has every event calendar has");
+            assert_eq!(
+                (a.time, a.seq, a.payload),
+                (b.time, b.seq, b.payload),
+                "round {round}: pop order diverged"
+            );
+            popped += 1;
+        }
+        assert!(heap.is_empty(), "round {round}: calendar dropped events");
+        assert_eq!(popped, dense + tail + 1, "round {round}: lost events");
+    }
+}
+
 /// `window_end_after` returns the smallest quantum multiple strictly
 /// after `t`: it always advances, lands on the grid, and jumping from
 /// just before a boundary versus exactly on it yields adjacent windows.

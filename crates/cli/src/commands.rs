@@ -6,14 +6,10 @@ use finepack::{AllocationPolicy, AreaModel, FinePackConfig, FlushReason, Subhead
 use gpu_model::{profile_run, read_trace, write_trace, AddressMap, Gpu, GpuId};
 use protocol::{fig2_sizes, FramingModel, PcieGen};
 use sim_engine::Table;
-use sim_engine::{
-    ChaosConfig, QuietPanicGuard, RetryPolicy, SimTime, ThroughputReport, WallClock, WorkerPool,
-};
+use sim_engine::{SimTime, ThroughputReport, WallClock, WorkerPool};
 use system::{
-    audit_run, fault_sweep, run_suite_prepared, run_suite_supervised, single_gpu_time,
-    subheader_sweep,
-    CreditConfig, FaultProfile, FlowControlMode, Paradigm, PreparedWorkload, RunBudget,
-    Supervision, SystemConfig,
+    audit_run, fault_sweep, run_suite_prepared, subheader_sweep, CreditConfig, FaultProfile,
+    FlowControlMode, Paradigm, PreparedWorkload, RunBudget, SystemConfig,
 };
 use telemetry::{EventKind, Law, Sample, TraceEvent, TraceHandle};
 use workloads::{suite, RunSpec, Workload};
@@ -34,6 +30,8 @@ COMMANDS:
                    [--iterations K] [--scale-down S] [--windows W]
                    [--flow-control open|credited] [--intra-jobs N]
                    [--ber RATE] [--fault-profile clean|noisy|outage|degraded|stuck]
+                   [--json FILE (write per-paradigm reports as
+                   versioned canonical JSON)]
   suite            Fig 9 table for the whole application suite, run
                    under the supervisor (panic isolation, retries,
                    budgets, chaos injection)
@@ -87,6 +85,26 @@ COMMANDS:
   inspect          summarize a recorded trace --trace <file>
   analyze          profile a recorded trace's remote-store stream
                    --trace <file> [--gpus N] [--window-bytes B]
+  serve            run the sweep-farm daemon: accept jobs over a unix
+                   socket and answer repeats from a content-addressed
+                   result cache (see DESIGN.md §14)
+                   [--socket PATH (default finepack-farm.sock)]
+                   [--cache-entries N (default 64; oldest evicted)]
+                   [--jobs N] [--intra-jobs N]
+                   [--trace-out FILE (Chrome trace of serving events,
+                   written on shutdown)]
+  submit           submit one job to a running daemon and print the
+                   served report (byte-identical to the one-shot
+                   run/suite output; stdout carries exactly the report)
+                   [--socket PATH] [--kind run|suite (default run)]
+                   [--audit true (run the conservation auditor on cache
+                   misses and stamp the entry)]
+                   plus the matching run/suite options above
+  status           report a running daemon's cache and job counters
+                   [--socket PATH]
+  shutdown         stop a running daemon cleanly [--socket PATH]
+  version          print version, build fingerprint, and schema
+                   versions (also: --version)
   help             this text
 
 APPS: jacobi pagerank sssp als ct eqwp diffusion hit
@@ -122,9 +140,17 @@ failed and after how many retries, is byte-identical at every --jobs;
 errors become per-point failures: the table keeps the surviving rows
 and a `failed points` section lists the rest.
 
+FARM: `serve` keeps a daemon resident with workloads warm and a
+content-addressed result cache keyed on a canonical fingerprint of
+(system config, seed, workload identity, build). Because reports are
+byte-identical at every --jobs/--intra-jobs, a repeated `submit` of the
+same sweep point is answered from cache without executing a single
+simulation event; the build fingerprint is part of the key, so a
+recompiled binary never serves stale entries.
+
 EXIT CODES: 0 clean; 3 partial results (some supervised sweep points
-failed after retries); 2 unrecoverable (usage, I/O, or simulation
-error).
+failed after retries, one-shot or daemon-served); 2 unrecoverable
+(usage, I/O, socket/protocol, or simulation error).
 "
     .to_string()
 }
@@ -246,32 +272,6 @@ fn run_budget_from(args: &Args) -> Result<Option<RunBudget>, ArgError> {
     Ok(Some(budget))
 }
 
-/// Parses `--retries N` into a [`RetryPolicy`] (default: no retries).
-fn retry_policy_from(args: &Args) -> Result<RetryPolicy, ArgError> {
-    Ok(RetryPolicy::retries(args.get_parsed(
-        "retries",
-        0u32,
-        "retry count",
-    )?))
-}
-
-/// Parses `--chaos RATE` into a deterministic chaos injector config.
-fn chaos_from(args: &Args) -> Result<Option<ChaosConfig>, ArgError> {
-    let Some(v) = args.get("chaos") else {
-        return Ok(None);
-    };
-    let invalid = || ArgError::Invalid {
-        key: "chaos".into(),
-        value: v.to_string(),
-        expected: "injection rate in [0, 1]",
-    };
-    let rate: f64 = v.parse().map_err(|_| invalid())?;
-    if !(0.0..=1.0).contains(&rate) {
-        return Err(invalid());
-    }
-    Ok(Some(ChaosConfig::uniform(rate)))
-}
-
 /// Parses `--jobs N` into a [`WorkerPool`] (default: the machine's
 /// available parallelism; `--jobs 1` selects the serial path).
 fn pool_from(args: &Args) -> Result<WorkerPool, ArgError> {
@@ -388,7 +388,94 @@ pub(crate) fn goodput(args: &Args) -> Result<String, CliError> {
     Ok(t.render())
 }
 
-/// `run --app <name> ...`
+/// Builds a farm [`farm::JobRequest`] from CLI args — the shared
+/// front door for `run`, `suite`, and `submit`. Both the one-shot
+/// commands and the daemon execute requests through
+/// [`farm::execute_job`], so their outputs are byte-identical by
+/// construction.
+fn job_request_from(args: &Args, kind: farm::JobKind) -> Result<farm::JobRequest, CliError> {
+    let mut req = farm::JobRequest::new(kind);
+    req.gpus = args.get_parsed("gpus", req.gpus, "integer 2-64")?;
+    req.pcie = args.get_parsed("pcie", req.pcie, "4, 5, or 6")?;
+    req.iterations = args.get_parsed("iterations", req.iterations, "positive integer")?;
+    req.scale_down = args.get_parsed("scale-down", req.scale_down, "positive integer")?;
+    req.seed = args.get_parsed("seed", req.seed, "integer")?;
+    req.windows = args.get_parsed("windows", req.windows, "1-64")?;
+    req.open_loop = match args.get_or("flow-control", "credited") {
+        "open" => true,
+        "credited" => false,
+        other => {
+            return Err(ArgError::Invalid {
+                key: "flow-control".into(),
+                value: other.to_string(),
+                expected: "open or credited",
+            }
+            .into())
+        }
+    };
+    req.budget = budget_spec_from(args)?;
+    match kind {
+        farm::JobKind::Run => {
+            req.app = Some(args.get_or("app", "pagerank").to_string());
+            req.ber = match args.get("ber") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| ArgError::Invalid {
+                    key: "ber".into(),
+                    value: v.to_string(),
+                    expected: "bit-error rate in [0, 1], e.g. 1e-8",
+                })?),
+            };
+            req.fault_profile = args.get("fault-profile").map(str::to_string);
+        }
+        farm::JobKind::Suite => {
+            req.retries = args.get_parsed("retries", 0u32, "retry count")?;
+            req.chaos = match args.get("chaos") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| ArgError::Invalid {
+                    key: "chaos".into(),
+                    value: v.to_string(),
+                    expected: "injection rate in [0, 1]",
+                })?),
+            };
+        }
+    }
+    req.validate()?;
+    Ok(req)
+}
+
+/// Parses `--run-budget SPEC` into the farm's wire-level budget form
+/// (same grammar as [`run_budget_from`]).
+fn budget_spec_from(args: &Args) -> Result<Option<farm::BudgetSpec>, ArgError> {
+    let Some(spec) = args.get("run-budget") else {
+        return Ok(None);
+    };
+    let invalid = |value: &str| ArgError::Invalid {
+        key: "run-budget".into(),
+        value: value.to_string(),
+        expected: "an event count, or `events=N,sim-ms=N,stall=N` parts",
+    };
+    let mut budget = farm::BudgetSpec::default();
+    for part in spec.split(',') {
+        let (key, value) = match part.split_once('=') {
+            Some(kv) => kv,
+            None => ("events", part),
+        };
+        let n: u64 = value.trim().parse().map_err(|_| invalid(part))?;
+        if n == 0 {
+            return Err(invalid(part));
+        }
+        match key.trim() {
+            "events" => budget.events = Some(n),
+            "sim-ms" => budget.sim_ms = Some(n),
+            "stall" => budget.stall = Some(n),
+            _ => return Err(invalid(part)),
+        }
+    }
+    Ok(Some(budget))
+}
+
+/// `run --app <name> ...`: delegates to [`farm::execute_job`], the
+/// same code path the sweep-farm daemon serves from.
 pub(crate) fn run_app(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "app",
@@ -403,61 +490,22 @@ pub(crate) fn run_app(args: &Args) -> Result<String, CliError> {
         "ber",
         "fault-profile",
         "run-budget",
+        "json",
     ])?;
-    let app = find_app(args.get_or("app", "pagerank"))?;
-    let spec = spec_from(args)?;
-    let cfg = system_from(args, &spec)?;
-    let t1 = single_gpu_time(app.as_ref(), &cfg, &spec);
-    let prep = PreparedWorkload::new(app.as_ref(), &cfg, &spec);
-    let mut t = Table::new(
-        format!(
-            "{} on {} GPUs, {} ({} pattern)",
-            app.name(),
-            spec.num_gpus,
-            cfg.pcie_gen,
-            app.pattern()
-        ),
-        &[
-            "paradigm",
-            "speedup",
-            "wire bytes",
-            "stores/packet",
-            "stall",
-        ],
-    );
-    for p in [
-        Paradigm::BulkDma,
-        Paradigm::P2pStores,
-        Paradigm::WriteCombining,
-        Paradigm::Gps,
-        Paradigm::FinePack,
-        Paradigm::InfiniteBw,
-    ] {
-        match prep.try_run(&cfg, p) {
-            Ok(report) => t.row(&[
-                p.to_string(),
-                format!("{:.2}x", t1.as_secs_f64() / report.total_time.as_secs_f64()),
-                report.traffic.total().to_string(),
-                report
-                    .mean_stores_per_packet()
-                    .map(|v| format!("{v:.1}"))
-                    .unwrap_or_else(|| "-".into()),
-                if report.stall_time == SimTime::ZERO {
-                    "-".into()
-                } else {
-                    report.stall_time.to_string()
-                },
-            ]),
-            Err(e) => t.row(&[
-                p.to_string(),
-                "dead".into(),
-                "-".into(),
-                "-".into(),
-                e.to_string(),
-            ]),
+    let req = job_request_from(args, farm::JobKind::Run)?;
+    let intra_jobs = intra_jobs_from(args, 1)?;
+    let out = farm::execute_job(&req, &WorkerPool::serial(), intra_jobs)?;
+    if let Some(path) = args.get("json") {
+        let mut doc = String::from("{\n  \"schema_version\": 1,\n  \"reports\": [\n");
+        for (i, report) in out.reports_json.iter().enumerate() {
+            doc.push_str("    ");
+            doc.push_str(report);
+            doc.push_str(if i + 1 < out.reports_json.len() { ",\n" } else { "\n" });
         }
+        doc.push_str("  ]\n}\n");
+        std::fs::write(path, doc).map_err(|e| CliError::io(path, e))?;
     }
-    Ok(t.render())
+    Ok(out.text)
 }
 
 fn find_paradigm(name: &str) -> Result<Paradigm, ArgError> {
@@ -561,7 +609,8 @@ pub(crate) fn faults(args: &Args) -> Result<String, CliError> {
     Ok(t.render())
 }
 
-/// `suite ...`
+/// `suite ...`: delegates to [`farm::execute_job`], the same code path
+/// the sweep-farm daemon serves from.
 pub(crate) fn suite_table(args: &Args) -> Result<CmdOut, CliError> {
     args.expect_only(&[
         "gpus",
@@ -576,78 +625,152 @@ pub(crate) fn suite_table(args: &Args) -> Result<CmdOut, CliError> {
         "chaos",
         "run-budget",
     ])?;
-    let spec = spec_from(args)?;
-    let cfg = system_from(args, &spec)?;
+    let req = job_request_from(args, farm::JobKind::Suite)?;
     let pool = pool_from(args)?;
-    let supervision = Supervision {
-        policy: retry_policy_from(args)?,
-        chaos: chaos_from(args)?,
-    };
-    // Chaos panics are expected noise: silence the default panic hook's
-    // stderr chatter while the supervisor catches them.
-    let _quiet = supervision
-        .chaos
-        .as_ref()
-        .map(|_| QuietPanicGuard::engage());
-    let sup = run_suite_supervised(
-        &suite(),
-        &cfg,
-        &spec,
-        &Paradigm::FIG9,
-        &pool,
-        supervision,
-        &TraceHandle::off(),
-    );
-    let mut t = Table::new(
-        format!("suite speedups on {} GPUs, {}", spec.num_gpus, cfg.pcie_gen),
-        &["app", "bulk-dma", "p2p-stores", "finepack", "infinite-bw"],
-    );
-    for row in sup.points.iter().filter_map(|p| p.row.as_ref()) {
-        let cell = |p| format!("{:.2}x", row.speedup(p).expect("measured"));
-        t.row(&[
-            row.app.clone(),
-            cell(Paradigm::BulkDma),
-            cell(Paradigm::P2pStores),
-            cell(Paradigm::FinePack),
-            cell(Paradigm::InfiniteBw),
-        ]);
-    }
-    let mut out = t.render();
-    if sup.retried().next().is_some() {
-        let _ = writeln!(out, "\nretried points:");
-        for p in sup.retried() {
-            let verdict = if p.is_ok() {
-                format!("succeeded after {} attempts", p.attempts)
-            } else {
-                format!("failed after {} attempts", p.attempts)
-            };
-            let _ = writeln!(out, "  {}: {verdict}", p.app);
-            for (i, failure) in p.failures.iter().enumerate() {
-                let _ = writeln!(out, "    attempt {}: {failure}", i + 1);
+    let intra_jobs = intra_jobs_from(args, 1)?;
+    let out = farm::execute_job(&req, &pool, intra_jobs)?;
+    Ok(CmdOut {
+        text: out.text,
+        partial: out.partial,
+    })
+}
+
+/// The default farm socket path.
+const DEFAULT_SOCKET: &str = "finepack-farm.sock";
+
+/// `serve [--socket PATH] ...`: run the sweep-farm daemon until a
+/// `shutdown` command arrives on the socket.
+pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["socket", "cache-entries", "jobs", "intra-jobs", "trace-out"])?;
+    let socket = args.get_or("socket", DEFAULT_SOCKET).to_string();
+    let config = farm::ServeConfig {
+        socket: socket.clone(),
+        cache_entries: args.get_parsed("cache-entries", 64usize, "cache entry capacity")?,
+        jobs: match args.get("jobs") {
+            None => available_parallelism(),
+            Some(_) => {
+                let pool = pool_from(args)?;
+                pool.jobs()
             }
+        },
+        intra_jobs: intra_jobs_from(args, 1)?,
+        trace_out: args.get("trace-out").map(str::to_string),
+    };
+    let cache_entries = config.cache_entries;
+    let server = farm::Server::bind(config)?;
+    // Announce readiness before blocking so wrappers know the socket is
+    // live (the returned text only prints after shutdown).
+    println!(
+        "farm: serving on {socket} (cache capacity {cache_entries}, {} build)",
+        farm::build_fingerprint()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run()?;
+    Ok(format!("farm: daemon on {socket} shut down cleanly\n"))
+}
+
+/// `submit [--socket PATH] [--kind run|suite] [--audit true] ...`:
+/// submit one job to a running daemon and print the served report.
+/// Stdout carries exactly the report bytes (so it can be diffed against
+/// the one-shot `run`/`suite` output); job lifecycle lines go to
+/// stderr.
+pub(crate) fn submit(args: &Args) -> Result<CmdOut, CliError> {
+    args.expect_only(&[
+        "socket",
+        "kind",
+        "app",
+        "gpus",
+        "pcie",
+        "iterations",
+        "scale-down",
+        "seed",
+        "windows",
+        "flow-control",
+        "ber",
+        "fault-profile",
+        "retries",
+        "chaos",
+        "run-budget",
+        "audit",
+    ])?;
+    let kind = match args.get_or("kind", "run") {
+        "run" => farm::JobKind::Run,
+        "suite" => farm::JobKind::Suite,
+        other => {
+            return Err(ArgError::Invalid {
+                key: "kind".into(),
+                value: other.to_string(),
+                expected: "run or suite",
+            }
+            .into())
         }
-    }
-    let partial = !sup.all_ok();
-    if partial {
-        let failed = sup.failed().count();
-        let _ = writeln!(
-            out,
-            "\nfailed points ({failed} of {} apps):",
-            sup.points.len()
+    };
+    let mut req = job_request_from(args, kind)?;
+    req.audit = match args.get_or("audit", "false") {
+        "true" => true,
+        "false" => false,
+        other => {
+            return Err(ArgError::Invalid {
+                key: "audit".into(),
+                value: other.to_string(),
+                expected: "true or false",
+            }
+            .into())
+        }
+    };
+    let socket = args.get_or("socket", DEFAULT_SOCKET);
+    let outcome = farm::submit(socket, &req, |job| {
+        eprintln!("farm: job {job} missed the cache, simulating");
+    })?;
+    if outcome.cache_hit {
+        eprintln!(
+            "farm: job {} served from cache (fingerprint {}, hit {})",
+            outcome.job, outcome.fingerprint, outcome.hits
         );
-        for p in sup.failed() {
-            let _ = writeln!(
-                out,
-                "  {}: {} (after {} attempts)",
-                p.app,
-                p.final_failure().expect("failed point has a failure"),
-                p.attempts
-            );
-        }
-        let _ = writeln!(out, "partial results: exiting with code 3");
     }
-    single_core_warning(&mut out);
-    Ok(CmdOut { text: out, partial })
+    if outcome.audit_clean == Some(false) {
+        return Err(CliError::Failed(format!(
+            "conservation audit found violations for job {} (fingerprint {})",
+            outcome.job, outcome.fingerprint
+        )));
+    }
+    Ok(CmdOut {
+        text: outcome.report,
+        partial: outcome.partial,
+    })
+}
+
+/// `status [--socket PATH]`: report a running daemon's counters.
+pub(crate) fn farm_status(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["socket"])?;
+    let socket = args.get_or("socket", DEFAULT_SOCKET);
+    let s = farm::status(socket)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "farm status on {socket}:");
+    let _ = writeln!(out, "  version: {} (build {})", s.version, s.build);
+    let _ = writeln!(out, "  jobs submitted: {}", s.jobs_submitted);
+    let _ = writeln!(out, "  sim events executed: {}", s.sim_events_total);
+    let _ = writeln!(
+        out,
+        "  cache: {} of {} entries; {} hits, {} misses, {} evictions",
+        s.cache_entries, s.cache_capacity, s.cache_hits, s.cache_misses, s.cache_evictions
+    );
+    Ok(out)
+}
+
+/// `shutdown [--socket PATH]`: stop a running daemon cleanly.
+pub(crate) fn farm_shutdown(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["socket"])?;
+    let socket = args.get_or("socket", DEFAULT_SOCKET);
+    farm::shutdown(socket)?;
+    Ok(format!("farm: daemon on {socket} shut down\n"))
+}
+
+/// `version` / `--version`: crate version plus build fingerprint (the
+/// same identity folded into every cache key).
+pub(crate) fn version() -> String {
+    farm::version_line()
 }
 
 /// `sweep-subheader ...`
@@ -1116,7 +1239,8 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
 
     let queue_backend = sim_engine::EventQueue::<u8>::new().backend_name();
     let json = format!(
-        "{{\n  \"bench\": \"harness\",\n  \"queue_backend\": \"{}\",\n  \"gpus\": {},\n  \
+        "{{\n  \"bench\": \"harness\",\n  \"schema_version\": 1,\n  \
+         \"queue_backend\": \"{}\",\n  \"gpus\": {},\n  \
          \"pcie\": \"{}\",\n  \
          \"iterations\": {},\n  \"scale_down\": {},\n  \"seed\": {},\n  \"apps\": {},\n  \
          \"jobs\": {},\n  \"intra_jobs\": {},\n  \"available_parallelism\": {},\n  \
@@ -1666,6 +1790,7 @@ mod tests {
         let json = std::fs::read_to_string(out_s).unwrap();
         for key in [
             "\"bench\": \"harness\"",
+            "\"schema_version\": 1",
             "\"jobs\": 2",
             "\"sim_events\"",
             "\"serial\"",
@@ -1704,7 +1829,11 @@ mod tests {
         assert!(rendered.contains("wire-transmit"), "{rendered}");
         assert!(rendered.contains("(chrome)"), "{rendered}");
         let json = std::fs::read_to_string(json_s).unwrap();
-        assert!(json.starts_with("{\"traceEvents\":["), "{}", &json[..80]);
+        assert!(
+            json.starts_with("{\"schema_version\":1,\"traceEvents\":["),
+            "{}",
+            &json[..80]
+        );
         assert!(json.contains("\"flush:release\""));
         assert!(json.contains("\"name\":\"GPU0\""));
         let _ = std::fs::remove_file(&json_file);

@@ -51,12 +51,23 @@ where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
+    let argv: Vec<String> = argv.into_iter().map(Into::into).collect();
+    // `--version` has no subcommand, which the flag parser rejects;
+    // answer it before parsing (like `help`, it must always work).
+    if matches!(argv.first().map(String::as_str), Some("--version" | "-V")) {
+        return Ok(CmdOut::clean(commands::version()));
+    }
     let args = Args::parse(argv)?;
     match args.subcommand() {
         None | Some("help") => Ok(CmdOut::clean(commands::help())),
+        Some("version") => Ok(CmdOut::clean(commands::version())),
         Some("goodput") => commands::goodput(&args).map(CmdOut::clean),
         Some("run") => commands::run_app(&args).map(CmdOut::clean),
         Some("suite") => commands::suite_table(&args),
+        Some("serve") => commands::serve(&args).map(CmdOut::clean),
+        Some("submit") => commands::submit(&args),
+        Some("status") => commands::farm_status(&args).map(CmdOut::clean),
+        Some("shutdown") => commands::farm_shutdown(&args).map(CmdOut::clean),
         Some("sweep-subheader") => commands::sweep_subheader(&args).map(CmdOut::clean),
         Some("faults") => commands::faults(&args).map(CmdOut::clean),
         Some("bench") => commands::bench(&args).map(CmdOut::clean),
@@ -137,6 +148,44 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(run(["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn version_answers_as_command_and_bare_flag() {
+        let v = run(["version"]).unwrap();
+        assert!(v.starts_with("finepack-sim "), "{v}");
+        assert!(v.contains("build "), "{v}");
+        assert!(v.contains("wire schema"), "{v}");
+        // The bare flag has no subcommand, which the arg parser would
+        // reject — it must still answer.
+        assert_eq!(run(["--version"]).unwrap(), v);
+        assert_eq!(run(["-V"]).unwrap(), v);
+    }
+
+    #[test]
+    fn run_json_writes_versioned_reports() {
+        let out_file = std::env::temp_dir().join("finepack-run-json-test.json");
+        let out_s = out_file.to_str().expect("utf-8 temp path");
+        run([
+            "run",
+            "--app",
+            "jacobi",
+            "--gpus",
+            "2",
+            "--scale-down",
+            "16",
+            "--iterations",
+            "1",
+            "--json",
+            out_s,
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(out_s).unwrap();
+        assert!(json.starts_with("{\n  \"schema_version\": 1,"), "{json}");
+        assert!(json.contains("\"workload\":\"jacobi\""), "{json}");
+        // One report object per paradigm that survived.
+        assert_eq!(json.matches("\"schema_version\":1").count(), 6, "{json}");
+        let _ = std::fs::remove_file(&out_file);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! The content-addressed result cache.
+//!
+//! Entries are keyed by [`system::ConfigFingerprint`] and follow the
+//! telemetry `RingCollector` discipline: a bounded store where, at
+//! capacity, the oldest entry is evicted and an explicit counter
+//! records the loss — nothing disappears silently.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use system::ConfigFingerprint;
+
+/// One cached sweep-point result.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The fingerprint this entry is stored under.
+    pub fingerprint: ConfigFingerprint,
+    /// The rendered report text (byte-identical to the one-shot CLI).
+    pub text: String,
+    /// Whether the run was partial (some sweep points failed).
+    pub partial: bool,
+    /// Simulation events executed to produce this entry.
+    pub sim_events: u64,
+    /// Canonical per-report JSON objects (already-rendered strings).
+    pub reports_json: Vec<String>,
+    /// Conservation-audit stamp: `None` = never audited, `Some(clean)`
+    /// otherwise.
+    pub audit_clean: Option<bool>,
+    /// Times this entry has been served from cache.
+    pub hits: u64,
+}
+
+/// Cache counters, for `status` reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+/// A bounded FIFO content-addressed cache of sweep results.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<ConfigFingerprint, CacheEntry>,
+    /// Insertion order, oldest first (the eviction queue).
+    order: VecDeque<ConfigFingerprint>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (`capacity` 0 caches
+    /// nothing but still counts misses).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up `fp`, bumping hit/miss counters and the entry's own
+    /// hit count.
+    pub fn lookup(&mut self, fp: ConfigFingerprint) -> Option<&CacheEntry> {
+        match self.entries.entry(fp) {
+            Entry::Occupied(e) => {
+                self.stats.hits += 1;
+                let entry = e.into_mut();
+                entry.hits += 1;
+                Some(entry)
+            }
+            Entry::Vacant(_) => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry, evicting the oldest if at capacity. Replacing
+    /// an existing fingerprint refreshes the entry in place (no
+    /// eviction, no reorder).
+    pub fn insert(&mut self, entry: CacheEntry) {
+        let fp = entry.fingerprint;
+        if let Some(slot) = self.entries.get_mut(&fp) {
+            *slot = entry;
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        self.entries.insert(fp, entry);
+        self.order.push_back(fp);
+        self.stats.insertions += 1;
+    }
+
+    /// Stamps an existing entry's audit verdict.
+    pub fn stamp_audit(&mut self, fp: ConfigFingerprint, clean: bool) {
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            entry.audit_clean = Some(clean);
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: u64) -> CacheEntry {
+        CacheEntry {
+            fingerprint: ConfigFingerprint::of(&tag.to_le_bytes()),
+            text: format!("report {tag}"),
+            partial: false,
+            sim_events: tag,
+            reports_json: vec![],
+            audit_clean: None,
+            hits: 0,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let mut cache = ResultCache::new(4);
+        let fp = entry(1).fingerprint;
+        assert!(cache.lookup(fp).is_none());
+        cache.insert(entry(1));
+        assert_eq!(cache.lookup(fp).unwrap().text, "report 1");
+        assert_eq!(cache.lookup(fp).unwrap().hits, 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (2, 1, 1, 0));
+    }
+
+    #[test]
+    fn oldest_entry_is_evicted_at_capacity() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(entry(1));
+        cache.insert(entry(2));
+        cache.insert(entry(3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(entry(1).fingerprint).is_none());
+        assert!(cache.lookup(entry(2).fingerprint).is_some());
+        assert!(cache.lookup(entry(3).fingerprint).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place_without_eviction() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(entry(1));
+        cache.insert(entry(2));
+        let mut fresh = entry(1);
+        fresh.text = "updated".into();
+        cache.insert(fresh);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup(entry(1).fingerprint).unwrap().text, "updated");
+    }
+
+    #[test]
+    fn audit_stamp_persists() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(entry(1));
+        cache.stamp_audit(entry(1).fingerprint, true);
+        assert_eq!(cache.lookup(entry(1).fingerprint).unwrap().audit_clean, Some(true));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(entry(1));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(entry(1).fingerprint).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

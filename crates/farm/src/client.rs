@@ -1,0 +1,249 @@
+//! The farm client: connects to a daemon socket, submits jobs, and
+//! streams their status lines back.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+
+use crate::error::FarmError;
+use crate::job::JobRequest;
+use crate::json::{parse, Json};
+use crate::version::WIRE_SCHEMA_VERSION;
+
+/// The outcome of one submitted job.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Daemon-assigned job sequence number.
+    pub job: u64,
+    /// The job's cache fingerprint (hex).
+    pub fingerprint: String,
+    /// Whether the result came from cache (no simulation executed).
+    pub cache_hit: bool,
+    /// Whether supervised sweep points failed (exit code 3).
+    pub partial: bool,
+    /// Audit stamp: `None` = never audited.
+    pub audit_clean: Option<bool>,
+    /// Events executed for this submission (0 on a cache hit).
+    pub sim_events: u64,
+    /// Times the entry has been served from cache.
+    pub hits: u64,
+    /// The rendered report, byte-identical to the one-shot CLI.
+    pub report: String,
+    /// Canonical per-report JSON objects, re-rendered.
+    pub reports_json: Vec<String>,
+}
+
+/// A daemon `status` snapshot.
+#[derive(Debug, Clone)]
+pub struct StatusReport {
+    /// Daemon crate version.
+    pub version: String,
+    /// Daemon build fingerprint.
+    pub build: String,
+    /// Jobs submitted since start.
+    pub jobs_submitted: u64,
+    /// Simulation events executed since start (cache hits add none).
+    pub sim_events_total: u64,
+    /// Entries resident in the cache.
+    pub cache_entries: u64,
+    /// Cache capacity.
+    pub cache_capacity: u64,
+    /// Lookups served from cache.
+    pub cache_hits: u64,
+    /// Lookups that had to simulate.
+    pub cache_misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub cache_evictions: u64,
+}
+
+struct Connection {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Connection {
+    fn open(socket: &str) -> Result<Connection, FarmError> {
+        let stream = UnixStream::connect(socket).map_err(|e| FarmError::Connect {
+            path: socket.to_string(),
+            detail: e.to_string(),
+        })?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| FarmError::Io(e.to_string()))?);
+        Ok(Connection {
+            writer: stream,
+            reader,
+        })
+    }
+
+    fn send(&mut self, cmd: &str, extra: Vec<(String, Json)>) -> Result<(), FarmError> {
+        let mut fields = vec![
+            ("schema_version".into(), Json::num(WIRE_SCHEMA_VERSION)),
+            ("cmd".into(), Json::Str(cmd.into())),
+        ];
+        fields.extend(extra);
+        let mut line = Json::Obj(fields).render();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| FarmError::PeerDisconnected(format!("write failed: {e}")))
+    }
+
+    /// Reads the next non-empty response line; `Err(PeerDisconnected)`
+    /// on EOF (the daemon died mid-exchange).
+    fn next_event(&mut self) -> Result<Json, FarmError> {
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| FarmError::Io(format!("read failed: {e}")))?;
+            if n == 0 {
+                return Err(FarmError::PeerDisconnected(
+                    "daemon closed the connection before answering".into(),
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = parse(line.trim()).map_err(FarmError::Malformed)?;
+            if v.get("event").and_then(Json::as_str) == Some("error") {
+                let detail = v
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string();
+                return Err(match v.get("code").and_then(Json::as_str) {
+                    Some("invalid") => FarmError::Invalid(detail),
+                    Some("malformed") => FarmError::Malformed(detail),
+                    _ => FarmError::Failed(detail),
+                });
+            }
+            return Ok(v);
+        }
+    }
+}
+
+fn num_field(v: &Json, key: &str) -> Result<u64, FarmError> {
+    v.get(key)
+        .and_then(Json::as_num::<u64>)
+        .ok_or_else(|| FarmError::Malformed(format!("response missing numeric `{key}`")))
+}
+
+/// Submits one job and blocks until the daemon answers `done`,
+/// invoking `on_start` if the job missed the cache and started
+/// simulating.
+///
+/// # Errors
+///
+/// Daemon-side request errors come back typed ([`FarmError::Invalid`]
+/// etc.); a daemon that dies mid-job is [`FarmError::PeerDisconnected`].
+pub fn submit(
+    socket: &str,
+    job: &JobRequest,
+    mut on_start: impl FnMut(u64),
+) -> Result<SubmitOutcome, FarmError> {
+    job.validate()?;
+    let mut conn = Connection::open(socket)?;
+    conn.send("submit", vec![("job".into(), job.to_json())])?;
+    let accepted = conn.next_event()?;
+    if accepted.get("event").and_then(Json::as_str) != Some("accepted") {
+        return Err(FarmError::Malformed(format!(
+            "expected accepted, got {}",
+            accepted.render()
+        )));
+    }
+    let seq = num_field(&accepted, "job")?;
+    let fingerprint = accepted
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| FarmError::Malformed("accepted line missing fingerprint".into()))?
+        .to_string();
+    loop {
+        let event = conn.next_event()?;
+        match event.get("event").and_then(Json::as_str) {
+            Some("start") => on_start(seq),
+            Some("done") => {
+                return Ok(SubmitOutcome {
+                    job: seq,
+                    fingerprint,
+                    cache_hit: event.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
+                    partial: event.get("partial").and_then(Json::as_bool).unwrap_or(false),
+                    audit_clean: event.get("audit_clean").and_then(Json::as_bool),
+                    sim_events: num_field(&event, "sim_events")?,
+                    hits: num_field(&event, "hits")?,
+                    report: event
+                        .get("report")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| FarmError::Malformed("done line missing report".into()))?
+                        .to_string(),
+                    reports_json: event
+                        .get("reports")
+                        .and_then(Json::as_arr)
+                        .map(|items| items.iter().map(Json::render).collect())
+                        .unwrap_or_default(),
+                });
+            }
+            other => {
+                return Err(FarmError::Malformed(format!(
+                    "unexpected event {other:?} while waiting for done"
+                )))
+            }
+        }
+    }
+}
+
+/// Fetches a daemon status snapshot.
+///
+/// # Errors
+///
+/// [`FarmError::Connect`] when no daemon answers on `socket`.
+pub fn status(socket: &str) -> Result<StatusReport, FarmError> {
+    let mut conn = Connection::open(socket)?;
+    conn.send("status", vec![])?;
+    let v = conn.next_event()?;
+    if v.get("event").and_then(Json::as_str) != Some("status") {
+        return Err(FarmError::Malformed(format!(
+            "expected status, got {}",
+            v.render()
+        )));
+    }
+    let cache = v
+        .get("cache")
+        .ok_or_else(|| FarmError::Malformed("status missing cache".into()))?
+        .clone();
+    Ok(StatusReport {
+        version: v
+            .get("version")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        build: v
+            .get("build")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        jobs_submitted: num_field(&v, "jobs_submitted")?,
+        sim_events_total: num_field(&v, "sim_events_total")?,
+        cache_entries: num_field(&cache, "entries")?,
+        cache_capacity: num_field(&cache, "capacity")?,
+        cache_hits: num_field(&cache, "hits")?,
+        cache_misses: num_field(&cache, "misses")?,
+        cache_evictions: num_field(&cache, "evictions")?,
+    })
+}
+
+/// Asks the daemon to shut down cleanly; returns once it acknowledges.
+///
+/// # Errors
+///
+/// [`FarmError::Connect`] when no daemon answers on `socket`.
+pub fn shutdown(socket: &str) -> Result<(), FarmError> {
+    let mut conn = Connection::open(socket)?;
+    conn.send("shutdown", vec![])?;
+    let v = conn.next_event()?;
+    if v.get("event").and_then(Json::as_str) != Some("bye") {
+        return Err(FarmError::Malformed(format!(
+            "expected bye, got {}",
+            v.render()
+        )));
+    }
+    Ok(())
+}

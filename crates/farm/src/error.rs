@@ -1,0 +1,65 @@
+//! Farm error taxonomy, shared by daemon and client.
+
+use std::fmt;
+
+/// Why a farm operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmError {
+    /// The daemon could not bind its socket.
+    Bind {
+        /// Socket path.
+        path: String,
+        /// Underlying error, rendered.
+        detail: String,
+    },
+    /// The client could not connect to the daemon socket.
+    Connect {
+        /// Socket path.
+        path: String,
+        /// Underlying error, rendered.
+        detail: String,
+    },
+    /// A request or response line failed to parse, or carried an
+    /// incompatible wire schema.
+    Malformed(String),
+    /// The peer closed the connection before the exchange completed
+    /// (e.g. mid-job).
+    PeerDisconnected(String),
+    /// A socket read/write failed.
+    Io(String),
+    /// A job request carried invalid field values.
+    Invalid(String),
+    /// The simulation (or an audit) failed.
+    Failed(String),
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::Bind { path, detail } => write!(f, "cannot bind {path}: {detail}"),
+            FarmError::Connect { path, detail } => write!(f, "cannot connect to {path}: {detail}"),
+            FarmError::Malformed(msg) => write!(f, "malformed message: {msg}"),
+            FarmError::PeerDisconnected(msg) => write!(f, "peer disconnected: {msg}"),
+            FarmError::Io(msg) => write!(f, "socket i/o failed: {msg}"),
+            FarmError::Invalid(msg) => write!(f, "invalid job: {msg}"),
+            FarmError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_path() {
+        let e = FarmError::Bind {
+            path: "/run/farm.sock".into(),
+            detail: "permission denied".into(),
+        };
+        assert_eq!(e.to_string(), "cannot bind /run/farm.sock: permission denied");
+        assert!(FarmError::Malformed("x".into()).to_string().contains("malformed"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Version and build identity.
+//!
+//! The build fingerprint is folded into every job's cache key
+//! ([`crate::JobRequest::fingerprint`]) so a daemon can never serve a
+//! cached entry produced by a different binary: a recompile with a new
+//! crate version, wire schema, report schema, or target changes the
+//! fingerprint, and every stale entry becomes an ordinary miss.
+
+use system::{ConfigFingerprint, REPORT_SCHEMA_VERSION};
+use telemetry::CHROME_TRACE_SCHEMA_VERSION;
+
+/// Version of the farm's line-delimited JSON wire protocol; stamped as
+/// `schema_version` on every request and response line. Bump on any
+/// protocol change.
+pub const WIRE_SCHEMA_VERSION: u32 = 1;
+
+/// The crate version baked into this binary.
+pub const CRATE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// A short hex fingerprint of this build's result-affecting identity:
+/// crate version, every machine-readable schema version, debug/release
+/// mode (debug assertions can change failure text), and the target
+/// platform. Deterministic for a given build configuration — it must
+/// be, because it keys the result cache.
+pub fn build_fingerprint() -> String {
+    let mut bytes = system::CanonicalBytes::new();
+    bytes.push("crate", CRATE_VERSION);
+    bytes.push("wire", &WIRE_SCHEMA_VERSION.to_string());
+    bytes.push("report", &REPORT_SCHEMA_VERSION.to_string());
+    bytes.push("trace", &CHROME_TRACE_SCHEMA_VERSION.to_string());
+    bytes.push(
+        "profile",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
+    bytes.push("os", std::env::consts::OS);
+    bytes.push("arch", std::env::consts::ARCH);
+    let digest: ConfigFingerprint = bytes.digest();
+    // 16 hex chars is plenty for a build stamp humans will read.
+    digest.hex()[..16].to_string()
+}
+
+/// The `finepack-sim version` output line.
+pub fn version_line() -> String {
+    format!(
+        "finepack-sim {CRATE_VERSION} (build {}, wire schema {WIRE_SCHEMA_VERSION}, \
+         report schema {REPORT_SCHEMA_VERSION})\n",
+        build_fingerprint()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_fingerprint_is_stable_within_a_build() {
+        let a = build_fingerprint();
+        assert_eq!(a, build_fingerprint());
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn version_line_names_the_build() {
+        let line = version_line();
+        assert!(line.starts_with("finepack-sim "));
+        assert!(line.contains(&build_fingerprint()));
+        assert!(line.contains("wire schema 1"));
+        assert!(line.ends_with('\n'));
+    }
+}

@@ -34,6 +34,7 @@ mod budget;
 mod config;
 mod experiment;
 mod fault;
+mod fingerprint;
 mod link;
 mod paradigm;
 mod report;
@@ -51,8 +52,9 @@ pub use experiment::{
     SupervisedSuite, Supervision,
 };
 pub use fault::{FabricFault, FaultProfile, Outage, RunError, RunnerError};
+pub use fingerprint::{CanonicalBytes, ConfigFingerprint, FingerprintBuilder};
 pub use link::{Fabric, FcStats, Link, LinkDelivery};
 pub use paradigm::Paradigm;
-pub use report::{RunReport, TrafficBreakdown, UniqueTracker};
+pub use report::{RunReport, TrafficBreakdown, UniqueTracker, REPORT_SCHEMA_VERSION};
 pub use runner::{DmaPlan, Runner};
 pub use topology::{RoutedFabric, SendOutcome, Topology};

@@ -159,10 +159,67 @@ pub struct RunReport {
     pub sim_events: u64,
 }
 
+/// Schema version stamped into [`RunReport::canonical_json`]; bump on
+/// any field addition, removal, or semantic change so downstream
+/// tooling (and the farm's result cache) can detect format drift.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
 impl RunReport {
     /// Mean stores aggregated per packet (Fig 11), when applicable.
     pub fn mean_stores_per_packet(&self) -> Option<f64> {
         self.egress.mean_stores_per_packet()
+    }
+
+    /// A canonical machine-readable JSON rendering: fixed key order,
+    /// integer times in picoseconds, `schema_version` first. Two equal
+    /// reports always serialize byte-identically, which is what lets
+    /// the sweep farm diff a cached report against a fresh run.
+    pub fn canonical_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(640);
+        let _ = write!(
+            s,
+            "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\"workload\":\"{}\",\"paradigm\":\"{:?}\",\"num_gpus\":{}",
+            self.workload, self.paradigm, self.num_gpus
+        );
+        let _ = write!(
+            s,
+            ",\"total_time_ps\":{},\"compute_time_ps\":{},\"drain_tail_ps\":{},\"barrier_time_ps\":{},\"stall_time_ps\":{}",
+            self.total_time.as_ps(),
+            self.compute_time.as_ps(),
+            self.drain_tail.as_ps(),
+            self.barrier_time.as_ps(),
+            self.stall_time.as_ps()
+        );
+        let _ = write!(
+            s,
+            ",\"fc_update_dllps\":{},\"fc_blocked_attempts\":{}",
+            self.fc_update_dllps, self.fc_blocked_attempts
+        );
+        let _ = write!(
+            s,
+            ",\"traffic\":{{\"useful\":{},\"protocol\":{},\"wasted\":{}}}",
+            self.traffic.useful, self.traffic.protocol, self.traffic.wasted
+        );
+        let _ = write!(
+            s,
+            ",\"wire_packets\":{},\"wire_bytes\":{},\"stores_in\":{}",
+            self.egress.packets, self.egress.wire_bytes, self.egress.stores_in
+        );
+        match self.mean_stores_per_packet() {
+            // f64 Debug is shortest-roundtrip and always includes a
+            // decimal point or exponent, so it is valid, stable JSON.
+            Some(m) => {
+                let _ = write!(s, ",\"mean_stores_per_packet\":{m:?}");
+            }
+            None => s.push_str(",\"mean_stores_per_packet\":null"),
+        }
+        let _ = write!(
+            s,
+            ",\"unique_bytes\":{},\"replayed_bytes\":{},\"link_retrains\":{},\"sim_events\":{}}}",
+            self.unique_bytes, self.replayed_bytes, self.link_retrains, self.sim_events
+        );
+        s
     }
 
     /// Fraction of total time spent in the exposed communication tail —

@@ -48,4 +48,4 @@ mod export;
 pub use audit::{AuditCollector, AuditConfig, CreditLedger, Law, RunTotals, Violation, WireMath};
 pub use collect::{CaptureCollector, NullCollector, RingCollector, TraceCollector, TraceHandle};
 pub use event::{EventKind, Sample, TraceEvent};
-pub use export::{chrome_trace, time_series_csv};
+pub use export::{chrome_trace, time_series_csv, CHROME_TRACE_SCHEMA_VERSION};

@@ -8,11 +8,13 @@ use protocol::{fig2_sizes, FramingModel, PcieGen};
 use sim_engine::Table;
 use sim_engine::{SimTime, ThroughputReport, WallClock, WorkerPool};
 use system::{
-    audit_run, fault_sweep, run_suite_prepared, subheader_sweep, CreditConfig, FaultProfile,
-    FlowControlMode, Paradigm, PreparedWorkload, RunBudget, SystemConfig,
+    audit_run, fault_sweep, run_suite_prepared, scaling_curve, subheader_sweep, CreditConfig,
+    FaultProfile, FlowControlMode, Paradigm, PreparedWorkload, RunBudget, SystemConfig,
 };
 use telemetry::{EventKind, Law, Sample, TraceEvent, TraceHandle};
-use workloads::{suite, RunSpec, Workload};
+use workloads::{
+    suite, CollectiveTuning, MsgDist, RunSpec, ScalingMode, Workload, COLLECTIVE_REGISTRY,
+};
 
 use crate::args::{ArgError, Args};
 use crate::error::{CliError, CmdOut};
@@ -39,6 +41,17 @@ COMMANDS:
                    [--flow-control open|credited] [--jobs N]
                    [--intra-jobs N]
                    [--retries N] [--chaos RATE] [--run-budget SPEC]
+  collectives      AI-training collectives study: per-collective
+                   message-size crossover tables (FinePack vs bulk DMA
+                   vs plain stores) plus a weak-scaling curve over
+                   doubling GPU counts
+                   [--collective <name>|all] [--payload BYTES]
+                   [--msg-dist fixed:N|uniform:MIN:MAX|bimodal:FINE:BULK:PCT]
+                   [--gpus N] [--max-gpus N] [--pcie 4|5|6]
+                   [--iterations K] [--scale-down S] [--seed S]
+                   [--flow-control open|credited] [--jobs N]
+                   [--intra-jobs N] [--bench-out FILE]
+                   [--min-events-per-sec F]
   goodput          goodput-vs-size curve (Fig 2)
                    [--framing pcie|cxl|nvlink]
   sweep-subheader  Table II / Fig 12 sub-header sweep
@@ -108,6 +121,8 @@ COMMANDS:
   help             this text
 
 APPS: jacobi pagerank sssp als ct eqwp diffusion hit
+COLLECTIVES: ring-allreduce tree-allreduce alltoall halo2d broadcast
+  (accepted wherever --app is; tuned with --payload and --msg-dist)
 PARADIGMS: bulk-dma p2p-stores finepack write-combining gps infinite-bw
 
 FLOW CONTROL: `credited` (default) simulates the closed loop — finite
@@ -155,19 +170,47 @@ failed after retries, one-shot or daemon-served); 2 unrecoverable
     .to_string()
 }
 
-fn find_app(name: &str) -> Result<Box<dyn Workload>, ArgError> {
+/// Parses the collective knobs (`--payload`, `--msg-dist`) into a
+/// tuning, defaulting any knob the command line leaves out.
+fn tuning_from(args: &Args) -> Result<CollectiveTuning, ArgError> {
+    let mut tuning = CollectiveTuning::default();
+    tuning.payload_bytes = args.get_parsed("payload", tuning.payload_bytes, "payload bytes")?;
+    if let Some(d) = args.get("msg-dist") {
+        tuning.msg = MsgDist::parse(d).map_err(|_| ArgError::Invalid {
+            key: "msg-dist".into(),
+            value: d.to_string(),
+            expected: "fixed:N, uniform:MIN:MAX, or bimodal:FINE:BULK:PCT",
+        })?;
+    }
+    tuning.validate().map_err(|e| ArgError::Invalid {
+        key: "payload".into(),
+        value: e,
+        expected: "a valid collective tuning",
+    })?;
+    Ok(tuning)
+}
+
+/// Looks up an app by name across the suite and the collectives
+/// registry; collectives pick up `--payload`/`--msg-dist` from `args`.
+fn find_app(args: &Args, name: &str) -> Result<Box<dyn Workload>, ArgError> {
+    let tuning = tuning_from(args)?;
     suite()
         .into_iter()
         .find(|a| a.name() == name)
+        .or_else(|| workloads::collective(name, &tuning))
         .ok_or(ArgError::Invalid {
             key: "app".into(),
             value: format!("unknown app `{name}`"),
-            expected: "one of the suite names (see `help`)",
+            expected: "a suite or collective name (see `help`)",
         })
 }
 
 fn spec_from(args: &Args) -> Result<RunSpec, ArgError> {
-    let mut spec = RunSpec::paper(args.get_parsed("gpus", 4u8, "integer 1-64")?);
+    spec_from_gpus(args, 4)
+}
+
+fn spec_from_gpus(args: &Args, default_gpus: u8) -> Result<RunSpec, ArgError> {
+    let mut spec = RunSpec::paper(args.get_parsed("gpus", default_gpus, "integer 1-64")?);
     spec.iterations = args.get_parsed("iterations", spec.iterations, "positive integer")?;
     spec.scale_down = args.get_parsed("scale-down", spec.scale_down, "positive integer")?;
     spec.seed = args.get_parsed("seed", spec.seed, "integer")?;
@@ -417,6 +460,15 @@ fn job_request_from(args: &Args, kind: farm::JobKind) -> Result<farm::JobRequest
     match kind {
         farm::JobKind::Run => {
             req.app = Some(args.get_or("app", "pagerank").to_string());
+            req.payload = match args.get("payload") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| ArgError::Invalid {
+                    key: "payload".into(),
+                    value: v.to_string(),
+                    expected: "collective payload bytes",
+                })?),
+            };
+            req.msg_dist = args.get("msg-dist").map(str::to_string);
             req.ber = match args.get("ber") {
                 None => None,
                 Some(v) => Some(v.parse().map_err(|_| ArgError::Invalid {
@@ -479,6 +531,8 @@ fn budget_spec_from(args: &Args) -> Result<Option<farm::BudgetSpec>, ArgError> {
 pub(crate) fn run_app(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "app",
+        "payload",
+        "msg-dist",
         "gpus",
         "pcie",
         "iterations",
@@ -500,7 +554,11 @@ pub(crate) fn run_app(args: &Args) -> Result<String, CliError> {
         for (i, report) in out.reports_json.iter().enumerate() {
             doc.push_str("    ");
             doc.push_str(report);
-            doc.push_str(if i + 1 < out.reports_json.len() { ",\n" } else { "\n" });
+            doc.push_str(if i + 1 < out.reports_json.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         doc.push_str("  ]\n}\n");
         std::fs::write(path, doc).map_err(|e| CliError::io(path, e))?;
@@ -530,6 +588,8 @@ fn find_paradigm(name: &str) -> Result<Paradigm, ArgError> {
 pub(crate) fn faults(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "app",
+        "payload",
+        "msg-dist",
         "gpus",
         "paradigm",
         "iterations",
@@ -540,7 +600,7 @@ pub(crate) fn faults(args: &Args) -> Result<String, CliError> {
         "intra-jobs",
         "fault-profile",
     ])?;
-    let app = find_app(args.get_or("app", "pagerank"))?;
+    let app = find_app(args, args.get_or("app", "pagerank"))?;
     let spec = spec_from(args)?;
     let pool = pool_from(args)?;
     let paradigm = find_paradigm(args.get_or("paradigm", "finepack"))?;
@@ -635,6 +695,215 @@ pub(crate) fn suite_table(args: &Args) -> Result<CmdOut, CliError> {
     })
 }
 
+/// `collectives ...`: the AI-training collectives study — a fine-vs-bulk
+/// message-size crossover table per collective, then a weak-scaling
+/// curve over growing GPU counts. The report text never includes
+/// wall-clock numbers, so it stays byte-identical across
+/// `--jobs`/`--intra-jobs`; throughput goes to `--bench-out` JSON.
+pub(crate) fn collectives(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&[
+        "collective",
+        "payload",
+        "msg-dist",
+        "gpus",
+        "max-gpus",
+        "pcie",
+        "iterations",
+        "scale-down",
+        "seed",
+        "windows",
+        "flow-control",
+        "jobs",
+        "intra-jobs",
+        "bench-out",
+        "min-events-per-sec",
+    ])?;
+    // The crossover table at a fixed GPU count uses the paper's strong
+    // scaling (same semantics as `run`); the scaling section below
+    // switches to weak scaling, the data-parallel training regime.
+    let spec = spec_from_gpus(args, 8)?;
+    let cfg = system_from(args, &spec)?;
+    let pool = pool_from(args)?;
+    let tuning = tuning_from(args)?;
+    let max_gpus: u8 = args.get_parsed("max-gpus", 16u8, "integer 2-64")?;
+    if max_gpus < spec.num_gpus {
+        return Err(ArgError::Invalid {
+            key: "max-gpus".into(),
+            value: max_gpus.to_string(),
+            expected: "at least --gpus",
+        }
+        .into());
+    }
+    let names: Vec<&'static str> =
+        match args.get_or("collective", "all") {
+            "all" => COLLECTIVE_REGISTRY.iter().map(|(n, _)| *n).collect(),
+            name => {
+                let entry = COLLECTIVE_REGISTRY.iter().find(|(n, _)| *n == name).ok_or(
+                    ArgError::Invalid {
+                        key: "collective".into(),
+                        value: name.to_string(),
+                        expected: "a collective name or `all` (see `help`)",
+                    },
+                )?;
+                vec![entry.0]
+            }
+        };
+
+    let clock = WallClock::start();
+    let mut total_events = 0u64;
+    let mut out = String::new();
+    let paradigms = [Paradigm::BulkDma, Paradigm::P2pStores, Paradigm::FinePack];
+
+    // Crossover: the same collective under a ladder of message sizes,
+    // from FinePack's home turf (tens of bytes) to DMA's (tens of KB).
+    let ladder: Vec<MsgDist> = {
+        let mut l = vec![
+            MsgDist::Fixed(16),
+            MsgDist::Fixed(256),
+            MsgDist::Fixed(4096),
+            MsgDist::Fixed(65536),
+        ];
+        if !l.contains(&tuning.msg) {
+            l.push(tuning.msg);
+        }
+        l
+    };
+    for name in &names {
+        let apps: Vec<Box<dyn Workload>> = ladder
+            .iter()
+            .map(|m| {
+                workloads::collective(name, &CollectiveTuning { msg: *m, ..tuning })
+                    .expect("registry name")
+            })
+            .collect();
+        let prepared = system::prepare_apps(&apps, &cfg, &spec, &pool);
+        let res = run_suite_prepared(&prepared, &cfg, &paradigms, &pool);
+        total_events += res.sim_events;
+        let mut t = Table::new(
+            format!(
+                "{name}: message-size crossover on {} GPUs, {}B payload/GPU",
+                spec.num_gpus, tuning.payload_bytes
+            ),
+            &["msg-dist", "bulk-dma", "p2p-stores", "finepack", "best"],
+        );
+        for (m, row) in ladder.iter().zip(&res.rows) {
+            let cell = |p| {
+                row.speedup(p)
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            let best = row
+                .speedups
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(p, _)| p.to_string())
+                .unwrap_or_default();
+            t.row(&[
+                m.to_string(),
+                cell(Paradigm::BulkDma),
+                cell(Paradigm::P2pStores),
+                cell(Paradigm::FinePack),
+                best,
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // Weak scaling: GPU counts double from 2 up to --max-gpus.
+    let mut counts = Vec::new();
+    let mut c = 2u8;
+    while c <= max_gpus {
+        counts.push(c);
+        if c > u8::MAX / 2 {
+            break;
+        }
+        c *= 2;
+    }
+    if counts.last() != Some(&max_gpus) {
+        counts.push(max_gpus);
+    }
+    let apps: Vec<Box<dyn Workload>> = names
+        .iter()
+        .map(|n| workloads::collective(n, &tuning).expect("registry name"))
+        .collect();
+    // Weak scaling: per-GPU work stays constant as the cluster grows —
+    // the data-parallel training regime the collectives model.
+    let mut weak = spec;
+    weak.scaling = ScalingMode::Weak;
+    let make_cfg = |n: u8| {
+        let mut s = weak;
+        s.num_gpus = n;
+        system_from(args, &s).expect("flags validated on the base spec")
+    };
+    let curve = scaling_curve(
+        &apps,
+        &weak,
+        &counts,
+        &make_cfg,
+        &[Paradigm::BulkDma, Paradigm::FinePack],
+        &pool,
+    );
+    let mut t = Table::new(
+        format!(
+            "weak scaling to {max_gpus} GPUs ({}B payload/GPU, {})",
+            tuning.payload_bytes, tuning.msg
+        ),
+        &["collective", "gpus", "bulk-dma", "finepack", "fp/dma"],
+    );
+    for (i, name) in names.iter().enumerate() {
+        for point in &curve {
+            let row = &point.rows[i];
+            let dma = row.speedup(Paradigm::BulkDma);
+            let fp = row.speedup(Paradigm::FinePack);
+            let cell = |v: Option<f64>| v.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "-".into());
+            let ratio = match (fp, dma) {
+                (Some(f), Some(d)) if d > 0.0 => format!("{:.2}", f / d),
+                _ => "-".into(),
+            };
+            t.row(&[
+                (*name).to_string(),
+                point.num_gpus.to_string(),
+                cell(dma),
+                cell(fp),
+                ratio,
+            ]);
+        }
+    }
+    for point in &curve {
+        total_events += point.sim_events;
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(out, "total sim events: {total_events}");
+
+    let wall = clock.elapsed().as_secs_f64();
+    let eps = total_events as f64 / wall.max(f64::MIN_POSITIVE);
+    if let Some(path) = args.get("bench-out") {
+        let json = format!(
+            "{{\n  \"bench\": \"collectives\",\n  \"schema_version\": 1,\n  \
+             \"gpus\": {},\n  \"max_gpus\": {},\n  \"payload_bytes\": {},\n  \
+             \"msg_dist\": \"{}\",\n  \"collectives\": {},\n  \"sim_events\": {},\n  \
+             \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.1}\n}}\n",
+            spec.num_gpus,
+            max_gpus,
+            tuning.payload_bytes,
+            tuning.msg,
+            names.len(),
+            total_events,
+            wall,
+            eps,
+        );
+        std::fs::write(path, json).map_err(|e| CliError::io(path, e))?;
+    }
+    let floor: f64 = args.get_parsed("min-events-per-sec", 0.0f64, "events/s floor")?;
+    if floor > 0.0 && eps < floor {
+        return Err(CliError::Failed(format!(
+            "collectives throughput {eps:.0} events/s is below the floor {floor:.0}"
+        )));
+    }
+    Ok(out)
+}
+
 /// The default farm socket path.
 const DEFAULT_SOCKET: &str = "finepack-farm.sock";
 
@@ -680,6 +949,8 @@ pub(crate) fn submit(args: &Args) -> Result<CmdOut, CliError> {
         "socket",
         "kind",
         "app",
+        "payload",
+        "msg-dist",
         "gpus",
         "pcie",
         "iterations",
@@ -775,12 +1046,21 @@ pub(crate) fn version() -> String {
 
 /// `sweep-subheader ...`
 pub(crate) fn sweep_subheader(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["app", "gpus", "scale-down", "iterations", "seed", "jobs"])?;
+    args.expect_only(&[
+        "app",
+        "payload",
+        "msg-dist",
+        "gpus",
+        "scale-down",
+        "iterations",
+        "seed",
+        "jobs",
+    ])?;
     let spec = spec_from(args)?;
     let cfg = SystemConfig::paper(spec.num_gpus);
     let pool = pool_from(args)?;
     let apps: Vec<Box<dyn Workload>> = match args.get("app") {
-        Some(name) => vec![find_app(name)?],
+        Some(name) => vec![find_app(args, name)?],
         None => suite(),
     };
     let sweep = subheader_sweep(&apps, &cfg, &spec, &pool);
@@ -834,6 +1114,8 @@ pub(crate) fn area(args: &Args) -> Result<String, CliError> {
 pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "app",
+        "payload",
+        "msg-dist",
         "paradigm",
         "gpus",
         "pcie",
@@ -851,7 +1133,7 @@ pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
         "sample-interval",
         "capacity",
     ])?;
-    let app = find_app(args.get_or("app", "jacobi"))?;
+    let app = find_app(args, args.get_or("app", "jacobi"))?;
     let spec = spec_from(args)?;
     let cfg = system_from(args, &spec)?;
     let paradigm = find_paradigm(args.get_or("paradigm", "finepack"))?;
@@ -967,6 +1249,8 @@ pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
 pub(crate) fn audit(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "app",
+        "payload",
+        "msg-dist",
         "paradigm",
         "gpus",
         "iterations",
@@ -974,7 +1258,7 @@ pub(crate) fn audit(args: &Args) -> Result<String, CliError> {
         "seed",
         "intra-jobs",
     ])?;
-    let app = find_app(args.get_or("app", "jacobi"))?;
+    let app = find_app(args, args.get_or("app", "jacobi"))?;
     let spec = spec_from(args)?;
     let intra_jobs = intra_jobs_from(args, 1)?;
     let paradigms: Vec<Paradigm> = match args.get("paradigm") {
@@ -1180,13 +1464,8 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
     // Warm-up passes pay first-touch costs (page faults, lazy allocator
     // growth) so no measured rep does; then `reps` measured passes give
     // a mean and a dispersion instead of a single noisy sample.
-    let (serial_reps, serial_rows, serial_stable) = measured_reps(
-        &prepared,
-        &cfg,
-        &WorkerPool::serial(),
-        warmup,
-        reps,
-    );
+    let (serial_reps, serial_rows, serial_stable) =
+        measured_reps(&prepared, &cfg, &WorkerPool::serial(), warmup, reps);
     // Same warmup for the pool: its first-touch costs (thread spawn,
     // per-worker allocator growth) must not bias the speedup ratio.
     let (parallel_reps, parallel_rows, parallel_stable) =
@@ -1381,8 +1660,17 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
 
 /// `record --app <name> --out <dir> ...`
 pub(crate) fn record(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["app", "out", "gpus", "iterations", "scale-down", "seed"])?;
-    let app = find_app(args.get_or("app", "pagerank"))?;
+    args.expect_only(&[
+        "app",
+        "payload",
+        "msg-dist",
+        "out",
+        "gpus",
+        "iterations",
+        "scale-down",
+        "seed",
+    ])?;
+    let app = find_app(args, args.get_or("app", "pagerank"))?;
     let out_dir = args
         .get("out")
         .ok_or_else(|| CliError::Usage("record needs --out <dir>".into()))?;

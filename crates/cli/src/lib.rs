@@ -64,6 +64,7 @@ where
         Some("goodput") => commands::goodput(&args).map(CmdOut::clean),
         Some("run") => commands::run_app(&args).map(CmdOut::clean),
         Some("suite") => commands::suite_table(&args),
+        Some("collectives") => commands::collectives(&args).map(CmdOut::clean),
         Some("serve") => commands::serve(&args).map(CmdOut::clean),
         Some("submit") => commands::submit(&args),
         Some("status") => commands::farm_status(&args).map(CmdOut::clean),

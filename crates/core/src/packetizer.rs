@@ -41,10 +41,7 @@ pub struct PacketLayout {
 impl PacketLayout {
     /// Payload bytes of the outer transaction (sub-headers + data).
     pub fn payload_bytes(&self, subheader: SubheaderFormat) -> u32 {
-        self.chunks
-            .iter()
-            .map(|c| subheader.bytes() + c.len)
-            .sum()
+        self.chunks.iter().map(|c| subheader.bytes() + c.len).sum()
     }
 
     /// Data bytes carried (excluding sub-headers).
@@ -96,8 +93,7 @@ pub fn packetize(batch: &FlushedBatch, cfg: &FinePackConfig, src: GpuId) -> Vec<
                 .into_iter()
                 .map(|c| SubPacket {
                     offset: c.offset,
-                    data: batch.entries[c.entry_idx].data
-                        [c.data_off..c.data_off + c.len as usize]
+                    data: batch.entries[c.entry_idx].data[c.data_off..c.data_off + c.len as usize]
                         .to_vec(),
                 })
                 .collect(),

@@ -189,7 +189,10 @@ mod tests {
         let mut cache = ResultCache::new(2);
         cache.insert(entry(1));
         cache.stamp_audit(entry(1).fingerprint, true);
-        assert_eq!(cache.lookup(entry(1).fingerprint).unwrap().audit_clean, Some(true));
+        assert_eq!(
+            cache.lookup(entry(1).fingerprint).unwrap().audit_clean,
+            Some(true)
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl Connection {
             path: socket.to_string(),
             detail: e.to_string(),
         })?;
-        let reader = BufReader::new(stream.try_clone().map_err(|e| FarmError::Io(e.to_string()))?);
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| FarmError::Io(e.to_string()))?,
+        );
         Ok(Connection {
             writer: stream,
             reader,
@@ -164,8 +168,14 @@ pub fn submit(
                 return Ok(SubmitOutcome {
                     job: seq,
                     fingerprint,
-                    cache_hit: event.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
-                    partial: event.get("partial").and_then(Json::as_bool).unwrap_or(false),
+                    cache_hit: event
+                        .get("cache_hit")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    partial: event
+                        .get("partial")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
                     audit_clean: event.get("audit_clean").and_then(Json::as_bool),
                     sim_events: num_field(&event, "sim_events")?,
                     hits: num_field(&event, "hits")?,

@@ -59,7 +59,12 @@ mod tests {
             path: "/run/farm.sock".into(),
             detail: "permission denied".into(),
         };
-        assert_eq!(e.to_string(), "cannot bind /run/farm.sock: permission denied");
-        assert!(FarmError::Malformed("x".into()).to_string().contains("malformed"));
+        assert_eq!(
+            e.to_string(),
+            "cannot bind /run/farm.sock: permission denied"
+        );
+        assert!(FarmError::Malformed("x".into())
+            .to_string()
+            .contains("malformed"));
     }
 }

@@ -42,9 +42,23 @@ pub struct JobOutput {
 ///
 /// [`FarmError::Invalid`] when the name matches no suite app.
 pub fn find_app(name: &str) -> Result<Box<dyn Workload>, FarmError> {
+    find_app_tuned(name, &workloads::CollectiveTuning::default())
+}
+
+/// Looks up an app by name across the suite and the collectives
+/// registry, building collectives with the given tuning.
+///
+/// # Errors
+///
+/// [`FarmError::Invalid`] when the name matches neither registry.
+pub fn find_app_tuned(
+    name: &str,
+    tuning: &workloads::CollectiveTuning,
+) -> Result<Box<dyn Workload>, FarmError> {
     suite()
         .into_iter()
         .find(|a| a.name() == name)
+        .or_else(|| workloads::collective(name, tuning))
         .ok_or_else(|| FarmError::Invalid(format!("unknown app `{name}`")))
 }
 
@@ -89,7 +103,8 @@ pub fn execute_job(
     let cfg = cfg.with_intra_jobs(intra_jobs);
     match req.kind {
         JobKind::Run => {
-            let app = find_app(req.app_name())?;
+            let tuning = req.collective_tuning().map_err(FarmError::Invalid)?;
+            let app = find_app_tuned(req.app_name(), &tuning)?;
             Ok(run_table(app.as_ref(), &spec, &cfg))
         }
         JobKind::Suite => {
@@ -253,7 +268,10 @@ pub fn audit_job(req: &JobRequest) -> Result<bool, FarmError> {
     req.validate()?;
     let (spec, cfg) = req.build();
     let apps: Vec<Box<dyn Workload>> = match req.kind {
-        JobKind::Run => vec![find_app(req.app_name())?],
+        JobKind::Run => {
+            let tuning = req.collective_tuning().map_err(FarmError::Invalid)?;
+            vec![find_app_tuned(req.app_name(), &tuning)?]
+        }
         JobKind::Suite => suite(),
     };
     let mut clean = true;

@@ -8,7 +8,7 @@ use system::{
     CreditConfig, FaultProfile, FingerprintBuilder, FlowControlMode, Paradigm, RunBudget,
     SystemConfig,
 };
-use workloads::RunSpec;
+use workloads::{CollectiveTuning, MsgDist, RunSpec, COLLECTIVE_REGISTRY};
 
 use crate::error::FarmError;
 use crate::json::Json;
@@ -97,6 +97,13 @@ pub struct JobRequest {
     /// `true` = open-loop flow control; `false` = the paper's credited
     /// pool (the default).
     pub open_loop: bool,
+    /// Collective payload bytes per GPU (`run` kind, collective apps
+    /// only; default [`CollectiveTuning::default`]'s).
+    pub payload: Option<u64>,
+    /// Collective message-size distribution in canonical string form
+    /// (`fixed:N` / `uniform:MIN:MAX` / `bimodal:FINE:BULK:PCT`;
+    /// `run` kind, collective apps only).
+    pub msg_dist: Option<String>,
     /// Optional link bit-error rate (`run` kind only).
     pub ber: Option<f64>,
     /// Optional fault profile name (`run` kind only).
@@ -127,6 +134,8 @@ impl JobRequest {
             seed: spec.seed,
             windows: 1,
             open_loop: false,
+            payload: None,
+            msg_dist: None,
             ber: None,
             fault_profile: None,
             retries: 0,
@@ -139,6 +148,34 @@ impl JobRequest {
     /// The app name this job runs (`run` kind), after defaulting.
     pub fn app_name(&self) -> &str {
         self.app.as_deref().unwrap_or("pagerank")
+    }
+
+    /// Whether this job's app is one of the collective workloads.
+    pub fn is_collective(&self) -> bool {
+        COLLECTIVE_REGISTRY
+            .iter()
+            .any(|(n, _)| *n == self.app_name())
+    }
+
+    /// The resolved collective tuning: CLI defaults overridden by the
+    /// request's `payload` / `msg_dist` knobs. The fingerprint absorbs
+    /// this *resolved* form, so a sparse request and an
+    /// explicit-defaults request share one cache slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unparseable distribution
+    /// or an out-of-range payload.
+    pub fn collective_tuning(&self) -> Result<CollectiveTuning, String> {
+        let mut tuning = CollectiveTuning::default();
+        if let Some(p) = self.payload {
+            tuning.payload_bytes = p;
+        }
+        if let Some(d) = &self.msg_dist {
+            tuning.msg = MsgDist::parse(d)?;
+        }
+        tuning.validate()?;
+        Ok(tuning)
     }
 
     /// Checks every field range so [`JobRequest::build`] can never
@@ -188,7 +225,11 @@ impl JobRequest {
             if b.is_empty() {
                 return invalid("budget must set events, sim_ms, or stall".into());
             }
-            for (name, v) in [("events", b.events), ("sim_ms", b.sim_ms), ("stall", b.stall)] {
+            for (name, v) in [
+                ("events", b.events),
+                ("sim_ms", b.sim_ms),
+                ("stall", b.stall),
+            ] {
                 if v == Some(0) {
                     return invalid(format!("budget.{name} must be positive"));
                 }
@@ -197,7 +238,18 @@ impl JobRequest {
         match self.kind {
             JobKind::Run => {
                 if self.retries != 0 || self.chaos.is_some() {
-                    return invalid("run jobs take no retries/chaos (supervision is suite-only)".into());
+                    return invalid(
+                        "run jobs take no retries/chaos (supervision is suite-only)".into(),
+                    );
+                }
+                if (self.payload.is_some() || self.msg_dist.is_some()) && !self.is_collective() {
+                    return invalid(format!(
+                        "payload/msg_dist apply to collective apps only, and `{}` is not one",
+                        self.app_name()
+                    ));
+                }
+                if let Err(e) = self.collective_tuning() {
+                    return invalid(e);
                 }
             }
             JobKind::Suite => {
@@ -206,6 +258,11 @@ impl JobRequest {
                 }
                 if self.ber.is_some() || self.fault_profile.is_some() {
                     return invalid("suite jobs take no ber/fault_profile".into());
+                }
+                if self.payload.is_some() || self.msg_dist.is_some() {
+                    return invalid(
+                        "suite jobs take no payload/msg_dist (collectives are run-only)".into(),
+                    );
                 }
             }
         }
@@ -271,7 +328,7 @@ impl JobRequest {
             JobKind::Run => self.app_name(),
             JobKind::Suite => "<suite>",
         };
-        FingerprintBuilder::new()
+        let mut builder = FingerprintBuilder::new()
             .field("build", &build_fingerprint())
             .u64("wire", u64::from(WIRE_SCHEMA_VERSION))
             .field("kind", self.kind.as_str())
@@ -279,8 +336,17 @@ impl JobRequest {
             .workload(app, &spec)
             .paradigms(self.paradigms())
             .u64("retries", u64::from(self.retries))
-            .field("chaos", &format!("{:?}", self.chaos))
-            .finish()
+            .field("chaos", &format!("{:?}", self.chaos));
+        if self.kind == JobKind::Run && self.is_collective() {
+            // The resolved (not raw) tuning, so sparse and
+            // explicit-default requests share a slot while any real
+            // parameter change misses the cache.
+            let tuning = self.collective_tuning().expect("validated");
+            builder = builder
+                .u64("payload", tuning.payload_bytes)
+                .field("msg_dist", &tuning.msg.to_string());
+        }
+        builder.finish()
     }
 
     /// Serializes the request as a JSON object (all fields explicit).
@@ -319,6 +385,14 @@ impl JobRequest {
             (
                 "flow_control".into(),
                 Json::Str(if self.open_loop { "open" } else { "credited" }.into()),
+            ),
+            ("payload".into(), opt_u64(self.payload)),
+            (
+                "msg_dist".into(),
+                match &self.msg_dist {
+                    Some(d) => Json::Str(d.clone()),
+                    None => Json::Null,
+                },
             ),
             ("ber".into(), opt_f64(self.ber)),
             (
@@ -380,6 +454,16 @@ impl JobRequest {
                 "scale_down" => req.scale_down = num(key, val)? as u32,
                 "seed" => req.seed = num(key, val)?,
                 "windows" => req.windows = num(key, val)? as u32,
+                "payload" => req.payload = Some(num(key, val)?),
+                "msg_dist" => {
+                    req.msg_dist = Some(
+                        val.as_str()
+                            .ok_or_else(|| {
+                                FarmError::Malformed("job.msg_dist must be a string".into())
+                            })?
+                            .to_string(),
+                    );
+                }
                 "flow_control" => {
                     req.open_loop = match val.as_str() {
                         Some("open") => true,
@@ -392,9 +476,10 @@ impl JobRequest {
                     };
                 }
                 "ber" => {
-                    req.ber = Some(val.as_num::<f64>().ok_or_else(|| {
-                        FarmError::Malformed("job.ber must be a number".into())
-                    })?);
+                    req.ber =
+                        Some(val.as_num::<f64>().ok_or_else(|| {
+                            FarmError::Malformed("job.ber must be a number".into())
+                        })?);
                 }
                 "fault_profile" => {
                     req.fault_profile = Some(
@@ -434,13 +519,11 @@ impl JobRequest {
                     req.budget = Some(b);
                 }
                 "audit" => {
-                    req.audit = val.as_bool().ok_or_else(|| {
-                        FarmError::Malformed("job.audit must be a bool".into())
-                    })?;
+                    req.audit = val
+                        .as_bool()
+                        .ok_or_else(|| FarmError::Malformed("job.audit must be a bool".into()))?;
                 }
-                other => {
-                    return Err(FarmError::Malformed(format!("unknown job field `{other}`")))
-                }
+                other => return Err(FarmError::Malformed(format!("unknown job field `{other}`"))),
             }
         }
         req.validate()?;
@@ -498,6 +581,61 @@ mod tests {
     use crate::json::parse;
 
     #[test]
+    fn collective_requests_roundtrip_and_validate() {
+        let mut req = JobRequest::new(JobKind::Run);
+        req.app = Some("ring-allreduce".into());
+        req.payload = Some(1 << 20);
+        req.msg_dist = Some("fixed:256".into());
+        req.validate().unwrap();
+        let back = JobRequest::from_json(&parse(&req.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        // Collective knobs are rejected on non-collective apps and on
+        // suite jobs, and malformed distributions never reach build().
+        let mut wrong_app = JobRequest::new(JobKind::Run);
+        wrong_app.app = Some("jacobi".into());
+        wrong_app.payload = Some(1 << 20);
+        assert!(wrong_app.validate().is_err());
+        let mut suite = JobRequest::new(JobKind::Suite);
+        suite.payload = Some(1 << 20);
+        assert!(suite.validate().is_err());
+        let mut bad_dist = JobRequest::new(JobKind::Run);
+        bad_dist.app = Some("alltoall".into());
+        bad_dist.msg_dist = Some("poisson:9".into());
+        assert!(bad_dist.validate().is_err());
+        let mut bad_payload = JobRequest::new(JobKind::Run);
+        bad_payload.app = Some("alltoall".into());
+        bad_payload.payload = Some(7);
+        assert!(bad_payload.validate().is_err());
+    }
+
+    #[test]
+    fn collective_parameters_reach_the_fingerprint() {
+        let mut base = JobRequest::new(JobKind::Run);
+        base.app = Some("ring-allreduce".into());
+
+        // Sparse and explicit-default forms share one cache slot.
+        let tuning = CollectiveTuning::default();
+        let mut explicit = base.clone();
+        explicit.payload = Some(tuning.payload_bytes);
+        explicit.msg_dist = Some(tuning.msg.to_string());
+        assert_eq!(base.fingerprint(), explicit.fingerprint());
+
+        // Perturbing either knob must miss the cache.
+        let mut payload = base.clone();
+        payload.payload = Some(tuning.payload_bytes / 2);
+        assert_ne!(base.fingerprint(), payload.fingerprint());
+        let mut dist = base.clone();
+        dist.msg_dist = Some("fixed:64".into());
+        assert_ne!(base.fingerprint(), dist.fingerprint());
+
+        // Different collectives never share a slot.
+        let mut other = base.clone();
+        other.app = Some("tree-allreduce".into());
+        assert_ne!(base.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
     fn json_roundtrip_preserves_every_field() {
         let mut req = JobRequest::new(JobKind::Run);
         req.app = Some("jacobi".into());
@@ -534,7 +672,10 @@ mod tests {
         assert_eq!(req.seed, 0xF14E_9ACC);
         assert!(!req.open_loop);
         // A sparse and an explicit-defaults form fingerprint the same.
-        assert_eq!(req.fingerprint(), JobRequest::new(JobKind::Suite).fingerprint());
+        assert_eq!(
+            req.fingerprint(),
+            JobRequest::new(JobKind::Suite).fingerprint()
+        );
     }
 
     #[test]
@@ -594,10 +735,22 @@ mod tests {
     #[test]
     fn fault_profile_semantics_match_the_cli() {
         assert!(fault_profile_for(None, None).unwrap().is_none());
-        assert_eq!(fault_profile_for(Some(1e-8), None).unwrap().unwrap().ber, 1e-8);
+        assert_eq!(
+            fault_profile_for(Some(1e-8), None).unwrap().unwrap().ber,
+            1e-8
+        );
         // Named profiles default their BER by name.
-        assert_eq!(fault_profile_for(None, Some("noisy")).unwrap().unwrap().ber, 1e-7);
-        assert_eq!(fault_profile_for(None, Some("outage")).unwrap().unwrap().ber, 0.0);
+        assert_eq!(
+            fault_profile_for(None, Some("noisy")).unwrap().unwrap().ber,
+            1e-7
+        );
+        assert_eq!(
+            fault_profile_for(None, Some("outage"))
+                .unwrap()
+                .unwrap()
+                .ber,
+            0.0
+        );
         assert!(fault_profile_for(None, Some("gremlins")).is_err());
         assert!(fault_profile_for(Some(2.0), None).is_err());
     }

@@ -172,11 +172,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected `{}` at byte {}",
-                char::from(b),
-                self.pos
-            ))
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
         }
     }
 
@@ -198,7 +194,11 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(c) => Err(format!("unexpected `{}` at byte {}", char::from(c), self.pos)),
+            Some(c) => Err(format!(
+                "unexpected `{}` at byte {}",
+                char::from(c),
+                self.pos
+            )),
             None => Err("unexpected end of input".into()),
         }
     }
@@ -261,8 +261,8 @@ impl Parser<'_> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or("truncated \\u escape")?;
-                            let hex =
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
                             let code =
                                 u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
                             // Surrogate pairs are not needed by this
@@ -371,17 +371,24 @@ mod tests {
 
     #[test]
     fn unicode_escapes_parse() {
-        assert_eq!(
-            parse("\"\\u0041\\u00e9\"").unwrap(),
-            Json::Str("Aé".into())
-        );
+        assert_eq!(parse("\"\\u0041\\u00e9\"").unwrap(), Json::Str("Aé".into()));
     }
 
     #[test]
     fn malformed_inputs_are_rejected_not_panicked() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "tru", "\"unterminated", "{}x", "01x", "nul", "--1",
-            "{\"a\":}", "[,]",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "\"unterminated",
+            "{}x",
+            "01x",
+            "nul",
+            "--1",
+            "{\"a\":}",
+            "[,]",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -39,7 +39,9 @@ pub mod version;
 pub use cache::{CacheEntry, CacheStats, ResultCache};
 pub use client::{shutdown, status, submit, StatusReport, SubmitOutcome};
 pub use error::FarmError;
-pub use exec::{audit_job, available_parallelism, execute_job, find_app, single_core_warning, JobOutput};
+pub use exec::{
+    audit_job, available_parallelism, execute_job, find_app, single_core_warning, JobOutput,
+};
 pub use job::{fault_profile_for, BudgetSpec, JobKind, JobRequest, RUN_PARADIGMS};
 pub use server::{ServeConfig, Server};
 pub use version::{build_fingerprint, version_line, CRATE_VERSION, WIRE_SCHEMA_VERSION};

@@ -251,7 +251,13 @@ impl Server {
             // Served from cache: zero simulation events executed.
             let line = done_response(seq, true, entry);
             self.record(seq, EventKind::JobCacheHit { job: seq });
-            self.record(seq, EventKind::JobDone { job: seq, cache_hit: true });
+            self.record(
+                seq,
+                EventKind::JobDone {
+                    job: seq,
+                    cache_hit: true,
+                },
+            );
             return send_line(writer, &line);
         }
 
@@ -278,7 +284,13 @@ impl Server {
         };
         let line = done_response(seq, false, &entry);
         self.cache.insert(entry);
-        self.record(seq, EventKind::JobDone { job: seq, cache_hit: false });
+        self.record(
+            seq,
+            EventKind::JobDone {
+                job: seq,
+                cache_hit: false,
+            },
+        );
         send_line(writer, &line)
     }
 
@@ -289,7 +301,10 @@ impl Server {
             vec![
                 ("version".into(), Json::Str(CRATE_VERSION.into())),
                 ("build".into(), Json::Str(build_fingerprint())),
-                ("jobs_submitted".into(), Json::num(self.stats.jobs_submitted)),
+                (
+                    "jobs_submitted".into(),
+                    Json::num(self.stats.jobs_submitted),
+                ),
                 (
                     "sim_events_total".into(),
                     Json::num(self.stats.sim_events_total),

@@ -8,9 +8,12 @@ use farm::{JobKind, JobRequest, ServeConfig, Server};
 
 fn sock_path(tag: &str) -> String {
     let dir = std::env::temp_dir();
-    dir.join(format!("finepack-farm-test-{}-{tag}.sock", std::process::id()))
-        .to_string_lossy()
-        .into_owned()
+    dir.join(format!(
+        "finepack-farm-test-{}-{tag}.sock",
+        std::process::id()
+    ))
+    .to_string_lossy()
+    .into_owned()
 }
 
 fn spawn_daemon(socket: &str, cache_entries: usize) -> std::thread::JoinHandle<()> {

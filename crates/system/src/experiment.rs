@@ -267,6 +267,12 @@ pub fn dma_plan(app: &dyn Workload, spec: &RunSpec) -> DmaPlan {
                 .map(GpuId::new)
                 .filter(|d| *d != src)
                 .collect(),
+            CommPattern::Ring => vec![workloads::collectives::ring_next(src, spec.num_gpus)],
+            CommPattern::Grid2d => workloads::collectives::grid_neighbors(src, spec.num_gpus),
+            CommPattern::Tree => workloads::collectives::tree_parent(src)
+                .into_iter()
+                .chain(workloads::collectives::tree_children(src, spec.num_gpus))
+                .collect(),
         };
         // For halo patterns the knob names an interior GPU's outbound
         // total (two boundaries); each leg carries one boundary's worth.
@@ -486,6 +492,50 @@ pub fn run_suite_prepared(
         suite.sim_time += sim_time;
     }
     suite
+}
+
+/// One GPU-count point of a scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// GPUs at this point.
+    pub num_gpus: u8,
+    /// Per-app speedup rows at this count, in input order.
+    pub rows: Vec<SpeedupRow>,
+    /// Discrete events processed across the point's runs.
+    pub sim_events: u64,
+    /// Simulated time covered across the point's runs.
+    pub sim_time: SimTime,
+}
+
+/// Sweeps the given apps across GPU counts — the weak-scaling curves of
+/// the collectives study, or strong-scaling curves when `base_spec`
+/// says so. `make_cfg` maps each GPU count to its system configuration
+/// (the topology grows with the cluster). Each point goes through the
+/// prepared path, so rows are pool-invariant and byte-stable.
+pub fn scaling_curve(
+    apps: &[Box<dyn Workload>],
+    base_spec: &RunSpec,
+    gpu_counts: &[u8],
+    make_cfg: &dyn Fn(u8) -> SystemConfig,
+    paradigms: &[Paradigm],
+    pool: &WorkerPool,
+) -> Vec<ScalingPoint> {
+    gpu_counts
+        .iter()
+        .map(|&n| {
+            let mut spec = *base_spec;
+            spec.num_gpus = n;
+            let cfg = make_cfg(n);
+            let prepared = prepare_apps(apps, &cfg, &spec, pool);
+            let res = run_suite_prepared(&prepared, &cfg, paradigms, pool);
+            ScalingPoint {
+                num_gpus: n,
+                rows: res.rows,
+                sim_events: res.sim_events,
+                sim_time: res.sim_time,
+            }
+        })
+        .collect()
 }
 
 /// Converts a runner error into the supervised harness's failure
@@ -829,6 +879,71 @@ mod tests {
         assert_eq!(halo.len(), 6);
         let a2a = dma_plan(&Pagerank::default(), &spec); // neighbors too
         assert_eq!(a2a.len(), 6);
+    }
+
+    #[test]
+    fn dma_plan_covers_collective_topologies() {
+        use workloads::{Halo2d, RingAllReduce, TreeAllReduce};
+        let spec = RunSpec::paper(4);
+        // Ring: exactly one leg per GPU, to its successor, carrying the
+        // app's full per-GPU DMA budget.
+        let ring_app = RingAllReduce::default();
+        let ring = dma_plan(&ring_app, &spec);
+        assert_eq!(ring.len(), 4);
+        assert!(ring.contains(&(
+            GpuId::new(3),
+            GpuId::new(0),
+            ring_app.dma_bytes_per_gpu(&spec)
+        )));
+        // 2x2 grid: every GPU has two neighbors.
+        assert_eq!(dma_plan(&Halo2d::default(), &spec).len(), 8);
+        // Binomial tree over 4 GPUs: 3 edges, each walked twice
+        // (parent link + child link per GPU) = 6 legs.
+        assert_eq!(dma_plan(&TreeAllReduce::default(), &spec).len(), 6);
+    }
+
+    #[test]
+    fn scaling_curve_is_pool_invariant_and_ordered() {
+        use workloads::collectives::{CollectiveTuning, MsgDist};
+        use workloads::{RingAllReduce, ScalingMode};
+        let tuning = CollectiveTuning {
+            payload_bytes: 1 << 20,
+            msg: MsgDist::Fixed(512),
+            compute_wall_us: 8.0,
+        };
+        let apps: Vec<Box<dyn Workload>> = vec![Box::new(RingAllReduce::new(tuning))];
+        let mut spec = RunSpec::tiny();
+        spec.scaling = ScalingMode::Weak;
+        let counts = [2u8, 4, 8];
+        let paradigms = [Paradigm::FinePack, Paradigm::BulkDma];
+        let make_cfg = SystemConfig::paper;
+        let serial = scaling_curve(
+            &apps,
+            &spec,
+            &counts,
+            &make_cfg,
+            &paradigms,
+            &WorkerPool::serial(),
+        );
+        let par = scaling_curve(
+            &apps,
+            &spec,
+            &counts,
+            &make_cfg,
+            &paradigms,
+            &WorkerPool::new(4),
+        );
+        assert_eq!(serial.len(), 3);
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.num_gpus, b.num_gpus);
+            assert_eq!(a.sim_events, b.sim_events);
+            for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(ra.speedups, rb.speedups);
+            }
+        }
+        // Weak scaling to more GPUs means more aggregate traffic: the
+        // curve's simulated event count must grow monotonically.
+        assert!(serial[2].sim_events > serial[1].sim_events);
     }
 
     #[test]

@@ -46,10 +46,9 @@ pub use budget::{BudgetKind, BudgetTrip, RunBudget, RunnerDiag};
 pub use config::{CreditConfig, FlowControlMode, SystemConfig};
 pub use experiment::{
     bandwidth_sweep, dma_plan, fault_sweep, geomean_speedup, prepare_apps, run_suite,
-    run_suite_prepared, run_suite_supervised, single_gpu_time, speedup_row, speedup_row_prepared,
-    subheader_sweep,
-    FaultSweepPoint, PreparedApp, PreparedWorkload, SpeedupRow, SuitePoint, SuiteResult,
-    SupervisedSuite, Supervision,
+    run_suite_prepared, run_suite_supervised, scaling_curve, single_gpu_time, speedup_row,
+    speedup_row_prepared, subheader_sweep, FaultSweepPoint, PreparedApp, PreparedWorkload,
+    ScalingPoint, SpeedupRow, SuitePoint, SuiteResult, SupervisedSuite, Supervision,
 };
 pub use fault::{FabricFault, FaultProfile, Outage, RunError, RunnerError};
 pub use fingerprint::{CanonicalBytes, ConfigFingerprint, FingerprintBuilder};

@@ -385,7 +385,8 @@ mod tests {
         let json = chrome_trace(&events, &[]);
         assert_balanced_json(&json);
         assert!(json.contains("farm (serving)"));
-        assert!(json.contains("\"name\":\"job-submitted\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":5"));
+        assert!(json
+            .contains("\"name\":\"job-submitted\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":5"));
         assert!(json.contains("\"args\":{\"job\":7,\"cache_hit\":false}"));
         assert!(json.contains("\"name\":\"job-cache-hit\""));
     }

@@ -117,9 +117,12 @@ mod tests {
         );
         let run = gpu.execute_kernel(&trace);
         // 16B rows; occasional adjacent rows merge to 32B+.
-        let mean = run.stats.mean_remote_size().unwrap();
+        let mean = run
+            .stats
+            .mean_remote_size()
+            .expect("a 2-GPU ALS run emits remote stores");
         assert!((14.0..40.0).contains(&mean), "mean={mean}");
-        assert!(run.stats.fraction_at_most(8).unwrap() < 0.05);
+        assert!(run.stats.fraction_at_most(8).unwrap_or(0.0) < 0.05);
     }
 
     #[test]

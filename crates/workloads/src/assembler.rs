@@ -18,7 +18,10 @@ pub(crate) fn interleave(
 ) -> KernelTrace {
     let mut trace = KernelTrace::new(name);
     let n_chunks = MIN_COMPUTE_CHUNKS.max(stores.len());
-    let chunk = (total_compute_cycles / n_chunks as u64).max(1) as u32;
+    // Clamp rather than truncate: a chunk capped at u32::MAX is lossless
+    // because the chunk count is recomputed from it on the next line,
+    // while a wrapped cast would silently shrink the compute budget.
+    let chunk = (total_compute_cycles / n_chunks as u64).clamp(1, u64::from(u32::MAX)) as u32;
     let n_chunks = (total_compute_cycles / u64::from(chunk)).max(1) as usize;
     let n_stores = stores.len();
     trace.ops.reserve(n_chunks + n_stores);

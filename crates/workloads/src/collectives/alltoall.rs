@@ -1,0 +1,150 @@
+//! All-to-all: the expert-parallel token shuffle of Mixture-of-Experts
+//! training, where every GPU scatters a slice of its activations to
+//! every other GPU twice per layer.
+
+use gpu_model::{GpuId, KernelTrace};
+
+use super::{collective_trace, dma_bytes_for, transfer_bytes, CollectiveTuning, Phase};
+use crate::spec::{CommPattern, RunSpec, Workload};
+
+/// All-to-all shuffle of a per-GPU activation buffer.
+///
+/// The payload splits into `n` equal expert slices; each GPU keeps its
+/// own slice and sends one to every peer in a single phase. Per-peer
+/// volume therefore *shrinks* as the cluster grows — the reason
+/// expert-parallel traffic is the most fine-grained collective at scale
+/// and the one that stresses per-message overheads hardest.
+#[derive(Debug, Clone)]
+pub struct AllToAllShuffle {
+    tuning: CollectiveTuning,
+}
+
+impl AllToAllShuffle {
+    /// Builds the collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuning fails [`CollectiveTuning::validate`].
+    pub fn new(tuning: CollectiveTuning) -> Self {
+        tuning.validate().expect("invalid collective tuning");
+        AllToAllShuffle { tuning }
+    }
+
+    /// The configured knobs.
+    pub fn tuning(&self) -> &CollectiveTuning {
+        &self.tuning
+    }
+
+    /// Bytes sent to each of the `n-1` peers.
+    fn per_peer(&self, spec: &RunSpec) -> u64 {
+        transfer_bytes(self.tuning.scaled_payload(spec) / u64::from(spec.num_gpus))
+    }
+}
+
+impl Default for AllToAllShuffle {
+    fn default() -> Self {
+        AllToAllShuffle::new(CollectiveTuning::default())
+    }
+}
+
+impl Workload for AllToAllShuffle {
+    fn name(&self) -> &'static str {
+        "alltoall"
+    }
+
+    fn pattern(&self) -> CommPattern {
+        CommPattern::AllToAll
+    }
+
+    fn trace(&self, spec: &RunSpec, iter: u32, gpu: GpuId) -> KernelTrace {
+        let phases: Vec<Phase> = if spec.num_gpus < 2 {
+            vec![]
+        } else {
+            let share = self.per_peer(spec);
+            vec![(0..spec.num_gpus)
+                .map(GpuId::new)
+                .filter(|g| *g != gpu)
+                .map(|g| (g, share))
+                .collect()]
+        };
+        collective_trace(self.name(), &self.tuning, spec, iter, gpu, &phases)
+    }
+
+    fn dma_bytes_per_gpu(&self, spec: &RunSpec) -> u64 {
+        let n = u64::from(spec.num_gpus);
+        if n < 2 {
+            return 0;
+        }
+        dma_bytes_for((n - 1) * self.per_peer(spec), &self.tuning.msg)
+    }
+
+    fn read_fraction(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::MsgDist;
+    use gpu_model::{AddressMap, Gpu, GpuConfig};
+
+    fn fixed() -> AllToAllShuffle {
+        AllToAllShuffle::new(CollectiveTuning {
+            payload_bytes: 1 << 20,
+            msg: MsgDist::Fixed(128),
+            compute_wall_us: 8.0,
+        })
+    }
+
+    #[test]
+    fn every_peer_gets_an_equal_slice() {
+        let app = fixed();
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = 4;
+        spec.scale_down = 1;
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(4, 16 << 30),
+        );
+        let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
+        assert_eq!(run.stats.remote_bytes, 3 * ((1u64 << 20) / 4));
+        assert_eq!(run.stats.local_stores, 0);
+    }
+
+    #[test]
+    fn per_peer_volume_shrinks_with_cluster_size() {
+        let app = fixed();
+        let mut small = RunSpec::tiny();
+        small.num_gpus = 4;
+        let mut large = small;
+        large.num_gpus = 16;
+        assert_eq!(app.per_peer(&small), 4 * app.per_peer(&large));
+    }
+
+    #[test]
+    fn single_gpu_run_is_pure_compute() {
+        let app = fixed();
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = 1;
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(1, 16 << 30),
+        );
+        let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
+        assert_eq!(run.stats.remote_stores + run.stats.local_stores, 0);
+        assert_eq!(app.dma_bytes_per_gpu(&spec), 0);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let app = AllToAllShuffle::default();
+        let spec = RunSpec::tiny();
+        assert_eq!(
+            app.trace(&spec, 0, GpuId::new(1)),
+            app.trace(&spec, 0, GpuId::new(1))
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! 2D halo exchange: the boundary-plane swap of spatially-decomposed
+//! pipelines (tensor-parallel convolutions, grid PDE solvers).
+
+use gpu_model::{GpuId, KernelTrace};
+
+use super::{
+    collective_trace, dma_bytes_for, grid_neighbors, transfer_bytes, CollectiveTuning, Phase,
+};
+use crate::spec::{CommPattern, RunSpec, Workload};
+
+/// Halo exchange over the most-square 2D process grid.
+///
+/// The payload models an interior GPU's total halo (four boundary
+/// planes); each grid neighbor receives a quarter of it in one phase.
+/// Edge and corner GPUs have fewer neighbors and send proportionally
+/// less — the natural load imbalance of non-wrapping grids. Prime GPU
+/// counts degrade to a 1xN chain, making this the 2D generalization of
+/// the suite's 1D `Neighbors` apps.
+#[derive(Debug, Clone)]
+pub struct Halo2d {
+    tuning: CollectiveTuning,
+}
+
+impl Halo2d {
+    /// Builds the collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuning fails [`CollectiveTuning::validate`].
+    pub fn new(tuning: CollectiveTuning) -> Self {
+        tuning.validate().expect("invalid collective tuning");
+        Halo2d { tuning }
+    }
+
+    /// The configured knobs.
+    pub fn tuning(&self) -> &CollectiveTuning {
+        &self.tuning
+    }
+
+    /// Bytes pushed across one grid boundary.
+    fn per_boundary(&self, spec: &RunSpec) -> u64 {
+        transfer_bytes(self.tuning.scaled_payload(spec) / 4)
+    }
+}
+
+impl Default for Halo2d {
+    fn default() -> Self {
+        Halo2d::new(CollectiveTuning::default())
+    }
+}
+
+impl Workload for Halo2d {
+    fn name(&self) -> &'static str {
+        "halo2d"
+    }
+
+    fn pattern(&self) -> CommPattern {
+        CommPattern::Grid2d
+    }
+
+    fn trace(&self, spec: &RunSpec, iter: u32, gpu: GpuId) -> KernelTrace {
+        let phases: Vec<Phase> = if spec.num_gpus < 2 {
+            vec![]
+        } else {
+            let share = self.per_boundary(spec);
+            vec![grid_neighbors(gpu, spec.num_gpus)
+                .into_iter()
+                .map(|g| (g, share))
+                .collect()]
+        };
+        collective_trace(self.name(), &self.tuning, spec, iter, gpu, &phases)
+    }
+
+    fn dma_bytes_per_gpu(&self, spec: &RunSpec) -> u64 {
+        let n = spec.num_gpus;
+        if n < 2 {
+            return 0;
+        }
+        // Average degree over the grid, so the planner's per-GPU budget
+        // matches aggregate traffic.
+        let edges: u64 = (0..n)
+            .map(|g| grid_neighbors(GpuId::new(g), n).len() as u64)
+            .sum();
+        dma_bytes_for(
+            edges * self.per_boundary(spec) / u64::from(n),
+            &self.tuning.msg,
+        )
+    }
+
+    fn read_fraction(&self) -> f64 {
+        1.0 // the neighbor's stencil reads the whole halo plane
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::MsgDist;
+    use gpu_model::{AddressMap, Gpu, GpuConfig};
+
+    fn fixed() -> Halo2d {
+        Halo2d::new(CollectiveTuning {
+            payload_bytes: 1 << 20,
+            msg: MsgDist::Fixed(1024),
+            compute_wall_us: 8.0,
+        })
+    }
+
+    fn remote_bytes(app: &Halo2d, n: u8, g: u8) -> u64 {
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = n;
+        spec.scale_down = 1;
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(g),
+            AddressMap::new(n, 16 << 30),
+        );
+        gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(g)))
+            .stats
+            .remote_bytes
+    }
+
+    #[test]
+    fn corner_gpus_send_half_of_interior_gpus() {
+        let app = fixed();
+        let quarter = (1u64 << 20) / 4;
+        // 16 GPUs -> 4x4 grid: corner 0 has 2 neighbors, center 5 has 4.
+        assert_eq!(remote_bytes(&app, 16, 0), 2 * quarter);
+        assert_eq!(remote_bytes(&app, 16, 5), 4 * quarter);
+    }
+
+    #[test]
+    fn prime_count_degrades_to_a_chain() {
+        let app = fixed();
+        let quarter = (1u64 << 20) / 4;
+        // 7 GPUs -> 1x7 chain: ends send one boundary, middles two.
+        assert_eq!(remote_bytes(&app, 7, 0), quarter);
+        assert_eq!(remote_bytes(&app, 7, 3), 2 * quarter);
+    }
+
+    #[test]
+    fn single_gpu_run_is_pure_compute() {
+        let app = fixed();
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = 1;
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(1, 16 << 30),
+        );
+        let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
+        assert_eq!(run.stats.remote_stores + run.stats.local_stores, 0);
+        assert_eq!(app.dma_bytes_per_gpu(&spec), 0);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let app = Halo2d::default();
+        let spec = RunSpec::tiny();
+        assert_eq!(
+            app.trace(&spec, 0, GpuId::new(0)),
+            app.trace(&spec, 0, GpuId::new(0))
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Ring all-reduce: the bandwidth-optimal gradient reduction of data-
+//! parallel training.
+
+use gpu_model::{GpuId, KernelTrace};
+
+use super::{collective_trace, dma_bytes_for, ring_next, transfer_bytes, CollectiveTuning, Phase};
+use crate::spec::{CommPattern, RunSpec, Workload};
+
+/// Ring all-reduce over a per-GPU gradient buffer.
+///
+/// The buffer splits into `n` chunks; a reduce-scatter phase circulates
+/// partial sums around the ring (`n-1` steps, each forwarding one chunk
+/// to the successor), then an all-gather phase circulates the reduced
+/// chunks the same way. Every GPU therefore sends `2 (n-1)/n` of the
+/// payload, all of it to its ring successor.
+#[derive(Debug, Clone)]
+pub struct RingAllReduce {
+    tuning: CollectiveTuning,
+}
+
+impl RingAllReduce {
+    /// Builds the collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuning fails [`CollectiveTuning::validate`].
+    pub fn new(tuning: CollectiveTuning) -> Self {
+        tuning.validate().expect("invalid collective tuning");
+        RingAllReduce { tuning }
+    }
+
+    /// The configured knobs.
+    pub fn tuning(&self) -> &CollectiveTuning {
+        &self.tuning
+    }
+
+    /// Outbound bytes per GPU per iteration (both phases combined).
+    fn outbound(&self, spec: &RunSpec) -> u64 {
+        let n = u64::from(spec.num_gpus);
+        if n < 2 {
+            return 0;
+        }
+        let chunk = transfer_bytes(self.tuning.scaled_payload(spec) / n);
+        2 * (n - 1) * chunk
+    }
+}
+
+impl Default for RingAllReduce {
+    fn default() -> Self {
+        RingAllReduce::new(CollectiveTuning::default())
+    }
+}
+
+impl Workload for RingAllReduce {
+    fn name(&self) -> &'static str {
+        "ring-allreduce"
+    }
+
+    fn pattern(&self) -> CommPattern {
+        CommPattern::Ring
+    }
+
+    fn trace(&self, spec: &RunSpec, iter: u32, gpu: GpuId) -> KernelTrace {
+        let per_phase = self.outbound(spec) / 2;
+        let phases: Vec<Phase> = if per_phase == 0 {
+            vec![] // single GPU: the reduction is the identity
+        } else {
+            let next = ring_next(gpu, spec.num_gpus);
+            vec![
+                vec![(next, per_phase)], // reduce-scatter
+                vec![(next, per_phase)], // all-gather
+            ]
+        };
+        collective_trace(self.name(), &self.tuning, spec, iter, gpu, &phases)
+    }
+
+    fn dma_bytes_per_gpu(&self, spec: &RunSpec) -> u64 {
+        dma_bytes_for(self.outbound(spec), &self.tuning.msg)
+    }
+
+    fn read_fraction(&self) -> f64 {
+        1.0 // every reduced byte feeds the next optimizer step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::MsgDist;
+    use gpu_model::{AddressMap, Gpu, GpuConfig};
+
+    fn fixed(bytes: u32) -> RingAllReduce {
+        RingAllReduce::new(CollectiveTuning {
+            payload_bytes: 1 << 20,
+            msg: MsgDist::Fixed(bytes),
+            compute_wall_us: 8.0,
+        })
+    }
+
+    #[test]
+    fn sends_two_payload_shares_to_the_successor_only() {
+        let app = fixed(256);
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = 4;
+        spec.scale_down = 1;
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(1),
+            AddressMap::new(4, 16 << 30),
+        );
+        let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(1)));
+        // 2 * (n-1)/n of the payload, all remote (successor is GPU 2).
+        let expected = 2 * 3 * ((1u64 << 20) / 4);
+        assert_eq!(run.stats.remote_bytes, expected);
+        assert_eq!(run.stats.local_stores, 0);
+    }
+
+    #[test]
+    fn single_gpu_run_is_pure_compute() {
+        let app = fixed(256);
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = 1;
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(1, 16 << 30),
+        );
+        let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
+        assert_eq!(run.stats.remote_stores, 0);
+        assert_eq!(run.stats.local_stores, 0);
+        assert!(run.stats.compute_cycles > 0);
+        assert_eq!(app.dma_bytes_per_gpu(&spec), 0);
+    }
+
+    #[test]
+    fn fine_messages_inflate_dma_but_not_p2p_bytes() {
+        let fine = fixed(16);
+        let bulk = fixed(super::super::DMA_MESSAGE_GRANULE_BYTES as u32);
+        let spec = RunSpec::tiny();
+        assert!(fine.dma_bytes_per_gpu(&spec) > 10 * bulk.dma_bytes_per_gpu(&spec));
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let app = RingAllReduce::default();
+        let spec = RunSpec::tiny();
+        let a = app.trace(&spec, 1, GpuId::new(0));
+        let b = app.trace(&spec, 1, GpuId::new(0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,163 @@
+//! Tree all-reduce: the latency-optimal reduction small models and
+//! small clusters prefer over the ring.
+
+use gpu_model::{GpuId, KernelTrace};
+
+use super::{collective_trace, dma_bytes_for, tree_children, tree_parent, CollectiveTuning, Phase};
+use crate::spec::{CommPattern, RunSpec, Workload};
+
+/// Binomial-tree all-reduce over a per-GPU gradient buffer.
+///
+/// A reduce phase pushes the full payload up the tree (every non-root
+/// GPU sends to its parent), then a fence, then a broadcast phase pushes
+/// the reduced result back down (every GPU sends to each of its
+/// children). Load is intentionally skewed — the root receives
+/// `log2(n)` payloads and leaves send one — which is exactly the
+/// congestion profile that distinguishes tree from ring collectives.
+#[derive(Debug, Clone)]
+pub struct TreeAllReduce {
+    tuning: CollectiveTuning,
+}
+
+impl TreeAllReduce {
+    /// Builds the collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuning fails [`CollectiveTuning::validate`].
+    pub fn new(tuning: CollectiveTuning) -> Self {
+        tuning.validate().expect("invalid collective tuning");
+        TreeAllReduce { tuning }
+    }
+
+    /// The configured knobs.
+    pub fn tuning(&self) -> &CollectiveTuning {
+        &self.tuning
+    }
+}
+
+impl Default for TreeAllReduce {
+    fn default() -> Self {
+        TreeAllReduce::new(CollectiveTuning::default())
+    }
+}
+
+impl Workload for TreeAllReduce {
+    fn name(&self) -> &'static str {
+        "tree-allreduce"
+    }
+
+    fn pattern(&self) -> CommPattern {
+        CommPattern::Tree
+    }
+
+    fn trace(&self, spec: &RunSpec, iter: u32, gpu: GpuId) -> KernelTrace {
+        let phases: Vec<Phase> = if spec.num_gpus < 2 {
+            vec![]
+        } else {
+            let payload = self.tuning.scaled_payload(spec);
+            let up: Phase = tree_parent(gpu).map(|p| (p, payload)).into_iter().collect();
+            let down: Phase = tree_children(gpu, spec.num_gpus)
+                .into_iter()
+                .map(|c| (c, payload))
+                .collect();
+            vec![up, down]
+        };
+        collective_trace(self.name(), &self.tuning, spec, iter, gpu, &phases)
+    }
+
+    fn dma_bytes_per_gpu(&self, spec: &RunSpec) -> u64 {
+        // 2 (n-1) tree edges carry the payload once each way; average
+        // over GPUs so the planner's per-GPU budget matches the traffic.
+        let n = u64::from(spec.num_gpus);
+        if n < 2 {
+            return 0;
+        }
+        let total = 2 * (n - 1) * self.tuning.scaled_payload(spec);
+        dma_bytes_for(total / n, &self.tuning.msg)
+    }
+
+    fn read_fraction(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::MsgDist;
+    use gpu_model::{AddressMap, Gpu, GpuConfig};
+
+    fn fixed() -> TreeAllReduce {
+        TreeAllReduce::new(CollectiveTuning {
+            payload_bytes: 1 << 20,
+            msg: MsgDist::Fixed(512),
+            compute_wall_us: 8.0,
+        })
+    }
+
+    fn remote_bytes(app: &TreeAllReduce, n: u8, g: u8) -> u64 {
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = n;
+        spec.scale_down = 1;
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(g),
+            AddressMap::new(n, 16 << 30),
+        );
+        gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(g)))
+            .stats
+            .remote_bytes
+    }
+
+    #[test]
+    fn traffic_follows_the_binomial_tree() {
+        let app = fixed();
+        let p = 1u64 << 20;
+        // Root (0) of 8 GPUs sends to children 1, 2, 4 in the down
+        // phase only; node 1 is a leaf: one payload up, none down.
+        assert_eq!(remote_bytes(&app, 8, 0), 3 * p);
+        assert_eq!(remote_bytes(&app, 8, 1), p);
+        // Node 2 has parent 0 and child 3.
+        assert_eq!(remote_bytes(&app, 8, 2), 2 * p);
+    }
+
+    #[test]
+    fn single_gpu_run_is_pure_compute() {
+        let app = fixed();
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = 1;
+        let gpu = Gpu::new(
+            GpuConfig::tiny(),
+            GpuId::new(0),
+            AddressMap::new(1, 16 << 30),
+        );
+        let run = gpu.execute_kernel(&app.trace(&spec, 0, GpuId::new(0)));
+        assert_eq!(run.stats.remote_stores + run.stats.local_stores, 0);
+        assert_eq!(app.dma_bytes_per_gpu(&spec), 0);
+    }
+
+    #[test]
+    fn dma_bytes_average_the_tree_edges() {
+        let app = fixed();
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = 8;
+        spec.scale_down = 1;
+        // 14 edge-payloads over 8 GPUs, fixed:512 pads 4x to the granule.
+        let per_gpu = 2 * 7 * (1u64 << 20) / 8;
+        assert_eq!(
+            app.dma_bytes_per_gpu(&spec),
+            per_gpu * super::super::DMA_MESSAGE_GRANULE_BYTES / 512
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let app = TreeAllReduce::default();
+        let spec = RunSpec::tiny();
+        assert_eq!(
+            app.trace(&spec, 0, GpuId::new(2)),
+            app.trace(&spec, 0, GpuId::new(2))
+        );
+    }
+}

@@ -4,6 +4,8 @@ use gpu_model::GpuId;
 use sim_engine::DetRng;
 
 use crate::assembler::compute_cycles_for_wall_us;
+use crate::collectives::{grid_neighbors, ring_next, tree_children, tree_parent};
+use crate::convert::checked_gpu_index;
 use crate::spec::{app_region_base, CommPattern, RunSpec, ScalingMode};
 
 /// Bytes reserved per source GPU inside a destination's app region, so
@@ -23,13 +25,25 @@ pub(crate) fn targets(pattern: CommPattern, gpu: GpuId, num_gpus: u8) -> Vec<Gpu
             [i - 1, i + 1]
                 .into_iter()
                 .filter(|j| *j >= 0 && *j < i32::from(num_gpus))
-                .map(|j| GpuId::new(j as u8))
+                .map(|j| {
+                    GpuId::new(
+                        checked_gpu_index("neighbor gpu index", j as u64)
+                            .expect("filtered to 0..num_gpus, which is u8"),
+                    )
+                })
                 .collect()
         }
         CommPattern::ManyToMany | CommPattern::AllToAll => (0..num_gpus)
             .map(GpuId::new)
             .filter(|g| *g != gpu)
             .collect(),
+        CommPattern::Ring => vec![ring_next(gpu, num_gpus)],
+        CommPattern::Grid2d => grid_neighbors(gpu, num_gpus),
+        CommPattern::Tree => {
+            let mut t: Vec<GpuId> = tree_parent(gpu).into_iter().collect();
+            t.extend(tree_children(gpu, num_gpus));
+            t
+        }
     }
 }
 

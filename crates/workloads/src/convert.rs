@@ -1,0 +1,104 @@
+//! Checked narrowing conversions for the workload layer.
+//!
+//! Trace generators compute sizes and indices in `u64` and hand them to
+//! the GPU model as `u32` (store sizes) or `u8` (GPU indices). A bare
+//! `as` cast silently truncates when a knob combination pushes a value
+//! past the target range — the same bug class as the GpuId narrowing
+//! fixed in the system layer. Every narrowing in this crate now routes
+//! through these helpers, which surface a typed [`NarrowingError`]
+//! instead of wrapping.
+
+/// A value did not fit the narrower type it was being converted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NarrowingError {
+    /// What was being converted (for the diagnostic).
+    pub what: &'static str,
+    /// The out-of-range value.
+    pub value: u64,
+    /// The largest representable value of the target type.
+    pub max: u64,
+}
+
+impl std::fmt::Display for NarrowingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} exceeds the representable maximum {}",
+            self.what, self.value, self.max
+        )
+    }
+}
+
+impl std::error::Error for NarrowingError {}
+
+/// Converts `value` to `u32`, or reports which quantity overflowed.
+///
+/// # Errors
+///
+/// Returns a [`NarrowingError`] naming `what` when `value > u32::MAX`.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::checked_u32;
+///
+/// assert_eq!(checked_u32("store bytes", 128), Ok(128));
+/// let err = checked_u32("store bytes", u64::from(u32::MAX) + 1).unwrap_err();
+/// assert_eq!(err.value, u64::from(u32::MAX) + 1);
+/// assert!(err.to_string().contains("store bytes"));
+/// ```
+pub fn checked_u32(what: &'static str, value: u64) -> Result<u32, NarrowingError> {
+    u32::try_from(value).map_err(|_| NarrowingError {
+        what,
+        value,
+        max: u64::from(u32::MAX),
+    })
+}
+
+/// Converts `value` to a `u8` GPU index, or reports the overflow.
+///
+/// # Errors
+///
+/// Returns a [`NarrowingError`] naming `what` when `value > u8::MAX`.
+pub fn checked_gpu_index(what: &'static str, value: u64) -> Result<u8, NarrowingError> {
+    u8::try_from(value).map_err(|_| NarrowingError {
+        what,
+        value,
+        max: u64::from(u8::MAX),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_boundary() {
+        assert_eq!(checked_u32("x", 0), Ok(0));
+        assert_eq!(checked_u32("x", u64::from(u32::MAX)), Ok(u32::MAX));
+        let err = checked_u32("element bytes", u64::from(u32::MAX) + 1).unwrap_err();
+        assert_eq!(
+            err,
+            NarrowingError {
+                what: "element bytes",
+                value: u64::from(u32::MAX) + 1,
+                max: u64::from(u32::MAX),
+            }
+        );
+    }
+
+    #[test]
+    fn gpu_index_boundary() {
+        assert_eq!(checked_gpu_index("g", 255), Ok(255));
+        let err = checked_gpu_index("vertex owner", 256).unwrap_err();
+        assert_eq!(err.max, 255);
+        assert!(err.to_string().contains("vertex owner"));
+        assert!(err.to_string().contains("256"));
+    }
+
+    #[test]
+    fn error_is_a_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(checked_u32("x", u64::MAX).unwrap_err());
+        assert!(err.to_string().contains("exceeds"));
+    }
+}

@@ -90,7 +90,9 @@ pub fn generate_rmat(params: &RmatParams, rng: &mut DetRng) -> Vec<(u32, u32)> {
 /// `v / ceil(vertices / n)`.
 pub fn vertex_owner(vertex: u32, vertices: u64, num_gpus: u8) -> GpuId {
     let per_gpu = vertices.div_ceil(u64::from(num_gpus));
-    GpuId::new((u64::from(vertex) / per_gpu) as u8)
+    let owner = crate::convert::checked_gpu_index("vertex owner", u64::from(vertex) / per_gpu)
+        .expect("vertex < vertices and vertices / per_gpu <= num_gpus, which is u8");
+    GpuId::new(owner)
 }
 
 /// PageRank over an R-MAT graph: each iteration, every GPU walks its
@@ -293,7 +295,10 @@ mod tests {
         let run = gpu.execute_kernel(&trace);
         assert!(run.stats.remote_stores > 0);
         // 4B rank contributions; high-degree vertices merge into wider runs.
-        let mean = run.stats.mean_remote_size().unwrap();
+        let mean = run
+            .stats
+            .mean_remote_size()
+            .expect("a 2-GPU PageRank run emits remote stores");
         assert!(mean < 24.0, "mean={mean}");
     }
 

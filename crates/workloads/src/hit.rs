@@ -106,7 +106,10 @@ mod tests {
             AddressMap::new(2, 16 << 30),
         );
         let run = gpu.execute_kernel(&trace);
-        let mean = run.stats.mean_remote_size().unwrap();
+        let mean = run
+            .stats
+            .mean_remote_size()
+            .expect("a 2-GPU HIT run emits remote stores");
         assert!((14.0..40.0).contains(&mean), "mean={mean}");
     }
 

@@ -2,7 +2,9 @@
 //!
 //! Synthetic trace generators for the eight multi-GPU applications in the
 //! FinePack evaluation suite (§V): Jacobi, PageRank, SSSP, ALS, CT, EQWP,
-//! Diffusion, and HIT.
+//! Diffusion, and HIT — plus a collectives family ([`collectives`])
+//! modeling AI-training traffic (all-reduce, all-to-all, halo exchange,
+//! broadcast) over the same machinery.
 //!
 //! The paper traces real CUDA binaries with NVBit and replays them in
 //! NVAS; neither the binaries, the datasets (UF sparse matrices, the GE
@@ -38,7 +40,9 @@
 
 mod als;
 mod assembler;
+pub mod collectives;
 mod common;
+mod convert;
 mod ct;
 mod diffusion;
 mod eqwp;
@@ -52,6 +56,11 @@ mod sssp;
 mod synthetic;
 
 pub use als::Als;
+pub use collectives::{
+    AllToAllShuffle, CollectiveTuning, Halo2d, MsgDist, ParamBroadcast, RingAllReduce,
+    TreeAllReduce,
+};
+pub use convert::{checked_gpu_index, checked_u32, NarrowingError};
 pub use ct::Ct;
 pub use diffusion::Diffusion;
 pub use eqwp::Eqwp;
@@ -64,18 +73,65 @@ pub use spec::{app_region_base, CommPattern, RunSpec, ScalingMode, Workload, APP
 pub use sssp::Sssp;
 pub use synthetic::{Locality, Synthetic, SyntheticBuilder};
 
+/// Constructor of a suite app, as stored in [`SUITE_REGISTRY`].
+pub type AppCtor = fn() -> Box<dyn Workload>;
+
+/// Tuning-parameterized constructor of a collective, as stored in
+/// [`COLLECTIVE_REGISTRY`].
+pub type CollectiveCtor = fn(&CollectiveTuning) -> Box<dyn Workload>;
+
+/// The single source of truth for the evaluation suite: name and
+/// constructor of every app, in the paper's figure order. [`suite`],
+/// name lookup, and the registration tests all derive from this table,
+/// so adding an app here is the *only* registration step.
+pub const SUITE_REGISTRY: [(&str, AppCtor); 8] = [
+    ("jacobi", || Box::new(Jacobi::default())),
+    ("pagerank", || Box::new(Pagerank::default())),
+    ("sssp", || Box::new(Sssp::default())),
+    ("als", || Box::new(Als::default())),
+    ("ct", || Box::new(Ct::default())),
+    ("eqwp", || Box::new(Eqwp::default())),
+    ("diffusion", || Box::new(Diffusion::default())),
+    ("hit", || Box::new(Hit::default())),
+];
+
 /// The full evaluation suite in the paper's figure order.
 pub fn suite() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(Jacobi::default()),
-        Box::new(Pagerank::default()),
-        Box::new(Sssp::default()),
-        Box::new(Als::default()),
-        Box::new(Ct::default()),
-        Box::new(Eqwp::default()),
-        Box::new(Diffusion::default()),
-        Box::new(Hit::default()),
-    ]
+    SUITE_REGISTRY.iter().map(|(_, make)| make()).collect()
+}
+
+/// The registry of collective workloads: name and tuning-parameterized
+/// constructor, mirroring [`SUITE_REGISTRY`].
+pub const COLLECTIVE_REGISTRY: [(&str, CollectiveCtor); 5] = [
+    ("ring-allreduce", |t| Box::new(RingAllReduce::new(*t))),
+    ("tree-allreduce", |t| Box::new(TreeAllReduce::new(*t))),
+    ("alltoall", |t| Box::new(AllToAllShuffle::new(*t))),
+    ("halo2d", |t| Box::new(Halo2d::new(*t))),
+    ("broadcast", |t| Box::new(ParamBroadcast::new(*t))),
+];
+
+/// Looks up one collective by name.
+///
+/// # Panics
+///
+/// Panics if `tuning` fails [`CollectiveTuning::validate`].
+pub fn collective(name: &str, tuning: &CollectiveTuning) -> Option<Box<dyn Workload>> {
+    COLLECTIVE_REGISTRY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, make)| make(tuning))
+}
+
+/// All collectives under one tuning, in registry order.
+///
+/// # Panics
+///
+/// Panics if `tuning` fails [`CollectiveTuning::validate`].
+pub fn collectives_suite(tuning: &CollectiveTuning) -> Vec<Box<dyn Workload>> {
+    COLLECTIVE_REGISTRY
+        .iter()
+        .map(|(_, make)| make(tuning))
+        .collect()
 }
 
 #[cfg(test)]
@@ -83,24 +139,29 @@ mod tests {
     use super::*;
     use gpu_model::GpuId;
 
+    /// Registration is derived from the registries, not re-listed: every
+    /// entry's constructor must produce a workload whose `name()` matches
+    /// its registry key, and keys must be unique across *both* tables
+    /// (collectives share the CLI/farm name namespace with the suite).
     #[test]
-    fn suite_has_eight_apps() {
-        let s = suite();
-        assert_eq!(s.len(), 8);
-        let names: Vec<&str> = s.iter().map(|w| w.name()).collect();
+    fn registries_are_consistent_and_collision_free() {
+        let tuning = CollectiveTuning::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for (name, make) in SUITE_REGISTRY {
+            assert_eq!(make().name(), name, "suite registry key mismatch");
+            assert!(seen.insert(name), "duplicate app name {name}");
+        }
+        for (name, make) in COLLECTIVE_REGISTRY {
+            assert_eq!(make(&tuning).name(), name, "collective key mismatch");
+            assert!(seen.insert(name), "duplicate app name {name}");
+        }
+        assert_eq!(suite().len(), SUITE_REGISTRY.len());
+        assert_eq!(collectives_suite(&tuning).len(), COLLECTIVE_REGISTRY.len());
         assert_eq!(
-            names,
-            vec![
-                "jacobi",
-                "pagerank",
-                "sssp",
-                "als",
-                "ct",
-                "eqwp",
-                "diffusion",
-                "hit"
-            ]
+            collective("ring-allreduce", &tuning).map(|w| w.name()),
+            Some("ring-allreduce")
         );
+        assert!(collective("nccl", &tuning).is_none());
     }
 
     #[test]
@@ -112,6 +173,23 @@ mod tests {
                 assert!(t.store_count() > 0, "{} gpu{} has no stores", app.name(), g);
                 assert!(t.total_compute_cycles() > 0);
             }
+        }
+    }
+
+    #[test]
+    fn every_collective_produces_traces_for_all_gpus() {
+        let spec = RunSpec::tiny();
+        for app in collectives_suite(&CollectiveTuning::default()) {
+            let mut stores = 0;
+            for g in 0..spec.num_gpus {
+                let t = app.trace(&spec, 0, GpuId::new(g));
+                // Individual GPUs may be silent (broadcast leaves), but
+                // compute must flow and the collective must move bytes.
+                assert!(t.total_compute_cycles() > 0, "{} gpu{g}", app.name());
+                stores += t.store_count();
+            }
+            assert!(stores > 0, "{} moved no bytes", app.name());
+            assert!(app.dma_bytes_per_gpu(&spec) > 0, "{}", app.name());
         }
     }
 

@@ -123,7 +123,10 @@ impl Workload for JacobiMatrix {
                 if j < 0 || j >= i32::from(spec.num_gpus) {
                     continue;
                 }
-                let dst = GpuId::new(j as u8);
+                let dst = GpuId::new(
+                    crate::convert::checked_gpu_index("neighbor gpu index", j as u64)
+                        .expect("bounds-checked against num_gpus, which is u8"),
+                );
                 stores.extend(contiguous_ops(slot_base(dst, gpu), halo, &mut rng));
             }
         }

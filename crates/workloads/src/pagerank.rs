@@ -105,8 +105,11 @@ mod tests {
         );
         let run = gpu.execute_kernel(&trace);
         // Sub-32B dominates (Fig 4's irregular-app profile).
-        assert!(run.stats.fraction_at_most(32).unwrap() > 0.95);
-        let mean = run.stats.mean_remote_size().unwrap();
+        assert!(run.stats.fraction_at_most(32).unwrap_or(0.0) > 0.95);
+        let mean = run
+            .stats
+            .mean_remote_size()
+            .expect("a 2-GPU PageRank run emits remote stores");
         assert!(mean < 24.0, "mean={mean}");
     }
 

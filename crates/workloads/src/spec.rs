@@ -15,6 +15,14 @@ pub enum CommPattern {
     ManyToMany,
     /// All-to-all (ALS, CT, HIT).
     AllToAll,
+    /// Unidirectional ring: each GPU sends only to its successor
+    /// (ring all-reduce).
+    Ring,
+    /// 2D process-grid halo: up/down/left/right neighbors, no wrap.
+    Grid2d,
+    /// Binomial tree rooted at GPU 0: parent and children links
+    /// (tree all-reduce, parameter broadcast).
+    Tree,
 }
 
 impl std::fmt::Display for CommPattern {
@@ -23,6 +31,9 @@ impl std::fmt::Display for CommPattern {
             CommPattern::Neighbors => write!(f, "peer-to-peer"),
             CommPattern::ManyToMany => write!(f, "many-to-many"),
             CommPattern::AllToAll => write!(f, "all-to-all"),
+            CommPattern::Ring => write!(f, "ring"),
+            CommPattern::Grid2d => write!(f, "2d-grid"),
+            CommPattern::Tree => write!(f, "tree"),
         }
     }
 }

@@ -10,6 +10,7 @@ use gpu_model::{GpuId, KernelTrace, TraceOp};
 
 use crate::assembler::{contiguous_ops, interleave, scatter_ops, SlotDist};
 use crate::common::{bytes_per_target, per_gpu_compute_cycles, slot_base, stream_rng, targets};
+use crate::convert::checked_u32;
 use crate::spec::{CommPattern, RunSpec, Workload};
 
 /// How the synthetic workload's stores address memory.
@@ -236,18 +237,24 @@ impl Workload for Synthetic {
                 )),
             }
             let elem = u64::from(self.element_bytes.max(4));
+            let elem_u32 = checked_u32("synthetic element bytes", elem)
+                .expect("element_bytes is 1-8, enforced by SyntheticBuilder::build");
+            // A heavy scale-down can shrink the region below one element;
+            // degrade to a single slot instead of asking the RNG for a
+            // draw below zero (which panics).
+            let n_slots = (region / elem).max(1);
             for i in 0..scalar_ops {
-                let slot = rng.next_u64_below(region / elem);
+                let slot = rng.next_u64_below(n_slots);
                 let addr = base + slot * elem;
                 if i < loads {
                     ops.push(TraceOp::RemoteLoad {
                         addr,
-                        bytes: elem as u32,
+                        bytes: elem_u32,
                     });
                 } else {
                     ops.push(TraceOp::RemoteAtomic {
                         addr,
-                        bytes: elem as u32,
+                        bytes: elem_u32,
                         value_seed: rng.next_u64_below(u64::MAX),
                     });
                 }
@@ -296,7 +303,10 @@ mod tests {
             .region_bytes(64 << 20)
             .build();
         let run = replay(&app, &RunSpec::tiny());
-        let mean = run.stats.mean_remote_size().unwrap();
+        let mean = run
+            .stats
+            .mean_remote_size()
+            .expect("a 2-GPU scatter run emits remote stores");
         assert!(mean < 12.0, "mean={mean}");
     }
 
@@ -323,8 +333,44 @@ mod tests {
             .region_bytes(64 << 20)
             .build();
         let run = replay(&app, &RunSpec::tiny());
-        let mean = run.stats.mean_remote_size().unwrap();
+        let mean = run
+            .stats
+            .mean_remote_size()
+            .expect("a 2-GPU grouped-scatter run emits remote stores");
         assert!((30.0..40.0).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn single_gpu_run_has_no_remote_stores_and_no_mean() {
+        // The degenerate weak-scaling point: one GPU, zero remote
+        // traffic. The run must complete and the size statistics must
+        // answer None rather than panicking.
+        let mut spec = RunSpec::tiny();
+        spec.num_gpus = 1;
+        let app = Synthetic::builder()
+            .load_fraction(0.1)
+            .atomic_fraction(0.1)
+            .build();
+        let run = replay(&app, &spec);
+        assert_eq!(run.stats.remote_stores, 0);
+        assert_eq!(run.stats.mean_remote_size(), None);
+        assert_eq!(run.stats.fraction_at_most(32), None);
+    }
+
+    #[test]
+    fn huge_scale_down_degrades_to_one_slot_instead_of_panicking() {
+        // scale_down large enough that region / elem rounds to zero:
+        // the scalar-op slot draw used to ask the RNG for a value below
+        // zero, which panics.
+        let mut spec = RunSpec::tiny();
+        spec.scale_down = u32::MAX;
+        let app = Synthetic::builder()
+            .region_bytes(1 << 20)
+            .load_fraction(0.2)
+            .atomic_fraction(0.2)
+            .build();
+        let trace = app.trace(&spec, 0, GpuId::new(0));
+        assert!(!trace.is_empty());
     }
 
     #[test]

@@ -7,7 +7,10 @@ use std::time::{Duration, Instant};
 
 fn sock_path(tag: &str) -> String {
     std::env::temp_dir()
-        .join(format!("finepack-farm-e2e-{}-{tag}.sock", std::process::id()))
+        .join(format!(
+            "finepack-farm-e2e-{}-{tag}.sock",
+            std::process::id()
+        ))
         .to_string_lossy()
         .into_owned()
 }
@@ -17,14 +20,18 @@ fn sock_path(tag: &str) -> String {
 /// there first).
 fn start_daemon(socket: &str) -> std::thread::JoinHandle<String> {
     let argv: Vec<String> = [
-        "serve", "--socket", socket, "--cache-entries", "8", "--jobs", "1",
+        "serve",
+        "--socket",
+        socket,
+        "--cache-entries",
+        "8",
+        "--jobs",
+        "1",
     ]
     .iter()
     .map(ToString::to_string)
     .collect();
-    let handle = std::thread::spawn(move || {
-        cli::execute(argv).expect("serve exits cleanly").text
-    });
+    let handle = std::thread::spawn(move || cli::execute(argv).expect("serve exits cleanly").text);
     let deadline = Instant::now() + Duration::from_secs(30);
     while farm::status(socket).is_err() {
         assert!(Instant::now() < deadline, "daemon never came up");
@@ -40,19 +47,32 @@ fn served_reports_match_one_shot_output_and_repeats_hit_the_cache() {
 
     // One-shot outputs, straight through the CLI.
     let small = ["--gpus", "2", "--scale-down", "16", "--iterations", "1"];
-    let run_args: Vec<&str> = ["run", "--app", "jacobi"].iter().chain(&small).copied().collect();
-    let one_shot_run = cli::execute(run_args).expect("one-shot run").text;
-    let suite_args: Vec<&str> = ["suite", "--jobs", "1"].iter().chain(&small).copied().collect();
-    let one_shot_suite = cli::execute(suite_args).expect("one-shot suite");
-
-    // The same points served by the daemon must be byte-identical.
-    let submit_run: Vec<&str> = ["submit", "--socket", &socket, "--kind", "run", "--app", "jacobi"]
+    let run_args: Vec<&str> = ["run", "--app", "jacobi"]
         .iter()
         .chain(&small)
         .copied()
         .collect();
+    let one_shot_run = cli::execute(run_args).expect("one-shot run").text;
+    let suite_args: Vec<&str> = ["suite", "--jobs", "1"]
+        .iter()
+        .chain(&small)
+        .copied()
+        .collect();
+    let one_shot_suite = cli::execute(suite_args).expect("one-shot suite");
+
+    // The same points served by the daemon must be byte-identical.
+    let submit_run: Vec<&str> = [
+        "submit", "--socket", &socket, "--kind", "run", "--app", "jacobi",
+    ]
+    .iter()
+    .chain(&small)
+    .copied()
+    .collect();
     let served_run = cli::execute(submit_run.clone()).expect("served run");
-    assert_eq!(served_run.text, one_shot_run, "daemon-served run must match one-shot bytes");
+    assert_eq!(
+        served_run.text, one_shot_run,
+        "daemon-served run must match one-shot bytes"
+    );
     assert!(!served_run.partial);
 
     let submit_suite: Vec<&str> = ["submit", "--socket", &socket, "--kind", "suite"]
@@ -73,7 +93,11 @@ fn served_reports_match_one_shot_output_and_repeats_hit_the_cache() {
     let repeat = cli::execute(submit_run).expect("repeat run");
     assert_eq!(repeat.text, one_shot_run);
     let after = farm::status(&socket).expect("status");
-    assert_eq!(after.cache_hits, before.cache_hits + 1, "hit counter must increment");
+    assert_eq!(
+        after.cache_hits,
+        before.cache_hits + 1,
+        "hit counter must increment"
+    );
     assert_eq!(
         after.sim_events_total, before.sim_events_total,
         "a cache hit must execute zero simulation events"
@@ -92,17 +116,41 @@ fn partial_suite_results_keep_exit_semantics_through_the_daemon() {
     // A tiny run budget kills every point: partial one-shot and served
     // outputs must agree, including the exit-code epilogue.
     let args = [
-        "submit", "--socket", &socket, "--kind", "suite", "--gpus", "2", "--scale-down", "16",
-        "--iterations", "1", "--run-budget", "3",
+        "submit",
+        "--socket",
+        &socket,
+        "--kind",
+        "suite",
+        "--gpus",
+        "2",
+        "--scale-down",
+        "16",
+        "--iterations",
+        "1",
+        "--run-budget",
+        "3",
     ];
     let served = cli::execute(args).expect("served partial suite");
     assert!(served.partial, "{}", served.text);
-    assert!(served.text.contains("exiting with code 3"), "{}", served.text);
+    assert!(
+        served.text.contains("exiting with code 3"),
+        "{}",
+        served.text
+    );
     assert_eq!(served.exit_code(), cli::EXIT_PARTIAL);
 
     let one_shot = cli::execute([
-        "suite", "--gpus", "2", "--scale-down", "16", "--iterations", "1", "--run-budget", "3",
-        "--jobs", "1",
+        "suite",
+        "--gpus",
+        "2",
+        "--scale-down",
+        "16",
+        "--iterations",
+        "1",
+        "--run-budget",
+        "3",
+        "--jobs",
+        "1",
     ])
     .expect("one-shot partial suite");
     assert_eq!(served.text, one_shot.text);
@@ -121,7 +169,9 @@ fn status_and_errors_surface_through_cli_exit_codes() {
     assert!(err.to_string().contains(&socket), "{err}");
 
     let daemon = start_daemon(&socket);
-    let status = cli::execute(["status", "--socket", &socket]).expect("status").text;
+    let status = cli::execute(["status", "--socket", &socket])
+        .expect("status")
+        .text;
     assert!(status.contains("jobs submitted: 0"), "{status}");
     assert!(status.contains("0 of 8 entries"), "{status}");
 
